@@ -1,0 +1,154 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// run-queue discipline, the natural-preemption model behind "native"
+// (D=0) executions, the handler yield probability, and the cost of ECT
+// capture. Each reports its effect as custom metrics.
+package goat_test
+
+import (
+	"testing"
+
+	"goat/internal/conc"
+	"goat/internal/detect"
+	"goat/internal/goker"
+	"goat/internal/sim"
+)
+
+// rareBugs are the schedule-dependent kernels ablations measure against.
+func rareBugs(b *testing.B) []goker.Kernel {
+	b.Helper()
+	var out []goker.Kernel
+	for _, k := range goker.All() {
+		if k.Rare {
+			out = append(out, k)
+		}
+	}
+	if len(out) == 0 {
+		b.Fatal("no rare kernels")
+	}
+	return out
+}
+
+// detectionRate runs each kernel `trials` times and returns the fraction
+// of (kernel, trial) pairs where GoAT saw the bug. Runs are traceless and
+// step-capped: the outcome classification is all the rate needs, and
+// noise-free configurations can livelock until the watchdog.
+func detectionRate(kernels []goker.Kernel, trials int, opts func(seed int64) sim.Options) float64 {
+	goatDet := detect.Goat{}
+	hits, total := 0, 0
+	for _, k := range kernels {
+		for t := 0; t < trials; t++ {
+			o := opts(int64(t))
+			o.NoTrace = true
+			o.MaxSteps = 20000
+			r := goker.Run(k, o)
+			if goatDet.Detect(r).Found {
+				hits++
+			}
+			total++
+		}
+	}
+	return 100 * float64(hits) / float64(total)
+}
+
+// BenchmarkAblationPickPolicy compares the random run-queue against the
+// FIFO discipline of the native global queue over the rare kernels.
+func BenchmarkAblationPickPolicy(b *testing.B) {
+	kernels := rareBugs(b)
+	var random, fifo float64
+	for i := 0; i < b.N; i++ {
+		random = detectionRate(kernels, 30, func(seed int64) sim.Options {
+			return sim.Options{Seed: seed, Pick: sim.PickRandom}
+		})
+		fifo = detectionRate(kernels, 30, func(seed int64) sim.Options {
+			return sim.Options{Seed: seed, Pick: sim.PickFIFO}
+		})
+	}
+	b.ReportMetric(random, "random-hit-%")
+	b.ReportMetric(fifo, "fifo-hit-%")
+}
+
+// BenchmarkAblationPreemptProb sweeps the natural-preemption probability
+// that models native-scheduler noise at D=0. Zero noise makes narrow
+// windows unreachable; too much noise stops resembling a native run.
+func BenchmarkAblationPreemptProb(b *testing.B) {
+	kernels := rareBugs(b)
+	probs := []float64{-1, 0.02, 0.1}
+	rates := make([]float64, len(probs))
+	for i := 0; i < b.N; i++ {
+		for pi, p := range probs {
+			rates[pi] = detectionRate(kernels, 30, func(seed int64) sim.Options {
+				return sim.Options{Seed: seed, PreemptProb: p}
+			})
+		}
+	}
+	b.ReportMetric(rates[0], "p0-hit-%")
+	b.ReportMetric(rates[1], "p2-hit-%")
+	b.ReportMetric(rates[2], "p10-hit-%")
+}
+
+// BenchmarkAblationYieldProb sweeps the handler's firing probability at a
+// fixed delay budget D=2.
+func BenchmarkAblationYieldProb(b *testing.B) {
+	kernels := rareBugs(b)
+	probs := []float64{0.05, 0.2, 0.5}
+	rates := make([]float64, len(probs))
+	for i := 0; i < b.N; i++ {
+		for pi, p := range probs {
+			rates[pi] = detectionRate(kernels, 30, func(seed int64) sim.Options {
+				return sim.Options{Seed: seed, Delays: 2, YieldProb: p}
+			})
+		}
+	}
+	b.ReportMetric(rates[0], "y5-hit-%")
+	b.ReportMetric(rates[1], "y20-hit-%")
+	b.ReportMetric(rates[2], "y50-hit-%")
+}
+
+// BenchmarkAblationDelayBound sweeps D itself over the rare kernels — the
+// core Table IV ablation (the paper: optimum D ≤ 3).
+func BenchmarkAblationDelayBound(b *testing.B) {
+	kernels := rareBugs(b)
+	rates := make([]float64, 5)
+	for i := 0; i < b.N; i++ {
+		for d := 0; d <= 4; d++ {
+			rates[d] = detectionRate(kernels, 30, func(seed int64) sim.Options {
+				return sim.Options{Seed: seed, Delays: d}
+			})
+		}
+	}
+	for d := 0; d <= 4; d++ {
+		b.ReportMetric(rates[d], []string{"D0-hit-%", "D1-hit-%", "D2-hit-%", "D3-hit-%", "D4-hit-%"}[d])
+	}
+}
+
+// BenchmarkAblationTraceCapture measures the ECT's overhead on a
+// channel-heavy workload.
+func BenchmarkAblationTraceCapture(b *testing.B) {
+	workload := func(g *sim.G) {
+		ch := conc.NewChan[int](g, 4)
+		wg := conc.NewWaitGroup(g)
+		wg.Add(g, 2)
+		g.Go("producer", func(c *sim.G) {
+			for i := 0; i < 100; i++ {
+				ch.Send(c, i)
+			}
+			ch.Close(c)
+			wg.Done(c)
+		})
+		g.Go("consumer", func(c *sim.G) {
+			ch.Range(c, func(int) bool { return true })
+			wg.Done(c)
+		})
+		wg.Wait(g)
+	}
+	b.Run("traced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim.Run(sim.Options{PreemptProb: -1}, workload)
+		}
+	})
+	b.Run("untraced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim.Run(sim.Options{PreemptProb: -1, NoTrace: true}, workload)
+		}
+	})
+}

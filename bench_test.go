@@ -1,0 +1,217 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section IV). Each benchmark runs the corresponding
+// experiment campaign and reports its headline numbers as custom metrics,
+// so `go test -bench=. -benchmem` both times the harness and reproduces
+// the results' shape. The goatbench command prints the full artifacts.
+package goat_test
+
+import (
+	"testing"
+
+	"goat"
+	"goat/internal/conc"
+	"goat/internal/cover"
+	"goat/internal/detect"
+	"goat/internal/goker"
+	"goat/internal/gtree"
+	"goat/internal/harness"
+	"goat/internal/sim"
+)
+
+// benchBudget keeps bench iterations affordable; goatbench uses the
+// paper's 1000.
+const benchBudget = 200
+
+// BenchmarkTable1 regenerates the requirement catalogue (Table I) — a
+// pure rendering, benchmarked for completeness of the per-table index.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(cover.CatalogueString()) == 0 {
+			b.Fatal("empty catalogue")
+		}
+	}
+	b.ReportMetric(float64(len(cover.Catalogue())), "req-families")
+}
+
+// BenchmarkTable3 regenerates Table III: the CU/coverage table of
+// listing 1 (moby_28462) accumulated over two executions.
+func BenchmarkTable3(b *testing.B) {
+	k, ok := goker.ByID("moby_28462")
+	if !ok {
+		b.Fatal("kernel missing")
+	}
+	var covered, total int
+	for i := 0; i < b.N; i++ {
+		model := cover.NewModel(nil)
+		for run := 0; run < 2; run++ {
+			r := goker.Run(k, sim.Options{Seed: int64(run), Delays: 2})
+			tree, err := gtree.Build(r.Trace)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := model.AddRun(tree)
+			covered, total = st.Covered, st.Total
+		}
+	}
+	b.ReportMetric(float64(covered), "covered")
+	b.ReportMetric(float64(total), "requirements")
+}
+
+// BenchmarkTable4 regenerates the detector matrix (Table IV): 68 bugs ×
+// 8 tool configurations, minimum executions to detection.
+func BenchmarkTable4(b *testing.B) {
+	var tab *harness.TableIV
+	for i := 0; i < b.N; i++ {
+		tab = harness.RunTableIV(harness.Config{MaxExecs: benchBudget})
+	}
+	counts := tab.DetectedCount()
+	b.ReportMetric(float64(counts["goat-D2"]), "goat-D2-detected")
+	b.ReportMetric(float64(counts["builtin"]), "builtin-detected")
+	b.ReportMetric(float64(counts["goleak"]), "goleak-detected")
+	b.ReportMetric(float64(counts["lockdl"]), "lockdl-detected")
+}
+
+// BenchmarkFigure2 regenerates the trials-to-detect histogram at D=0.
+func BenchmarkFigure2(b *testing.B) {
+	var fig *harness.Figure2
+	for i := 0; i < b.N; i++ {
+		tab := harness.RunTableIV(harness.Config{
+			MaxExecs: benchBudget,
+			Tools: []harness.Spec{{
+				Name: "goat-D0", Detector: detect.Goat{}, NeedTrace: true,
+			}},
+		})
+		fig = harness.RunFigure2(tab, "goat-D0")
+	}
+	b.ReportMetric(float64(fig.Buckets[0]), "trial1-bugs")
+	b.ReportMetric(float64(fig.Buckets[1]+fig.Buckets[2]+fig.Buckets[3]), "multi-trial-bugs")
+}
+
+// BenchmarkFigure4 regenerates the per-tool detection histogram.
+func BenchmarkFigure4(b *testing.B) {
+	var fig *harness.Figure4
+	for i := 0; i < b.N; i++ {
+		tab := harness.RunTableIV(harness.Config{MaxExecs: benchBudget})
+		fig = harness.RunFigure4(tab)
+	}
+	b.ReportMetric(float64(fig.Detected("goat-D0")), "goat-D0")
+	b.ReportMetric(float64(fig.Detected("goleak")), "goleak")
+}
+
+// BenchmarkFigure5 regenerates the iteration-interval distribution.
+func BenchmarkFigure5(b *testing.B) {
+	var fig *harness.Figure5
+	for i := 0; i < b.N; i++ {
+		tab := harness.RunTableIV(harness.Config{MaxExecs: benchBudget})
+		fig = harness.RunFigure5(tab)
+	}
+	// Share of bugs detected in a single execution by GoAT at D=2.
+	b.ReportMetric(fig.Percent["goat-D2"][0], "goatD2-trial1-%")
+}
+
+// BenchmarkFigure6 regenerates both coverage case studies (Fig. 6a/6b).
+func BenchmarkFigure6(b *testing.B) {
+	ds := []int{0, 1, 2, 4}
+	var final float64
+	for i := 0; i < b.N; i++ {
+		for _, bug := range []string{"etcd_7443", "kubernetes_11298"} {
+			series, err := harness.RunFigure6(bug, 50, ds, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			final = series[2][49].Percent
+		}
+	}
+	b.ReportMetric(final, "final-D2-coverage-%")
+}
+
+// --- micro-benchmarks of the substrate ---
+
+// BenchmarkSchedulerSpawnJoin measures raw virtual-runtime throughput.
+func BenchmarkSchedulerSpawnJoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := goat.Run(goat.Options{NoTrace: true, PreemptProb: -1}, func(g *goat.G) {
+			wg := conc.NewWaitGroup(g)
+			for j := 0; j < 10; j++ {
+				wg.Add(g, 1)
+				g.Go("w", func(c *goat.G) { wg.Done(c) })
+			}
+			wg.Wait(g)
+		})
+		if r.Outcome != goat.OutcomeOK {
+			b.Fatal(r.Outcome)
+		}
+	}
+}
+
+// BenchmarkChannelPingPong measures rendezvous cost with tracing on.
+func BenchmarkChannelPingPong(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		goat.Run(goat.Options{PreemptProb: -1}, func(g *goat.G) {
+			ping := conc.NewChan[int](g, 0)
+			pong := conc.NewChan[int](g, 0)
+			g.Go("peer", func(c *goat.G) {
+				for j := 0; j < 50; j++ {
+					v, _ := ping.Recv(c)
+					pong.Send(c, v+1)
+				}
+			})
+			for j := 0; j < 50; j++ {
+				ping.Send(g, j)
+				pong.Recv(g)
+			}
+		})
+	}
+}
+
+// BenchmarkSelectTwoReady measures select dispatch with both cases ready.
+func BenchmarkSelectTwoReady(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		goat.Run(goat.Options{NoTrace: true, PreemptProb: -1}, func(g *goat.G) {
+			x := conc.NewChan[int](g, 1)
+			y := conc.NewChan[int](g, 1)
+			for j := 0; j < 50; j++ {
+				x.TrySend(g, j)
+				y.TrySend(g, j)
+				conc.Select(g, []conc.Case{conc.CaseRecv(x), conc.CaseRecv(y)}, false)
+				conc.Select(g, []conc.Case{conc.CaseRecv(x), conc.CaseRecv(y)}, true)
+			}
+		})
+	}
+}
+
+// BenchmarkDetectGoat measures detection cost over a leaking trace.
+func BenchmarkDetectGoat(b *testing.B) {
+	k, _ := goker.ByID("moby_33293")
+	r := goker.Run(k, sim.Options{Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := goat.Detect(r); !d.Found {
+			b.Fatal("leak not detected")
+		}
+	}
+}
+
+// BenchmarkMetricSaturation compares GoAT's Req1–Req5 metric against the
+// prior-work synchronization-pair metric on the same campaign: how many
+// units each discovers over 40 iterations of the Fig. 6a case study.
+func BenchmarkMetricSaturation(b *testing.B) {
+	k, _ := goker.ByID("etcd_7443")
+	var reqUnits, pairUnits int
+	for i := 0; i < b.N; i++ {
+		req := cover.NewModel(nil)
+		pairs := cover.NewPairModel()
+		for seed := int64(0); seed < 40; seed++ {
+			r := goker.Run(k, sim.Options{Seed: seed, Delays: 2})
+			tree, err := gtree.Build(r.Trace)
+			if err != nil {
+				b.Fatal(err)
+			}
+			req.AddRun(tree)
+			pairs.AddRun(tree)
+		}
+		reqUnits, pairUnits = req.Total(), pairs.Distinct()
+	}
+	b.ReportMetric(float64(reqUnits), "req-units")
+	b.ReportMetric(float64(pairUnits), "syncpair-units")
+}

@@ -1,0 +1,225 @@
+// Command goat is the paper's CLI: it statically analyzes and instruments
+// native Go programs, and runs GoKer bug kernels on the virtual runtime
+// with schedule perturbation, deadlock detection and coverage measurement.
+//
+// Usage patterns (mirroring the paper's artifact):
+//
+//	goat -list
+//	goat -bug moby_28462 -d 2 -freq 100 -cov
+//	goat -bug etcd_7443 -tool lockdl -freq 1000
+//	goat -path ./someprogram                 # print the CU model M
+//	goat -path ./someprogram -instrument out # rewrite sources into out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"goat/internal/cover"
+	"goat/internal/cu"
+	"goat/internal/detect"
+	"goat/internal/goker"
+	"goat/internal/gtree"
+	"goat/internal/instrument"
+	"goat/internal/race"
+	"goat/internal/report"
+	"goat/internal/sim"
+	"goat/internal/systematic"
+	"goat/internal/trace"
+)
+
+func main() {
+	var (
+		path     = flag.String("path", "", "target folder of Go sources (static analysis)")
+		instOut  = flag.String("instrument", "", "with -path: write instrumented sources to this folder")
+		bug      = flag.String("bug", "", "run a GoKer kernel by ID")
+		list     = flag.Bool("list", false, "list the GoKer kernels")
+		d        = flag.Int("d", 0, "number of delays (yield bound D)")
+		freq     = flag.Int("freq", 1, "frequency of executions")
+		covFlag  = flag.Bool("cov", false, "include coverage report in evaluation")
+		seed     = flag.Int64("seed", 0, "base RNG seed")
+		tool     = flag.String("tool", "goat", "detector: goat|builtin|lockdl|goleak")
+		raceOn   = flag.Bool("race", false, "enable the happens-before data race checker")
+		traceOut = flag.String("traceout", "", "with -bug: write the detecting run's ECT to this file")
+		minimize = flag.Bool("minimize", false, "with -bug: systematic search + minimal yield placement")
+		htmlOut  = flag.String("htmlout", "", "with -bug: write an HTML timeline of the detecting run")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		listKernels()
+	case *bug != "" && *minimize:
+		if err := minimizeBug(*bug, *seed, *d, *freq); err != nil {
+			fatal(err)
+		}
+	case *bug != "":
+		if err := runBug(*bug, *tool, *d, *freq, *seed, *covFlag, *raceOn, *traceOut, *htmlOut); err != nil {
+			fatal(err)
+		}
+	case *path != "":
+		if err := analyzePath(*path, *instOut); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "goat:", err)
+	os.Exit(1)
+}
+
+func listKernels() {
+	fmt.Printf("%-22s %-12s %-14s %-6s %s\n", "ID", "project", "cause", "rare", "expected")
+	for _, k := range goker.All() {
+		rare := ""
+		if k.Rare {
+			rare = "yes"
+		}
+		fmt.Printf("%-22s %-12s %-14s %-6s %s\n", k.ID, k.Project, k.Cause, rare, k.Expect)
+	}
+}
+
+func detectorFor(name string) (detect.Detector, error) {
+	switch name {
+	case "goat":
+		return detect.Goat{}, nil
+	case "builtin":
+		return detect.Builtin{}, nil
+	case "lockdl":
+		return detect.LockDL{}, nil
+	case "goleak":
+		return detect.Goleak{}, nil
+	default:
+		return nil, fmt.Errorf("unknown tool %q", name)
+	}
+}
+
+func runBug(id, tool string, d, freq int, seed int64, covFlag, raceOn bool, traceOut, htmlOut string) error {
+	k, ok := goker.ByID(id)
+	if !ok {
+		return fmt.Errorf("unknown bug %q (try -list)", id)
+	}
+	det, err := detectorFor(tool)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bug %s (%s, %s deadlock): %s\n\n", k.ID, k.Project, k.Cause, k.Description)
+
+	model := cover.NewModel(nil)
+	for trial := 0; trial < freq; trial++ {
+		r := goker.Run(k, sim.Options{Seed: seed + int64(trial), Delays: d})
+		if raceOn && r.Trace != nil {
+			for _, rc := range race.Check(r.Trace) {
+				fmt.Printf("run %3d: %s\n", trial+1, rc)
+			}
+		}
+		if covFlag && r.Trace != nil {
+			if tree, err := gtree.Build(r.Trace); err == nil {
+				st := model.AddRun(tree)
+				fmt.Printf("run %3d: outcome=%-5s coverage %5.1f%% (%d/%d)\n",
+					trial+1, r.Outcome, st.Percent, st.Covered, st.Total)
+			}
+		}
+		if det2 := det.Detect(r); det2.Found {
+			fmt.Printf("\nbug exposed on execution %d (seed %d, D=%d)\n\n", trial+1, r.Seed, d)
+			fmt.Println(report.Detection(r, det2))
+			if covFlag {
+				fmt.Println("coverage table:")
+				fmt.Println(report.CoverageTable(nil, model))
+			}
+			if traceOut != "" && r.Trace != nil {
+				if err := writeTrace(traceOut, r.Trace); err != nil {
+					return err
+				}
+				fmt.Printf("ECT written to %s (%d events); inspect with cmd/goattrace\n", traceOut, r.Trace.Len())
+			}
+			if htmlOut != "" && r.Trace != nil {
+				tree, err := gtree.Build(r.Trace)
+				if err != nil {
+					return err
+				}
+				page := report.HTMLTimeline(tree, fmt.Sprintf("%s — %s (seed %d, D=%d)", k.ID, det2.Verdict, r.Seed, d))
+				if err := os.WriteFile(htmlOut, []byte(page), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("HTML timeline written to %s\n", htmlOut)
+			}
+			return nil
+		}
+	}
+	fmt.Printf("\nbug not exposed in %d execution(s) with %s at D=%d\n", freq, tool, d)
+	if covFlag {
+		fmt.Println(report.CoverageTable(nil, model))
+	}
+	return nil
+}
+
+// minimizeBug runs the systematic explorer and the schedule minimizer on
+// a kernel, printing the minimal yield placement that reproduces the bug.
+func minimizeBug(id string, seed int64, maxYields, maxRuns int) error {
+	k, ok := goker.ByID(id)
+	if !ok {
+		return fmt.Errorf("unknown bug %q (try -list)", id)
+	}
+	fmt.Printf("bug %s: systematic exploration (bound D=%d)...\n", k.ID, maxYieldsOrDefault(maxYields))
+	f := systematic.Explore(k.Main, systematic.Config{
+		Seed:      seed,
+		MaxYields: maxYields,
+		MaxRuns:   maxRuns,
+	})
+	if f == nil {
+		fmt.Println("no bug-triggering yield placement within the budget")
+		return nil
+	}
+	fmt.Printf("found: %s\n", f)
+	min := systematic.Minimize(k.Main, f)
+	fmt.Printf("minimized: %s\n\n", min)
+	r := sim.Run(sim.Options{
+		Seed:        min.Seed,
+		Pick:        sim.PickFIFO,
+		PreemptProb: -1,
+		YieldAt:     min.Yields,
+	}, k.Main)
+	fmt.Println(report.Detection(r, min.Detection))
+	return nil
+}
+
+func maxYieldsOrDefault(d int) int {
+	if d <= 0 {
+		return 3
+	}
+	return d
+}
+
+func writeTrace(path string, t *trace.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.Encode(f)
+}
+
+func analyzePath(dir, instOut string) error {
+	if instOut != "" {
+		model, err := instrument.Dir(dir, instOut, instrument.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("instrumented %s -> %s (%d concurrency usages)\n", dir, instOut, model.Len())
+		fmt.Println(model)
+		return nil
+	}
+	model, err := cu.ExtractDir(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("concurrency usage model M of %s (%d entries):\n\n", dir, model.Len())
+	fmt.Println(model)
+	return nil
+}

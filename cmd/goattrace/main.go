@@ -1,0 +1,145 @@
+// Command goattrace inspects saved execution concurrency traces (the
+// .ect files written by `goat -bug ... -traceout`):
+//
+//	goattrace -dump trace.ect             # every event
+//	goattrace -dump trace.ect -g 3        # one goroutine's projection
+//	goattrace -dump trace.ect -cat Chan   # one category
+//	goattrace -stats trace.ect            # per-type tallies
+//	goattrace -profile trace.ect          # blocking/contention profile
+//	goattrace -tree trace.ect             # goroutine tree + Procedure 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"goat/internal/cu"
+	"goat/internal/gtree"
+	"goat/internal/trace"
+)
+
+func main() {
+	var (
+		dump    = flag.String("dump", "", "print the events of a trace file")
+		stats   = flag.String("stats", "", "print event tallies of a trace file")
+		profile = flag.String("profile", "", "print the blocking profile of a trace file")
+		tree    = flag.String("tree", "", "print the goroutine tree + deadlock check")
+		visits  = flag.String("visits", "", "print a goatrt native visit log (GOAT_TRACE output)")
+		model   = flag.String("model", "", "with -visits: instrumented-source dir for executed-CU coverage")
+		gFilter = flag.Int64("g", 0, "with -dump: restrict to one goroutine")
+		cat     = flag.String("cat", "", "with -dump: restrict to one category prefix (Goroutine, Channel, Sync, Select, Timer, Shared)")
+		asJSON  = flag.Bool("json", false, "with -dump: newline-delimited JSON instead of text")
+	)
+	flag.Parse()
+
+	switch {
+	case *dump != "":
+		withTrace(*dump, func(t *trace.Trace) error {
+			out := t
+			if *gFilter != 0 {
+				out = out.Filter(func(e trace.Event) bool { return e.G == trace.GoID(*gFilter) })
+			}
+			if *cat != "" {
+				out = out.Filter(func(e trace.Event) bool {
+					return strings.HasPrefix(trace.CategoryOf(e.Type).String(), *cat)
+				})
+			}
+			if *asJSON {
+				return out.EncodeJSON(os.Stdout)
+			}
+			fmt.Print(out)
+			return nil
+		})
+	case *stats != "":
+		withTrace(*stats, func(t *trace.Trace) error {
+			fmt.Printf("%d events, %d goroutines\n\n", t.Len(), len(t.Goroutines()))
+			counts := t.CountByType()
+			for ty := trace.Type(1); ; ty++ {
+				if !ty.Valid() {
+					break
+				}
+				if counts[ty] > 0 {
+					fmt.Printf("%-14s %6d\n", ty, counts[ty])
+				}
+			}
+			return nil
+		})
+	case *profile != "":
+		withTrace(*profile, func(t *trace.Trace) error {
+			fmt.Print(trace.BuildProfile(t))
+			return nil
+		})
+	case *tree != "":
+		withTrace(*tree, func(t *trace.Trace) error {
+			gt, err := gtree.Build(t)
+			if err != nil {
+				return err
+			}
+			fmt.Print(gt)
+			verdict, leaked := gt.DeadlockCheck()
+			fmt.Printf("\nDeadlockCheck: %s", verdict)
+			if len(leaked) > 0 {
+				fmt.Printf(" (%d goroutine(s))", len(leaked))
+			}
+			fmt.Println()
+			return nil
+		})
+	case *visits != "":
+		if err := showVisits(*visits, *model); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// showVisits aggregates a native visit log; with a model dir it also
+// reports executed-CU coverage.
+func showVisits(path, modelDir string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	vs, err := cu.ParseVisits(f)
+	if err != nil {
+		return err
+	}
+	fmt.Print(cu.RenderVisitStats(cu.StatsOf(vs)))
+	if modelDir == "" {
+		return nil
+	}
+	m, err := cu.ExtractDir(modelDir)
+	if err != nil {
+		return err
+	}
+	executed, dead, pct := cu.ExecutedCoverage(m, vs)
+	fmt.Printf("\nexecuted-CU coverage: %d/%d (%.1f%%)\n", len(executed), m.Len(), pct)
+	for _, c := range dead {
+		fmt.Printf("  never executed: %s\n", c)
+	}
+	return nil
+}
+
+func withTrace(path string, fn func(*trace.Trace) error) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	t, err := trace.Decode(f)
+	if err != nil {
+		fatal(err)
+	}
+	if err := fn(t); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "goattrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Instrument: run GoAT's static front-end on a native Go program — extract
+// the concurrency usage model M and perform the paper's source-to-source
+// instrumentation (goatrt bootstrap in main, a handler before every CU).
+//
+//	go run ./examples/instrument
+package main
+
+import (
+	"fmt"
+
+	"goat/internal/instrument"
+)
+
+// target is a plain Go program using native concurrency (it is the
+// worker-pool idiom with a WaitGroup and a select-based collector).
+const target = `package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+func worker(id int, jobs <-chan int, results chan<- int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for j := range jobs {
+		results <- j * j
+	}
+}
+
+func main() {
+	jobs := make(chan int, 4)
+	results := make(chan int, 4)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go worker(w, jobs, results, &wg)
+	}
+	go func() {
+		for r := range results {
+			mu.Lock()
+			total += r
+			mu.Unlock()
+		}
+	}()
+	for j := 1; j <= 8; j++ {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+	close(results)
+	select {
+	case <-results:
+	default:
+		fmt.Println("total:", total)
+	}
+}
+`
+
+func main() {
+	res, err := instrument.Source("pool.go", target, instrument.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("concurrency usage model M: %d entries\n", len(res.CUs))
+	for _, c := range res.CUs {
+		fmt.Printf("  %-14s %s\n", c.Kind, c.Loc())
+	}
+	fmt.Printf("\ninjected %d handler call(s); main bootstrap: %v\n", res.Handlers, res.MainHook)
+	fmt.Println("\n----- instrumented source -----")
+	fmt.Println(res.Source)
+}

@@ -1,0 +1,64 @@
+// Quickstart: write a concurrent program against the virtual runtime, run
+// it under GoAT with schedule perturbation, and get a deadlock report.
+//
+// The program is the paper's listing 1 (Docker bug moby#28462): Monitor
+// polls a container's status channel with a select/default loop guarded by
+// a mutex, while StatusChange sends on the channel holding the same mutex.
+// A rare preemption between Monitor's select and its Lock produces a
+// mixed deadlock that leaks both goroutines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"goat/internal/conc"
+	"goat/internal/detect"
+	"goat/internal/report"
+	"goat/internal/sim"
+)
+
+// container is the shared state of listing 1.
+type container struct {
+	mu     *conc.Mutex
+	status *conc.Chan[int]
+}
+
+func listing1(g *sim.G) {
+	c := &container{
+		mu:     conc.NewMutex(g),
+		status: conc.NewChan[int](g, 0),
+	}
+	g.Go("Monitor", func(w *sim.G) {
+		for {
+			idx, _, _ := conc.Select(w, []conc.Case{conc.CaseRecv(c.status)}, true)
+			if idx == 0 {
+				return // container stopped
+			}
+			c.mu.Lock(w)
+			// ... inspect the container ...
+			c.mu.Unlock(w)
+		}
+	})
+	g.Go("StatusChange", func(w *sim.G) {
+		c.mu.Lock(w)
+		c.status.Send(w, 1)
+		c.mu.Unlock(w)
+	})
+	conc.Sleep(g, 500) // main does unrelated work and exits
+}
+
+func main() {
+	fmt.Println("searching for the moby#28462 mixed deadlock (delay bound D=2)...")
+	for trial := 0; ; trial++ {
+		r := sim.Run(sim.Options{Seed: int64(trial), Delays: 2}, listing1)
+		d := (detect.Goat{}).Detect(r)
+		if !d.Found {
+			continue
+		}
+		fmt.Printf("exposed on execution %d\n\n", trial+1)
+		fmt.Println(report.Detection(r, d))
+		return
+	}
+}

@@ -1,0 +1,3 @@
+module goat
+
+go 1.22

@@ -1,0 +1,85 @@
+// Package goat is the public facade of the GoAT reproduction: a combined
+// static and dynamic concurrency testing and analysis framework for Go
+// (Taheri & Gopalakrishnan, IISWC 2021), built on a deterministic virtual
+// runtime.
+//
+// The three objectives of the paper map to three entry points:
+//
+//   - Accurate dynamic execution modeling: Run executes a program on the
+//     virtual runtime and returns its execution concurrency trace (ECT)
+//     and classified outcome; BuildTree turns the ECT into the goroutine
+//     tree that DeadlockCheck (the paper's Procedure 1) analyzes.
+//
+//   - Systematic schedule-space exploration: Options.Delays is the
+//     paper's bound D — the maximum number of forced yields injected at
+//     concurrency-usage points; Options.Seed makes any schedule
+//     replayable.
+//
+//   - Testing quality measurement: NewCoverage accumulates the Req1–Req5
+//     concurrency coverage requirements across runs.
+//
+// The deeper layers remain importable for advanced use: internal/sim (the
+// scheduler), internal/conc (the primitives), internal/cu and
+// internal/instrument (the static front-end over native Go source),
+// internal/detect (GoAT plus the three baseline detectors),
+// internal/goker (the 68-kernel blocking-bug benchmark) and
+// internal/harness (the evaluation campaigns).
+package goat
+
+import (
+	"goat/internal/cover"
+	"goat/internal/cu"
+	"goat/internal/detect"
+	"goat/internal/gtree"
+	"goat/internal/sim"
+	"goat/internal/trace"
+)
+
+// Re-exported core types. The aliases keep one import path for the
+// common workflow while the implementation stays in focused packages.
+type (
+	// Options configure one execution (seed, delay bound D, budgets).
+	Options = sim.Options
+	// Result is the classified outcome of one execution plus its ECT.
+	Result = sim.Result
+	// G is the goroutine handle passed to every simulated goroutine.
+	G = sim.G
+	// Outcome classifies an execution (OK, GDL, PDL, TO, CRASH).
+	Outcome = sim.Outcome
+	// Trace is the execution concurrency trace.
+	Trace = trace.Trace
+	// Tree is the goroutine tree built from an ECT.
+	Tree = gtree.Tree
+	// Detection is a detector's verdict on one execution.
+	Detection = detect.Detection
+	// Coverage is the cross-run coverage model (Req1–Req5).
+	Coverage = cover.Model
+	// CU is one concurrency usage of the static model M.
+	CU = cu.CU
+)
+
+// Outcome values re-exported for switch statements.
+const (
+	OutcomeOK             = sim.OutcomeOK
+	OutcomeGlobalDeadlock = sim.OutcomeGlobalDeadlock
+	OutcomeLeak           = sim.OutcomeLeak
+	OutcomeTimeout        = sim.OutcomeTimeout
+	OutcomeCrash          = sim.OutcomeCrash
+)
+
+// Run executes main on the virtual runtime under opts.
+func Run(opts Options, main func(*G)) *Result { return sim.Run(opts, main) }
+
+// Detect runs GoAT's detector (goroutine tree + Procedure 1) on a result.
+func Detect(r *Result) Detection { return (detect.Goat{}).Detect(r) }
+
+// BuildTree constructs the goroutine tree of an ECT.
+func BuildTree(t *Trace) (*Tree, error) { return gtree.Build(t) }
+
+// NewCoverage creates a coverage model seeded from a static CU model
+// (pass nil to discover requirements purely dynamically).
+func NewCoverage(static *cu.Model) *Coverage { return cover.NewModel(static) }
+
+// ExtractDir builds the static concurrency-usage model M of a directory
+// of native Go source.
+func ExtractDir(dir string) (*cu.Model, error) { return cu.ExtractDir(dir) }

@@ -1,0 +1,208 @@
+// Package goatrt is the runtime-support library linked into natively
+// instrumented Go programs (the output of GoAT's source instrumentation).
+//
+// The instrumenter injects three statements at the top of main —
+//
+//	goatDone := goatrt.Start()
+//	goatrt.Watch(goatDone)
+//	defer goatrt.Stop(goatDone)
+//
+// — and a goatrt.Handler() call before every concurrency usage. At run
+// time the package provides the paper's field-debugging mechanics on the
+// real Go runtime: bounded random schedule perturbation (Handler), a
+// liveness watchdog that dumps all goroutine stacks on a hang (Watch), and
+// an end-of-main goroutine-leak check (Stop).
+//
+// Configuration is via environment variables so instrumented binaries need
+// no flag plumbing:
+//
+//	GOAT_D       delay bound (max forced yields), default 3
+//	GOAT_PROB    per-handler yield probability, default 0.2
+//	GOAT_SEED    RNG seed, default time-based
+//	GOAT_TIMEOUT watchdog timeout, default 30s (Go duration syntax)
+//
+// Full execution-concurrency-trace capture requires the virtual runtime
+// (internal/sim); this package intentionally covers only what is possible
+// on an unpatched native runtime.
+package goatrt
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	initOnce   sync.Once
+	yieldsLeft atomic.Int64
+	prob       float64
+	timeout    time.Duration
+	rng        *rand.Rand
+	rngMu      sync.Mutex
+
+	// exit is swapped out by tests.
+	exit = os.Exit
+	// stderr is swapped out by tests.
+	stderr = func() *os.File { return os.Stderr }
+)
+
+func initConfig() {
+	d := int64(3)
+	if v := os.Getenv("GOAT_D"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n >= 0 {
+			d = n
+		}
+	}
+	yieldsLeft.Store(d)
+	prob = 0.2
+	if v := os.Getenv("GOAT_PROB"); v != "" {
+		if p, err := strconv.ParseFloat(v, 64); err == nil && p >= 0 && p <= 1 {
+			prob = p
+		}
+	}
+	timeout = 30 * time.Second
+	if v := os.Getenv("GOAT_TIMEOUT"); v != "" {
+		if t, err := time.ParseDuration(v); err == nil && t > 0 {
+			timeout = t
+		}
+	}
+	seed := time.Now().UnixNano()
+	if v := os.Getenv("GOAT_SEED"); v != "" {
+		if s, err := strconv.ParseInt(v, 10, 64); err == nil {
+			seed = s
+		}
+	}
+	rng = rand.New(rand.NewSource(seed))
+	visitTo = os.Getenv("GOAT_TRACE")
+}
+
+// Start initializes the GoAT runtime support and returns the handshake
+// channel shared with the watchdog.
+func Start() chan struct{} {
+	initOnce.Do(initConfig)
+	return make(chan struct{})
+}
+
+// Watch spawns the watchdog goroutine: it waits for main to finish (a send
+// on done) and acknowledges, or after the timeout declares the program
+// hung, dumps every goroutine stack, and exits with status 2.
+func Watch(done chan struct{}) {
+	go func() {
+		select {
+		case <-done:
+			done <- struct{}{} // ack: main finished first
+		case <-time.After(timeout):
+			fmt.Fprintf(stderr(), "goat: watchdog timeout after %v — possible deadlock or hang\n", timeout)
+			fmt.Fprintf(stderr(), "%s\n", allStacks())
+			if err := FlushVisits(); err != nil {
+				fmt.Fprintf(stderr(), "goat: flushing visit trace: %v\n", err)
+			}
+			exit(2)
+		}
+	}()
+}
+
+// Stop signals the watchdog that main returned, waits for its ack, then
+// reports application goroutines that never reached their end state (the
+// leak / partial-deadlock check).
+func Stop(done chan struct{}) {
+	done <- struct{}{}
+	<-done
+	if err := FlushVisits(); err != nil {
+		fmt.Fprintf(stderr(), "goat: flushing visit trace: %v\n", err)
+	}
+	leaks := LeakedGoroutines()
+	if len(leaks) > 0 {
+		fmt.Fprintf(stderr(), "goat: %d goroutine(s) leaked at main return:\n", len(leaks))
+		for _, l := range leaks {
+			fmt.Fprintf(stderr(), "  goroutine %d [%s]\n", l.ID, l.State)
+		}
+	}
+}
+
+// Handler is the schedule-perturbation hook injected before every
+// concurrency usage: while the delay budget lasts it calls
+// runtime.Gosched with the configured probability.
+func Handler() {
+	initOnce.Do(initConfig)
+	if visitTo != "" {
+		recordVisit(1)
+	}
+	if yieldsLeft.Load() <= 0 {
+		return
+	}
+	rngMu.Lock()
+	fire := rng.Float64() < prob
+	rngMu.Unlock()
+	if fire && yieldsLeft.Add(-1) >= 0 {
+		runtime.Gosched()
+	}
+}
+
+// Leak describes one goroutine alive after main returned.
+type Leak struct {
+	ID    int64
+	State string // the runtime's wait reason, e.g. "chan send"
+}
+
+var goroutineHeader = regexp.MustCompile(`(?m)^goroutine (\d+) \[([^\]]+)\]:`)
+
+// blockedStates are the wait reasons that indicate a parked (potentially
+// leaked) goroutine rather than a running or system one.
+var blockedStates = map[string]bool{
+	"chan send":                 true,
+	"chan receive":              true,
+	"select":                    true,
+	"semacquire":                true,
+	"sync.Mutex.Lock":           true,
+	"sync.RWMutex.Lock":         true,
+	"sync.RWMutex.RLock":        true,
+	"sync.WaitGroup.Wait":       true,
+	"sync.Cond.Wait":            true,
+	"semacquire (sync.Mutex)":   true,
+	"semacquire (sync.RWMutex)": true,
+}
+
+// LeakedGoroutines snapshots all goroutine stacks and returns those parked
+// on concurrency primitives (the goleak-style end-of-main check).
+func LeakedGoroutines() []Leak {
+	stacks := allStacks()
+	var leaks []Leak
+	for _, block := range bytes.Split(stacks, []byte("\n\n")) {
+		m := goroutineHeader.FindSubmatch(block)
+		if m == nil {
+			continue
+		}
+		id, err := strconv.ParseInt(string(m[1]), 10, 64)
+		if err != nil {
+			continue
+		}
+		state := string(m[2])
+		// Timed states ("chan receive, 2 minutes") keep their prefix.
+		if i := bytes.IndexByte([]byte(state), ','); i >= 0 {
+			state = state[:i]
+		}
+		if blockedStates[state] {
+			leaks = append(leaks, Leak{ID: id, State: state})
+		}
+	}
+	return leaks
+}
+
+func allStacks() []byte {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return buf[:n]
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+}

@@ -1,0 +1,95 @@
+package goatrt
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStartReturnsUsableChannel(t *testing.T) {
+	done := Start()
+	if done == nil {
+		t.Fatal("nil handshake channel")
+	}
+	Watch(done)
+	finished := make(chan struct{})
+	go func() {
+		Stop(done)
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not complete the handshake")
+	}
+}
+
+func TestHandlerDoesNotBlock(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		Handler()
+	}
+}
+
+func TestHandlerConcurrencySafe(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				Handler()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestLeakedGoroutinesDetectsBlockedSend(t *testing.T) {
+	ch := make(chan int)
+	release := make(chan struct{})
+	go func() {
+		select {
+		case ch <- 1:
+		case <-release:
+		}
+	}()
+	go func() {
+		var mu sync.Mutex
+		mu.Lock()
+		go func() {
+			mu.Lock() // parks until release
+			mu.Unlock()
+		}()
+		<-release
+		mu.Unlock()
+	}()
+	// Give the goroutines time to park.
+	time.Sleep(50 * time.Millisecond)
+	leaks := LeakedGoroutines()
+	if len(leaks) == 0 {
+		t.Fatal("no leaks detected while goroutines were parked")
+	}
+	states := map[string]bool{}
+	for _, l := range leaks {
+		states[l.State] = true
+	}
+	if !states["select"] {
+		t.Errorf("select-parked goroutine not reported: %v", leaks)
+	}
+	close(release)
+	time.Sleep(50 * time.Millisecond)
+}
+
+func TestLeakedGoroutinesQuietWhenClean(t *testing.T) {
+	time.Sleep(20 * time.Millisecond) // let earlier tests' goroutines drain
+	before := LeakedGoroutines()
+	// Only goroutines from this test binary's own machinery may remain;
+	// starting and joining a clean goroutine must not add leaks.
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	after := LeakedGoroutines()
+	if len(after) > len(before) {
+		t.Fatalf("clean goroutine reported as leak: before=%v after=%v", before, after)
+	}
+}

@@ -1,0 +1,100 @@
+package goatrt
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Native concurrency-usage visit tracing (GOAT_TRACE=<path>).
+//
+// A patched runtime records full concurrency events; an unpatched one
+// cannot. What the injected handlers *can* observe on stock Go is every
+// concurrency-usage visit: the goroutine id, the CU source location, and
+// a timestamp. That is enough to drive executed-CU coverage against the
+// static model M and to see per-goroutine CU activity — the approximate
+// native ECT. The format is one line per visit:
+//
+//	<unix-nanos> <goid> <file>:<line>
+
+// visit is one recorded CU visit.
+type visit struct {
+	ts   int64
+	goid int64
+	file string
+	line int
+}
+
+var (
+	visitMu  sync.Mutex
+	visitLog []visit
+	visitTo  string // destination path; "" = tracing off
+)
+
+// goidOf extracts the current goroutine id from its stack header — the
+// only portable way on an unpatched runtime.
+func goidOf() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	// "goroutine 123 [running]:"
+	fields := bytes.Fields(buf[:n])
+	if len(fields) < 2 {
+		return 0
+	}
+	id, err := strconv.ParseInt(string(fields[1]), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}
+
+// recordVisit appends one CU visit (called from Handler when enabled).
+func recordVisit(skip int) {
+	_, file, line, ok := runtime.Caller(skip + 1)
+	if !ok {
+		return
+	}
+	v := visit{
+		ts:   time.Now().UnixNano(),
+		goid: goidOf(),
+		file: filepath.Base(file),
+		line: line,
+	}
+	visitMu.Lock()
+	visitLog = append(visitLog, v)
+	visitMu.Unlock()
+}
+
+// FlushVisits writes the recorded visit log to the GOAT_TRACE path (a
+// no-op when tracing is off). Stop calls it automatically; the watchdog
+// calls it before aborting a hung program so the trace survives.
+func FlushVisits() error {
+	visitMu.Lock()
+	defer visitMu.Unlock()
+	if visitTo == "" {
+		return nil
+	}
+	f, err := os.Create(visitTo)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, v := range visitLog {
+		fmt.Fprintf(w, "%d %d %s:%d\n", v.ts, v.goid, v.file, v.line)
+	}
+	return w.Flush()
+}
+
+// VisitCount reports how many CU visits are buffered (for tests).
+func VisitCount() int {
+	visitMu.Lock()
+	defer visitMu.Unlock()
+	return len(visitLog)
+}

@@ -1,0 +1,314 @@
+package conc
+
+import (
+	"testing"
+
+	"goat/internal/sim"
+	"goat/internal/trace"
+)
+
+// run executes fn deterministically (no noise) and returns the result.
+func run(t *testing.T, fn func(*sim.G)) *sim.Result {
+	t.Helper()
+	return sim.Run(sim.Options{PreemptProb: -1}, fn)
+}
+
+// runSeed executes fn with scheduling noise under the given seed.
+func runSeed(seed int64, delays int, fn func(*sim.G)) *sim.Result {
+	return sim.Run(sim.Options{Seed: seed, Delays: delays}, fn)
+}
+
+func mustOK(t *testing.T, r *sim.Result) {
+	t.Helper()
+	if r.Outcome != sim.OutcomeOK {
+		t.Fatalf("outcome = %v, want OK\n%v", r.Outcome, r)
+	}
+}
+
+func TestUnbufferedRendezvous(t *testing.T) {
+	var got int
+	r := run(t, func(g *sim.G) {
+		ch := NewChan[int](g, 0)
+		g.Go("sender", func(c *sim.G) { ch.Send(c, 42) })
+		got, _ = ch.Recv(g)
+	})
+	mustOK(t, r)
+	if got != 42 {
+		t.Fatalf("got %d, want 42", got)
+	}
+}
+
+func TestUnbufferedSenderBlocksFirst(t *testing.T) {
+	var order []string
+	r := run(t, func(g *sim.G) {
+		ch := NewChan[string](g, 0)
+		g.Go("sender", func(c *sim.G) {
+			order = append(order, "before-send")
+			ch.Send(c, "x")
+			order = append(order, "after-send")
+		})
+		g.Yield() // let the sender reach its send and park
+		order = append(order, "before-recv")
+		v, ok := ch.Recv(g)
+		order = append(order, "after-recv:"+v)
+		if !ok {
+			t.Error("ok = false")
+		}
+		g.Yield()
+	})
+	mustOK(t, r)
+	want := []string{"before-send", "before-recv", "after-recv:x", "after-send"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestBufferedSendNoBlockUntilFull(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		ch := NewChan[int](g, 2)
+		ch.Send(g, 1)
+		ch.Send(g, 2)
+		if ch.Len() != 2 {
+			t.Errorf("Len = %d, want 2", ch.Len())
+		}
+		if ok := ch.TrySend(g, 3); ok {
+			t.Error("TrySend on full buffer succeeded")
+		}
+		v, _ := ch.Recv(g)
+		if v != 1 {
+			t.Errorf("FIFO violated: got %d", v)
+		}
+	})
+	mustOK(t, r)
+}
+
+func TestBufferedFullSenderParksAndHandsOff(t *testing.T) {
+	var got []int
+	r := run(t, func(g *sim.G) {
+		ch := NewChan[int](g, 1)
+		ch.Send(g, 1)
+		g.Go("sender2", func(c *sim.G) { ch.Send(c, 2) })
+		g.Yield() // sender2 parks on the full buffer
+		v1, _ := ch.Recv(g)
+		v2, _ := ch.Recv(g)
+		got = append(got, v1, v2)
+	})
+	mustOK(t, r)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v, want [1 2]", got)
+	}
+}
+
+func TestRecvOnClosedReturnsZero(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		ch := NewChan[int](g, 1)
+		ch.Send(g, 7)
+		ch.Close(g)
+		if v, ok := ch.Recv(g); !ok || v != 7 {
+			t.Errorf("drain got (%d,%v), want (7,true)", v, ok)
+		}
+		if v, ok := ch.Recv(g); ok || v != 0 {
+			t.Errorf("closed recv got (%d,%v), want (0,false)", v, ok)
+		}
+	})
+	mustOK(t, r)
+}
+
+func TestCloseWakesBlockedReceivers(t *testing.T) {
+	var oks []bool
+	r := run(t, func(g *sim.G) {
+		ch := NewChan[int](g, 0)
+		for i := 0; i < 3; i++ {
+			g.Go("rx", func(c *sim.G) {
+				_, ok := ch.Recv(c)
+				oks = append(oks, ok)
+			})
+		}
+		g.Yield()
+		g.Yield()
+		g.Yield()
+		ch.Close(g)
+	})
+	mustOK(t, r)
+	if len(oks) != 3 {
+		t.Fatalf("only %d receivers woke", len(oks))
+	}
+	for _, ok := range oks {
+		if ok {
+			t.Fatal("receiver woken by close reported ok=true")
+		}
+	}
+}
+
+func TestSendOnClosedPanics(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		ch := NewChan[int](g, 0)
+		ch.Close(g)
+		ch.Send(g, 1)
+	})
+	if r.Outcome != sim.OutcomeCrash {
+		t.Fatalf("outcome = %v, want CRASH", r.Outcome)
+	}
+}
+
+func TestBlockedSenderPanicsWhenChannelCloses(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		ch := NewChan[int](g, 0)
+		g.Go("sender", func(c *sim.G) { ch.Send(c, 1) })
+		g.Yield() // sender parks
+		ch.Close(g)
+		g.Yield()
+	})
+	if r.Outcome != sim.OutcomeCrash {
+		t.Fatalf("outcome = %v, want CRASH (send on closed)", r.Outcome)
+	}
+}
+
+func TestDoubleClosePanics(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		ch := NewChan[int](g, 0)
+		ch.Close(g)
+		ch.Close(g)
+	})
+	if r.Outcome != sim.OutcomeCrash {
+		t.Fatalf("outcome = %v, want CRASH (double close)", r.Outcome)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		ch := NewChan[int](g, 1)
+		if _, _, done := ch.TryRecv(g); done {
+			t.Error("TryRecv on empty channel completed")
+		}
+		ch.Send(g, 5)
+		v, ok, done := ch.TryRecv(g)
+		if !done || !ok || v != 5 {
+			t.Errorf("TryRecv = (%d,%v,%v)", v, ok, done)
+		}
+		ch.Close(g)
+		_, ok, done = ch.TryRecv(g)
+		if !done || ok {
+			t.Errorf("TryRecv on closed = ok=%v done=%v, want done, !ok", ok, done)
+		}
+	})
+	mustOK(t, r)
+}
+
+func TestRangeDrainsUntilClose(t *testing.T) {
+	var got []int
+	r := run(t, func(g *sim.G) {
+		ch := NewChan[int](g, 3)
+		g.Go("producer", func(c *sim.G) {
+			for i := 1; i <= 3; i++ {
+				ch.Send(c, i)
+			}
+			ch.Close(c)
+		})
+		ch.Range(g, func(v int) bool {
+			got = append(got, v)
+			return true
+		})
+	})
+	mustOK(t, r)
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		ch := NewChan[int](g, 2)
+		ch.Send(g, 1)
+		ch.Send(g, 2)
+		n := 0
+		ch.Range(g, func(int) bool { n++; return false })
+		if n != 1 {
+			t.Errorf("body ran %d times, want 1", n)
+		}
+	})
+	mustOK(t, r)
+}
+
+func TestLeakBlockedSenderDetected(t *testing.T) {
+	// The classic leak: a sender with no receiver survives main.
+	r := run(t, func(g *sim.G) {
+		ch := NewChan[int](g, 0)
+		g.Go("orphan", func(c *sim.G) { ch.Send(c, 1) })
+		g.Yield()
+	})
+	if r.Outcome != sim.OutcomeLeak {
+		t.Fatalf("outcome = %v, want PDL", r.Outcome)
+	}
+	if len(r.Leaked) != 1 || r.Leaked[0].Reason != trace.BlockSend {
+		t.Fatalf("leaked = %v", r.Leaked)
+	}
+}
+
+func TestGlobalDeadlockRecvNoSender(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		ch := NewChan[int](g, 0)
+		ch.Recv(g)
+	})
+	if r.Outcome != sim.OutcomeGlobalDeadlock {
+		t.Fatalf("outcome = %v, want GDL", r.Outcome)
+	}
+}
+
+func TestChanEventsCarryCU(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		ch := NewChan[int](g, 1)
+		ch.Send(g, 1)
+		ch.Recv(g)
+	})
+	mustOK(t, r)
+	var sendEv, recvEv *trace.Event
+	for i, e := range r.Trace.Events {
+		switch e.Type {
+		case trace.EvChanSend:
+			sendEv = &r.Trace.Events[i]
+		case trace.EvChanRecv:
+			recvEv = &r.Trace.Events[i]
+		}
+	}
+	if sendEv == nil || recvEv == nil {
+		t.Fatalf("missing channel events:\n%s", r.Trace)
+	}
+	if sendEv.File != "chan_test.go" || recvEv.File != "chan_test.go" {
+		t.Fatalf("CU attribution wrong: send=%s recv=%s", sendEv.File, recvEv.File)
+	}
+	if sendEv.Blocked || recvEv.Blocked {
+		t.Fatal("buffered ops should not be blocked")
+	}
+}
+
+func TestBlockedFlagOnRendezvous(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		ch := NewChan[int](g, 0)
+		g.Go("sender", func(c *sim.G) { ch.Send(c, 1) })
+		g.Yield() // sender parks first
+		ch.Recv(g)
+		g.Yield()
+	})
+	mustOK(t, r)
+	var send, recv trace.Event
+	for _, e := range r.Trace.Events {
+		switch e.Type {
+		case trace.EvChanSend:
+			send = e
+		case trace.EvChanRecv:
+			recv = e
+		}
+	}
+	if !send.Blocked {
+		t.Fatalf("parked sender's event not marked blocked: %v", send)
+	}
+	if recv.Peer == 0 {
+		t.Fatalf("receiver's event should name the unblocked sender: %v", recv)
+	}
+}

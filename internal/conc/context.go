@@ -1,0 +1,69 @@
+package conc
+
+import (
+	"errors"
+
+	"goat/internal/sim"
+)
+
+// Context is a minimal context.Context analogue: a cancellation signal
+// observable as a channel, as used pervasively by the GoKer bug kernels.
+type Context struct {
+	done     *Chan[struct{}]
+	err      error
+	canceled bool
+}
+
+// Canceled is the error reported after a context is cancelled.
+var Canceled = errors.New("context canceled")
+
+// DeadlineExceeded is the error reported after a context times out.
+var DeadlineExceeded = errors.New("context deadline exceeded")
+
+// CancelFunc cancels a context when invoked by the given goroutine.
+type CancelFunc func(g *sim.G)
+
+// Background returns a never-cancelled root context.
+func Background(g *sim.G) *Context {
+	return &Context{done: NewChan[struct{}](g, 0)}
+}
+
+// WithCancel derives a cancellable context. The returned CancelFunc is
+// idempotent.
+func WithCancel(g *sim.G) (*Context, CancelFunc) {
+	ctx := &Context{done: NewChan[struct{}](g, 0)}
+	cancel := func(cg *sim.G) {
+		if ctx.canceled {
+			return
+		}
+		ctx.canceled = true
+		ctx.err = Canceled
+		ctx.done.Close(cg)
+	}
+	return ctx, cancel
+}
+
+// WithTimeout derives a context cancelled automatically after d of virtual
+// time (via a system goroutine), or earlier by the returned CancelFunc.
+func WithTimeout(g *sim.G, d Duration) (*Context, CancelFunc) {
+	ctx := &Context{done: NewChan[struct{}](g, 0)}
+	fire := func(cg *sim.G, err error) {
+		if ctx.canceled {
+			return
+		}
+		ctx.canceled = true
+		ctx.err = err
+		ctx.done.Close(cg)
+	}
+	g.GoSystem("ctx-timer", func(tg *sim.G) {
+		Sleep(tg, d)
+		fire(tg, DeadlineExceeded)
+	})
+	return ctx, func(cg *sim.G) { fire(cg, Canceled) }
+}
+
+// Done returns the cancellation channel (closed when the context ends).
+func (c *Context) Done() *Chan[struct{}] { return c.done }
+
+// Err returns nil until the context is cancelled or times out.
+func (c *Context) Err() error { return c.err }

@@ -1,0 +1,267 @@
+package conc
+
+import (
+	"testing"
+
+	"goat/internal/sim"
+	"goat/internal/trace"
+)
+
+func TestChanAccessors(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		ch := NewChan[int](g, 3)
+		if ch.Cap() != 3 || ch.Len() != 0 || ch.Closed() {
+			t.Errorf("fresh channel: cap=%d len=%d closed=%v", ch.Cap(), ch.Len(), ch.Closed())
+		}
+		if ch.ID() == 0 {
+			t.Error("zero resource id")
+		}
+		ch.Send(g, 1)
+		ch.Send(g, 2)
+		if ch.Len() != 2 {
+			t.Errorf("Len = %d", ch.Len())
+		}
+		ch.Close(g)
+		if !ch.Closed() {
+			t.Error("Closed = false after Close")
+		}
+		// Buffered values remain receivable after close.
+		if v, ok := ch.Recv(g); !ok || v != 1 {
+			t.Errorf("post-close drain = (%d,%v)", v, ok)
+		}
+	})
+	mustOK(t, r)
+}
+
+func TestNegativeCapacityPanics(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		NewChan[int](g, -1)
+	})
+	if r.Outcome != sim.OutcomeCrash {
+		t.Fatalf("outcome = %v", r.Outcome)
+	}
+}
+
+func TestTrySendOnClosedPanics(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		ch := NewChan[int](g, 1)
+		ch.Close(g)
+		ch.TrySend(g, 1)
+	})
+	if r.Outcome != sim.OutcomeCrash {
+		t.Fatalf("outcome = %v", r.Outcome)
+	}
+}
+
+func TestWaitGroupReuse(t *testing.T) {
+	// sync.WaitGroup may be reused for independent rounds.
+	rounds := 0
+	r := run(t, func(g *sim.G) {
+		wg := NewWaitGroup(g)
+		for round := 0; round < 3; round++ {
+			wg.Add(g, 2)
+			for i := 0; i < 2; i++ {
+				g.Go("w", func(c *sim.G) { wg.Done(c) })
+			}
+			wg.Wait(g)
+			rounds++
+		}
+		if wg.Count() != 0 {
+			t.Errorf("count = %d", wg.Count())
+		}
+	})
+	mustOK(t, r)
+	if rounds != 3 {
+		t.Fatalf("rounds = %d", rounds)
+	}
+}
+
+func TestCondMultipleSignalRounds(t *testing.T) {
+	served := 0
+	r := run(t, func(g *sim.G) {
+		mu := NewMutex(g)
+		cond := NewCond(g, mu)
+		queue := 0
+		for i := 0; i < 3; i++ {
+			g.Go("waiter", func(c *sim.G) {
+				mu.Lock(c)
+				for queue == 0 {
+					cond.Wait(c)
+				}
+				queue--
+				served++
+				mu.Unlock(c)
+			})
+			g.Yield()
+		}
+		for i := 0; i < 3; i++ {
+			mu.Lock(g)
+			queue++
+			cond.Signal(g)
+			mu.Unlock(g)
+			g.Yield()
+			g.Yield()
+		}
+	})
+	mustOK(t, r)
+	if served != 3 {
+		t.Fatalf("served = %d", served)
+	}
+}
+
+func TestSemaphoreFIFOHandoff(t *testing.T) {
+	var order []int
+	r := run(t, func(g *sim.G) {
+		sem := NewSemaphore(g, 1)
+		sem.Acquire(g)
+		for i := 0; i < 3; i++ {
+			i := i
+			g.Go("w", func(c *sim.G) {
+				sem.Acquire(c)
+				order = append(order, i)
+				sem.Release(c)
+			})
+			g.Yield()
+		}
+		sem.Release(g)
+	})
+	mustOK(t, r)
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestContextCancelBeatsTimeout(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		ctx, cancel := WithTimeout(g, 1000)
+		cancel(g)
+		ctx.Done().Recv(g)
+		if ctx.Err() != Canceled {
+			t.Errorf("Err = %v, want Canceled", ctx.Err())
+		}
+	})
+	mustOK(t, r)
+}
+
+func TestContextTimeoutThenCancelIdempotent(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		ctx, cancel := WithTimeout(g, 10)
+		ctx.Done().Recv(g) // timeout fires
+		cancel(g)          // must be a no-op, not a double close
+		if ctx.Err() != DeadlineExceeded {
+			t.Errorf("Err = %v", ctx.Err())
+		}
+	})
+	mustOK(t, r)
+}
+
+func TestAfterDeliversVirtualTime(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		start := g.Sched().Now()
+		ch := After(g, 250)
+		at, ok := ch.Recv(g)
+		if !ok || at < start+250 {
+			t.Errorf("After delivered %d (start %d)", at, start)
+		}
+	})
+	mustOK(t, r)
+}
+
+func TestSleepZeroIsNoop(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		before := g.Sched().Now()
+		Sleep(g, 0)
+		Sleep(g, -5)
+		if g.Sched().Now() != before {
+			t.Error("zero sleep advanced time")
+		}
+	})
+	mustOK(t, r)
+}
+
+func TestSharedAccessors(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		x := NewShared(g, "cfg", 7)
+		if x.Name() != "cfg" || x.ID() == 0 {
+			t.Errorf("accessors: %q %d", x.Name(), x.ID())
+		}
+		if x.Load(g) != 7 {
+			t.Error("initial value lost")
+		}
+		x.Store(g, 9)
+		if got := x.Update(g, func(v int) int { return v * 2 }); got != 18 {
+			t.Errorf("Update = %d", got)
+		}
+	})
+	mustOK(t, r)
+	// The trace must contain the reads and writes.
+	counts := r.Trace.CountByType()
+	if counts[trace.EvVarRead] != 2 || counts[trace.EvVarWrite] != 2 {
+		t.Fatalf("var events = %v", counts)
+	}
+}
+
+func TestMutexHolderAccessor(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		mu := NewMutex(g)
+		if mu.Holder() != 0 {
+			t.Error("free mutex has a holder")
+		}
+		mu.Lock(g)
+		if mu.Holder() != g.ID() {
+			t.Errorf("holder = %d", mu.Holder())
+		}
+		mu.Unlock(g)
+		if mu.Holder() != 0 {
+			t.Error("holder survives unlock")
+		}
+	})
+	mustOK(t, r)
+}
+
+func TestCrossGoroutineUnlockAllowed(t *testing.T) {
+	// Go's mutexes are not owner-checked; unlock from another goroutine
+	// is legal.
+	r := run(t, func(g *sim.G) {
+		mu := NewMutex(g)
+		mu.Lock(g)
+		g.Go("other", func(c *sim.G) { mu.Unlock(c) })
+		g.Yield()
+		mu.Lock(g) // reacquire after the cross-unlock
+		mu.Unlock(g)
+	})
+	mustOK(t, r)
+}
+
+func TestRangeOnClosedEmptyChannel(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		ch := NewChan[int](g, 0)
+		ch.Close(g)
+		n := 0
+		ch.Range(g, func(int) bool { n++; return true })
+		if n != 0 {
+			t.Errorf("range over closed empty channel ran %d times", n)
+		}
+	})
+	mustOK(t, r)
+}
+
+func TestSelectManyCasesAllBlocked(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		chans := make([]*Chan[int], 5)
+		cases := make([]Case, 5)
+		for i := range chans {
+			chans[i] = NewChan[int](g, 0)
+			cases[i] = CaseRecv(chans[i])
+		}
+		g.Go("feeder", func(c *sim.G) {
+			Sleep(c, 10)
+			chans[3].Send(c, 99)
+		})
+		idx, v, ok := Select(g, cases, false)
+		if idx != 3 || !ok || v.(int) != 99 {
+			t.Errorf("select = (%d,%v,%v)", idx, v, ok)
+		}
+	})
+	mustOK(t, r)
+}

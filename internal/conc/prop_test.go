@@ -1,0 +1,208 @@
+package conc
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"goat/internal/sim"
+)
+
+// Property: across arbitrary seeds, delay bounds, capacities, and
+// producer/consumer counts, every value sent is received exactly once —
+// channels neither lose nor duplicate messages, under any interleaving.
+func TestQuickChannelConservation(t *testing.T) {
+	f := func(seed int64, capRaw, prodRaw, perRaw uint8, delays uint8) bool {
+		capacity := int(capRaw % 4)
+		producers := int(prodRaw%3) + 1
+		perProducer := int(perRaw%5) + 1
+		total := producers * perProducer
+		var got []int
+		r := sim.Run(sim.Options{Seed: seed, Delays: int(delays % 4)}, func(g *sim.G) {
+			ch := NewChan[int](g, capacity)
+			wg := NewWaitGroup(g)
+			for p := 0; p < producers; p++ {
+				p := p
+				wg.Add(g, 1)
+				g.Go("producer", func(c *sim.G) {
+					for i := 0; i < perProducer; i++ {
+						ch.Send(c, p*1000+i)
+					}
+					wg.Done(c)
+				})
+			}
+			done := NewChan[int](g, 0)
+			g.Go("consumer", func(c *sim.G) {
+				for i := 0; i < total; i++ {
+					v, ok := ch.Recv(c)
+					if !ok {
+						break
+					}
+					got = append(got, v)
+				}
+				done.Send(c, 1)
+			})
+			wg.Wait(g)
+			done.Recv(g)
+		})
+		if r.Outcome != sim.OutcomeOK {
+			return false
+		}
+		if len(got) != total {
+			return false
+		}
+		sort.Ints(got)
+		for i := 1; i < len(got); i++ {
+			if got[i] == got[i-1] {
+				return false // duplicate delivery
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a single-producer channel delivers values in FIFO order
+// regardless of schedule perturbation.
+func TestQuickChannelFIFO(t *testing.T) {
+	f := func(seed int64, capRaw, nRaw, delays uint8) bool {
+		capacity := int(capRaw % 5)
+		n := int(nRaw%8) + 1
+		var got []int
+		r := sim.Run(sim.Options{Seed: seed, Delays: int(delays % 5)}, func(g *sim.G) {
+			ch := NewChan[int](g, capacity)
+			g.Go("producer", func(c *sim.G) {
+				for i := 0; i < n; i++ {
+					ch.Send(c, i)
+				}
+				ch.Close(c)
+			})
+			ch.Range(g, func(v int) bool {
+				got = append(got, v)
+				return true
+			})
+		})
+		if r.Outcome != sim.OutcomeOK || len(got) != n {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a mutex-protected counter always reaches exactly its target
+// under arbitrary schedules (no lost updates possible in the virtual
+// runtime when guarded).
+func TestQuickMutexCounter(t *testing.T) {
+	f := func(seed int64, workersRaw, incRaw, delays uint8) bool {
+		workers := int(workersRaw%4) + 1
+		incs := int(incRaw%5) + 1
+		counter := 0
+		r := sim.Run(sim.Options{Seed: seed, Delays: int(delays % 4)}, func(g *sim.G) {
+			mu := NewMutex(g)
+			wg := NewWaitGroup(g)
+			for w := 0; w < workers; w++ {
+				wg.Add(g, 1)
+				g.Go("w", func(c *sim.G) {
+					for i := 0; i < incs; i++ {
+						mu.Lock(c)
+						v := counter
+						c.Yield()
+						counter = v + 1
+						mu.Unlock(c)
+					}
+					wg.Done(c)
+				})
+			}
+			wg.Wait(g)
+		})
+		return r.Outcome == sim.OutcomeOK && counter == workers*incs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every run, whatever the schedule, yields a structurally valid
+// trace (monotonic timestamps, creation before use).
+func TestQuickTraceAlwaysValid(t *testing.T) {
+	f := func(seed int64, delays uint8) bool {
+		r := sim.Run(sim.Options{Seed: seed, Delays: int(delays % 6)}, func(g *sim.G) {
+			ch := NewChan[int](g, 1)
+			mu := NewMutex(g)
+			wg := NewWaitGroup(g)
+			wg.Add(g, 2)
+			g.Go("a", func(c *sim.G) {
+				mu.Lock(c)
+				ch.Send(c, 1)
+				mu.Unlock(c)
+				wg.Done(c)
+			})
+			g.Go("b", func(c *sim.G) {
+				ch.Recv(c)
+				wg.Done(c)
+			})
+			wg.Wait(g)
+		})
+		return r.Trace.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// moby28462: the paper's listing 1. Under some schedules the program leaks
+// both spawned goroutines (mixed deadlock); under most it completes. This
+// integration test checks both behaviours are observable and correctly
+// classified.
+func TestListing1MixedDeadlockObservable(t *testing.T) {
+	prog := func(g *sim.G) {
+		mu := NewMutex(g)
+		status := NewChan[int](g, 0)
+		g.Go("Monitor", func(c *sim.G) {
+			for {
+				idx, _, _ := Select(c, []Case{CaseRecv(status)}, true)
+				if idx == 0 {
+					return
+				}
+				mu.Lock(c)
+				c.Yield() // models work in the critical section
+				mu.Unlock(c)
+				Sleep(c, 10)
+			}
+		})
+		g.Go("StatusChange", func(c *sim.G) {
+			mu.Lock(c)
+			status.Send(c, 1)
+			mu.Unlock(c)
+		})
+		Sleep(g, 1000)
+	}
+	var sawOK, sawLeak bool
+	for seed := int64(0); seed < 200 && !(sawOK && sawLeak); seed++ {
+		r := sim.Run(sim.Options{Seed: seed, Delays: 2}, prog)
+		switch r.Outcome {
+		case sim.OutcomeOK:
+			sawOK = true
+		case sim.OutcomeLeak:
+			sawLeak = true
+		case sim.OutcomeCrash:
+			t.Fatalf("unexpected crash: %v", r)
+		}
+	}
+	if !sawOK {
+		t.Error("listing-1 program never completed successfully")
+	}
+	if !sawLeak {
+		t.Error("listing-1 program never exhibited the mixed deadlock")
+	}
+}

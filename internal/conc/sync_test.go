@@ -1,0 +1,502 @@
+package conc
+
+import (
+	"testing"
+
+	"goat/internal/sim"
+	"goat/internal/trace"
+)
+
+func TestMutexMutualExclusion(t *testing.T) {
+	var inside, max int
+	r := runSeed(3, 0, func(g *sim.G) {
+		mu := NewMutex(g)
+		wg := NewWaitGroup(g)
+		for i := 0; i < 5; i++ {
+			wg.Add(g, 1)
+			g.Go("worker", func(c *sim.G) {
+				mu.Lock(c)
+				inside++
+				if inside > max {
+					max = inside
+				}
+				c.Yield() // try to provoke a violation
+				inside--
+				mu.Unlock(c)
+				wg.Done(c)
+			})
+		}
+		wg.Wait(g)
+	})
+	mustOK(t, r)
+	if max != 1 {
+		t.Fatalf("mutual exclusion violated: max inside = %d", max)
+	}
+}
+
+func TestMutexHandoffFIFO(t *testing.T) {
+	var order []int
+	r := run(t, func(g *sim.G) {
+		mu := NewMutex(g)
+		mu.Lock(g)
+		for i := 0; i < 3; i++ {
+			i := i
+			g.Go("w", func(c *sim.G) {
+				mu.Lock(c)
+				order = append(order, i)
+				mu.Unlock(c)
+			})
+			g.Yield() // let worker i park in order
+		}
+		mu.Unlock(g)
+	})
+	mustOK(t, r)
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("handoff order = %v", order)
+	}
+}
+
+func TestMutexUnlockUnlockedPanics(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		mu := NewMutex(g)
+		mu.Unlock(g)
+	})
+	if r.Outcome != sim.OutcomeCrash {
+		t.Fatalf("outcome = %v, want CRASH", r.Outcome)
+	}
+}
+
+func TestMutexTryLock(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		mu := NewMutex(g)
+		if !mu.TryLock(g) {
+			t.Error("TryLock on free mutex failed")
+		}
+		if mu.TryLock(g) {
+			t.Error("TryLock on held mutex succeeded")
+		}
+		mu.Unlock(g)
+	})
+	mustOK(t, r)
+}
+
+func TestMutexDoubleLockSelfDeadlock(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		mu := NewMutex(g)
+		mu.Lock(g)
+		mu.Lock(g) // self-deadlock
+	})
+	if r.Outcome != sim.OutcomeGlobalDeadlock {
+		t.Fatalf("outcome = %v, want GDL", r.Outcome)
+	}
+}
+
+func TestRWMutexMultipleReaders(t *testing.T) {
+	var concurrent, max int
+	r := run(t, func(g *sim.G) {
+		mu := NewRWMutex(g)
+		wg := NewWaitGroup(g)
+		for i := 0; i < 4; i++ {
+			wg.Add(g, 1)
+			g.Go("reader", func(c *sim.G) {
+				mu.RLock(c)
+				concurrent++
+				if concurrent > max {
+					max = concurrent
+				}
+				c.Yield()
+				concurrent--
+				mu.RUnlock(c)
+				wg.Done(c)
+			})
+		}
+		wg.Wait(g)
+	})
+	mustOK(t, r)
+	if max < 2 {
+		t.Fatalf("readers never overlapped (max=%d)", max)
+	}
+}
+
+func TestRWMutexWriterExcludesReaders(t *testing.T) {
+	var writing bool
+	r := run(t, func(g *sim.G) {
+		mu := NewRWMutex(g)
+		wg := NewWaitGroup(g)
+		wg.Add(g, 2)
+		g.Go("writer", func(c *sim.G) {
+			mu.Lock(c)
+			writing = true
+			c.Yield()
+			writing = false
+			mu.Unlock(c)
+			wg.Done(c)
+		})
+		g.Go("reader", func(c *sim.G) {
+			mu.RLock(c)
+			if writing {
+				t.Error("reader overlapped writer")
+			}
+			mu.RUnlock(c)
+			wg.Done(c)
+		})
+		wg.Wait(g)
+	})
+	mustOK(t, r)
+}
+
+func TestRWMutexWriterPreference(t *testing.T) {
+	// A waiting writer blocks new readers (Go semantics).
+	r := run(t, func(g *sim.G) {
+		mu := NewRWMutex(g)
+		mu.RLock(g)
+		g.Go("writer", func(c *sim.G) {
+			mu.Lock(c)
+			mu.Unlock(c)
+		})
+		g.Yield() // writer parks
+		g.Go("reader2", func(c *sim.G) {
+			mu.RLock(c) // must queue behind the waiting writer
+			mu.RUnlock(c)
+		})
+		g.Yield()
+		mu.RUnlock(g) // writer goes first, then reader2
+	})
+	mustOK(t, r)
+	// Verify order via the trace: EvRWLock (writer) before second EvRLock.
+	var sawWriterLock bool
+	var rlocksAfterWriter int
+	for _, e := range r.Trace.Events {
+		switch e.Type {
+		case trace.EvRWLock:
+			sawWriterLock = true
+		case trace.EvRLock:
+			if sawWriterLock {
+				rlocksAfterWriter++
+			}
+		}
+	}
+	if !sawWriterLock || rlocksAfterWriter != 1 {
+		t.Fatalf("writer preference violated (rlocksAfterWriter=%d)", rlocksAfterWriter)
+	}
+}
+
+func TestRWMutexUnlockPanics(t *testing.T) {
+	r := run(t, func(g *sim.G) { NewRWMutex(g).Unlock(g) })
+	if r.Outcome != sim.OutcomeCrash {
+		t.Fatalf("Unlock of unlocked RWMutex: outcome = %v", r.Outcome)
+	}
+	r = run(t, func(g *sim.G) { NewRWMutex(g).RUnlock(g) })
+	if r.Outcome != sim.OutcomeCrash {
+		t.Fatalf("RUnlock of unlocked RWMutex: outcome = %v", r.Outcome)
+	}
+}
+
+func TestWaitGroupBasic(t *testing.T) {
+	done := 0
+	r := run(t, func(g *sim.G) {
+		wg := NewWaitGroup(g)
+		for i := 0; i < 3; i++ {
+			wg.Add(g, 1)
+			g.Go("w", func(c *sim.G) {
+				done++
+				wg.Done(c)
+			})
+		}
+		wg.Wait(g)
+		if done != 3 {
+			t.Errorf("Wait returned with done=%d", done)
+		}
+	})
+	mustOK(t, r)
+}
+
+func TestWaitGroupZeroCounterWaitReturnsImmediately(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		wg := NewWaitGroup(g)
+		wg.Wait(g)
+	})
+	mustOK(t, r)
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		wg := NewWaitGroup(g)
+		wg.Done(g)
+	})
+	if r.Outcome != sim.OutcomeCrash {
+		t.Fatalf("outcome = %v, want CRASH", r.Outcome)
+	}
+}
+
+func TestWaitGroupMissingDoneDeadlocks(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		wg := NewWaitGroup(g)
+		wg.Add(g, 2)
+		g.Go("w", func(c *sim.G) { wg.Done(c) }) // only one Done
+		wg.Wait(g)
+	})
+	if r.Outcome != sim.OutcomeGlobalDeadlock {
+		t.Fatalf("outcome = %v, want GDL", r.Outcome)
+	}
+}
+
+func TestCondSignalWakesOne(t *testing.T) {
+	woken := 0
+	r := run(t, func(g *sim.G) {
+		mu := NewMutex(g)
+		cond := NewCond(g, mu)
+		for i := 0; i < 2; i++ {
+			g.Go("waiter", func(c *sim.G) {
+				mu.Lock(c)
+				cond.Wait(c)
+				woken++
+				mu.Unlock(c)
+			})
+		}
+		g.Yield()
+		g.Yield()
+		mu.Lock(g)
+		cond.Signal(g)
+		mu.Unlock(g)
+		g.Yield()
+		g.Yield()
+	})
+	if r.Outcome != sim.OutcomeLeak {
+		t.Fatalf("outcome = %v, want PDL (one waiter never signalled)", r.Outcome)
+	}
+	if woken != 1 {
+		t.Fatalf("woken = %d, want 1", woken)
+	}
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	woken := 0
+	r := run(t, func(g *sim.G) {
+		mu := NewMutex(g)
+		cond := NewCond(g, mu)
+		wg := NewWaitGroup(g)
+		for i := 0; i < 3; i++ {
+			wg.Add(g, 1)
+			g.Go("waiter", func(c *sim.G) {
+				mu.Lock(c)
+				cond.Wait(c)
+				woken++
+				mu.Unlock(c)
+				wg.Done(c)
+			})
+		}
+		g.Yield()
+		g.Yield()
+		g.Yield()
+		mu.Lock(g)
+		cond.Broadcast(g)
+		mu.Unlock(g)
+		wg.Wait(g)
+	})
+	mustOK(t, r)
+	if woken != 3 {
+		t.Fatalf("woken = %d, want 3", woken)
+	}
+}
+
+func TestCondWaitWithoutLockPanics(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		mu := NewMutex(g)
+		NewCond(g, mu).Wait(g)
+	})
+	if r.Outcome != sim.OutcomeCrash {
+		t.Fatalf("outcome = %v, want CRASH", r.Outcome)
+	}
+}
+
+func TestMissedSignalDeadlock(t *testing.T) {
+	// Signal before Wait is lost — the classic missed-signal bug.
+	r := run(t, func(g *sim.G) {
+		mu := NewMutex(g)
+		cond := NewCond(g, mu)
+		mu.Lock(g)
+		cond.Signal(g) // nobody waiting: lost
+		mu.Unlock(g)
+		mu.Lock(g)
+		cond.Wait(g) // waits forever
+		mu.Unlock(g)
+	})
+	if r.Outcome != sim.OutcomeGlobalDeadlock {
+		t.Fatalf("outcome = %v, want GDL", r.Outcome)
+	}
+}
+
+func TestOnceRunsExactlyOnce(t *testing.T) {
+	n := 0
+	r := run(t, func(g *sim.G) {
+		once := NewOnce(g)
+		wg := NewWaitGroup(g)
+		for i := 0; i < 4; i++ {
+			wg.Add(g, 1)
+			g.Go("w", func(c *sim.G) {
+				once.Do(c, func() { n++ })
+				wg.Done(c)
+			})
+		}
+		wg.Wait(g)
+		if !once.Done() {
+			t.Error("once not done")
+		}
+	})
+	mustOK(t, r)
+	if n != 1 {
+		t.Fatalf("f ran %d times", n)
+	}
+}
+
+func TestOnceCallersParkWhileRunning(t *testing.T) {
+	var order []string
+	r := run(t, func(g *sim.G) {
+		once := NewOnce(g)
+		ready := NewChan[int](g, 0)
+		g.Go("slow", func(c *sim.G) {
+			once.Do(c, func() {
+				order = append(order, "start")
+				ready.Recv(c) // block inside the once body
+				order = append(order, "finish")
+			})
+		})
+		g.Yield()
+		g.Go("second", func(c *sim.G) {
+			once.Do(c, func() { t.Error("second caller ran f") })
+			order = append(order, "second-done")
+		})
+		g.Yield()
+		ready.Send(g, 1)
+		g.Yield()
+		g.Yield()
+	})
+	mustOK(t, r)
+	want := []string{"start", "finish", "second-done"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	var inside, max int
+	r := runSeed(11, 0, func(g *sim.G) {
+		sem := NewSemaphore(g, 2)
+		wg := NewWaitGroup(g)
+		for i := 0; i < 6; i++ {
+			wg.Add(g, 1)
+			g.Go("w", func(c *sim.G) {
+				sem.Acquire(c)
+				inside++
+				if inside > max {
+					max = inside
+				}
+				c.Yield()
+				inside--
+				sem.Release(c)
+				wg.Done(c)
+			})
+		}
+		wg.Wait(g)
+	})
+	mustOK(t, r)
+	if max > 2 {
+		t.Fatalf("semaphore admitted %d concurrent holders", max)
+	}
+	if max < 2 {
+		t.Fatalf("semaphore never reached full occupancy (max=%d)", max)
+	}
+}
+
+func TestSemaphoreReleaseUnheldPanics(t *testing.T) {
+	r := run(t, func(g *sim.G) { NewSemaphore(g, 1).Release(g) })
+	if r.Outcome != sim.OutcomeCrash {
+		t.Fatalf("outcome = %v, want CRASH", r.Outcome)
+	}
+}
+
+func TestSleepOrdersByDuration(t *testing.T) {
+	var order []string
+	r := run(t, func(g *sim.G) {
+		wg := NewWaitGroup(g)
+		wg.Add(g, 2)
+		g.Go("slow", func(c *sim.G) {
+			Sleep(c, 200)
+			order = append(order, "slow")
+			wg.Done(c)
+		})
+		g.Go("fast", func(c *sim.G) {
+			Sleep(c, 100)
+			order = append(order, "fast")
+			wg.Done(c)
+		})
+		wg.Wait(g)
+	})
+	mustOK(t, r)
+	if len(order) != 2 || order[0] != "fast" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestContextCancelClosesDone(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		ctx, cancel := WithCancel(g)
+		g.Go("waiter", func(c *sim.G) {
+			ctx.Done().Recv(c)
+			if ctx.Err() != Canceled {
+				t.Errorf("Err = %v", ctx.Err())
+			}
+		})
+		g.Yield()
+		cancel(g)
+		g.Yield()
+	})
+	mustOK(t, r)
+}
+
+func TestContextCancelIdempotent(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		_, cancel := WithCancel(g)
+		cancel(g)
+		cancel(g) // must not double-close
+	})
+	mustOK(t, r)
+}
+
+func TestContextTimeoutFires(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		ctx, _ := WithTimeout(g, 50)
+		ctx.Done().Recv(g)
+		if ctx.Err() != DeadlineExceeded {
+			t.Errorf("Err = %v", ctx.Err())
+		}
+	})
+	mustOK(t, r)
+}
+
+func TestContextBackgroundNeverDone(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		ctx := Background(g)
+		idx, _, _ := Select(g, []Case{CaseRecv(ctx.Done())}, true)
+		if idx != DefaultIdx {
+			t.Error("background context reported done")
+		}
+		if ctx.Err() != nil {
+			t.Errorf("Err = %v", ctx.Err())
+		}
+	})
+	mustOK(t, r)
+}
+
+func TestTickDeliversN(t *testing.T) {
+	r := run(t, func(g *sim.G) {
+		tick := Tick(g, 10, 3)
+		for i := 0; i < 3; i++ {
+			if _, ok := tick.Recv(g); !ok {
+				t.Fatalf("tick %d not delivered", i)
+			}
+		}
+	})
+	mustOK(t, r)
+}

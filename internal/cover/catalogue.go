@@ -1,0 +1,72 @@
+package cover
+
+import (
+	"fmt"
+	"strings"
+
+	"goat/internal/cu"
+)
+
+// CatalogueEntry describes one requirement family of the paper's Table I.
+type CatalogueEntry struct {
+	Req     int
+	Name    string
+	Actions []cu.Kind
+	Aspects []Aspect
+	Note    string
+}
+
+// Catalogue returns the Table I requirement families.
+func Catalogue() []CatalogueEntry {
+	return []CatalogueEntry{
+		{
+			Req: 1, Name: "Send/Recv",
+			Actions: []cu.Kind{cu.KindSend, cu.KindRecv},
+			Aspects: []Aspect{AspectBlocked, AspectUnblocking, AspectNOP},
+			Note:    "a channel operation parks, wakes its peer, or completes on the buffer",
+		},
+		{
+			Req: 2, Name: "Select-Case",
+			Actions: []cu.Kind{cu.KindSelect},
+			Aspects: []Aspect{AspectBlocked, AspectUnblocking, AspectNOP},
+			Note:    "per dynamically discovered case of each default-free select",
+		},
+		{
+			Req: 3, Name: "Lock",
+			Actions: []cu.Kind{cu.KindLock, cu.KindRLock},
+			Aspects: []Aspect{AspectBlocked, AspectBlocking},
+			Note:    "a lock either waits for a holder or holds while others contend",
+		},
+		{
+			Req: 4, Name: "Unblocking",
+			Actions: []cu.Kind{cu.KindUnlock, cu.KindRUnlock, cu.KindClose, cu.KindSignal, cu.KindBroadcast, cu.KindWgDone, cu.KindWgAdd},
+			Aspects: []Aspect{AspectUnblocking, AspectNOP},
+			Note:    "includes the default clause of non-blocking selects",
+		},
+		{
+			Req: 5, Name: "Go",
+			Actions: []cu.Kind{cu.KindGo},
+			Aspects: []Aspect{AspectExec},
+			Note:    "goroutine creation covered when executed",
+		},
+	}
+}
+
+// CatalogueString renders Table I.
+func CatalogueString() string {
+	var b strings.Builder
+	b.WriteString("Table I: coverage requirements\n")
+	fmt.Fprintf(&b, "%-6s %-14s %-40s %-30s %s\n", "Req", "Name", "Concurrent actions", "Requirement types", "Note")
+	for _, e := range Catalogue() {
+		var acts, asps []string
+		for _, k := range e.Actions {
+			acts = append(acts, k.String())
+		}
+		for _, a := range e.Aspects {
+			asps = append(asps, a.String())
+		}
+		fmt.Fprintf(&b, "Req%-3d %-14s %-40s %-30s %s\n",
+			e.Req, e.Name, strings.Join(acts, ","), "{"+strings.Join(asps, ",")+"}", e.Note)
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+// Package cover implements GoAT's concurrency coverage metric: the
+// requirement catalogue of Table I (Req1–Req5), dynamic requirement
+// discovery, per-run measurement from the ECT, and the cross-run global
+// model built over equivalent goroutine-tree nodes.
+package cover
+
+import (
+	"fmt"
+
+	"goat/internal/cu"
+)
+
+// Aspect is the facet of a concurrency action a requirement asks to see.
+type Aspect uint8
+
+const (
+	// AspectNone is the zero aspect.
+	AspectNone Aspect = iota
+	// AspectBlocked: the action parked its goroutine before completing.
+	AspectBlocked
+	// AspectUnblocking: the action woke at least one parked goroutine.
+	AspectUnblocking
+	// AspectNOP: the action completed without parking or waking anyone.
+	AspectNOP
+	// AspectBlocking: a lock was held while another goroutine contended.
+	AspectBlocking
+	// AspectExec: the action simply executed (Req5, go statements).
+	AspectExec
+)
+
+var aspectNames = [...]string{"none", "blocked", "unblocking", "nop", "blocking", "exec"}
+
+// String returns the aspect name.
+func (a Aspect) String() string {
+	if int(a) < len(aspectNames) {
+		return aspectNames[a]
+	}
+	return fmt.Sprintf("Aspect(%d)", uint8(a))
+}
+
+// NoCase marks requirements that are not select cases.
+const NoCase = -1
+
+// Requirement is one coverable unit: an aspect of a CU, possibly scoped to
+// a select case and to a goroutine-tree node key (instantiated form).
+type Requirement struct {
+	Node   string // goroutine equivalence key; "" = uninstantiated (static)
+	CU     cu.CU
+	Case   int    // select case index, NoCase otherwise
+	Dir    string // "send"/"recv" for select cases, "" otherwise
+	Aspect Aspect
+}
+
+// Key is the canonical map key of the requirement.
+func (r Requirement) Key() string {
+	return fmt.Sprintf("%s|%s|%d|%s|%s", r.Node, r.CU.Key(), r.Case, r.Dir, r.Aspect)
+}
+
+// String renders the requirement for reports.
+func (r Requirement) String() string {
+	s := r.CU.Key()
+	if r.Case != NoCase {
+		s += fmt.Sprintf("[case %d %s]", r.Case, r.Dir)
+	}
+	s += "-" + r.Aspect.String()
+	if r.Node != "" {
+		s += " @" + r.Node
+	}
+	return s
+}
+
+// ReqNumber returns which of the paper's five requirement families the
+// requirement belongs to (1–5), or 0 for the extensions.
+func (r Requirement) ReqNumber() int {
+	switch r.CU.Kind {
+	case cu.KindSend, cu.KindRecv:
+		return 1
+	case cu.KindSelect:
+		if r.Case != NoCase {
+			return 2
+		}
+		return 4 // non-blocking select (default case): Req4
+	case cu.KindLock, cu.KindRLock:
+		return 3
+	case cu.KindUnlock, cu.KindRUnlock, cu.KindClose, cu.KindSignal,
+		cu.KindBroadcast, cu.KindWgDone, cu.KindWgAdd:
+		return 4
+	case cu.KindGo:
+		return 5
+	default:
+		return 0
+	}
+}
+
+// aspectsFor returns the requirement aspects of a CU kind — the Table I
+// catalogue. Select CUs have no static aspects: their per-case
+// requirements are discovered at runtime (Req2).
+func aspectsFor(kind cu.Kind) []Aspect {
+	switch kind {
+	case cu.KindSend, cu.KindRecv:
+		// Req1: {blocked, unblocking, NOP}.
+		return []Aspect{AspectBlocked, AspectUnblocking, AspectNOP}
+	case cu.KindLock, cu.KindRLock:
+		// Req3: {blocked, blocking}.
+		return []Aspect{AspectBlocked, AspectBlocking}
+	case cu.KindUnlock, cu.KindRUnlock, cu.KindClose, cu.KindSignal,
+		cu.KindBroadcast, cu.KindWgDone, cu.KindWgAdd:
+		// Req4: {unblocking, NOP}.
+		return []Aspect{AspectUnblocking, AspectNOP}
+	case cu.KindGo:
+		// Req5: {NOP} — executed at all.
+		return []Aspect{AspectExec}
+	case cu.KindWgWait, cu.KindOnce:
+		// Extension of Req1 to the remaining blocking primitives.
+		return []Aspect{AspectBlocked, AspectNOP}
+	case cu.KindCondWait:
+		return []Aspect{AspectBlocked}
+	default:
+		return nil
+	}
+}
+
+// selectCaseAspects are the Req2 aspects instantiated per discovered case.
+func selectCaseAspects() []Aspect {
+	return []Aspect{AspectBlocked, AspectUnblocking, AspectNOP}
+}

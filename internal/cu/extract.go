@@ -1,0 +1,197 @@
+package cu
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// methodKinds maps method names to CU kinds. The virtual-runtime API was
+// deliberately named after the native sync vocabulary, so one table covers
+// both `mu.Lock()` on a sync.Mutex and `mu.Lock(g)` on a conc.Mutex.
+var methodKinds = map[string]Kind{
+	"Send":      KindSend,
+	"TrySend":   KindSend,
+	"Recv":      KindRecv,
+	"TryRecv":   KindRecv,
+	"Close":     KindClose,
+	"Lock":      KindLock,
+	"Unlock":    KindUnlock,
+	"RLock":     KindRLock,
+	"RUnlock":   KindRUnlock,
+	"Add":       KindWgAdd,
+	"Done":      KindWgDone,
+	"Wait":      KindWgWait,
+	"Signal":    KindSignal,
+	"Broadcast": KindBroadcast,
+	"Do":        KindOnce,
+	"Range":     KindRange,
+	"Go":        KindGo,
+	"GoAt":      KindGo,
+	"Acquire":   KindLock,
+	"Release":   KindUnlock,
+}
+
+// funcKinds maps plain (or package-qualified) call names to CU kinds.
+var funcKinds = map[string]Kind{
+	"close":  KindClose,
+	"Select": KindSelect,
+	"Sleep":  KindSleep,
+}
+
+// extractor walks one file's AST collecting CUs.
+type extractor struct {
+	fset *token.FileSet
+	file string
+	cus  []CU
+	// chanVars tracks identifiers assigned from make(chan ...) or declared
+	// with a channel type, the heuristic for `range ch`.
+	chanVars map[string]bool
+}
+
+func (x *extractor) add(pos token.Pos, kind Kind) {
+	p := x.fset.Position(pos)
+	x.cus = append(x.cus, CU{File: x.file, Line: p.Line, Kind: kind})
+}
+
+// isChanExpr reports whether e is (syntactically) a channel value.
+func (x *extractor) isChanExpr(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return x.chanVars[v.Name]
+	case *ast.CallExpr:
+		// make(chan T, ...)
+		if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" && len(v.Args) > 0 {
+			_, isChan := v.Args[0].(*ast.ChanType)
+			return isChan
+		}
+	}
+	return false
+}
+
+// trackChanDecl records channel-typed variables for the range heuristic.
+func (x *extractor) trackChanDecl(n ast.Node) {
+	switch v := n.(type) {
+	case *ast.AssignStmt:
+		for i, rhs := range v.Rhs {
+			if i < len(v.Lhs) && x.isChanExpr(rhs) {
+				if id, ok := v.Lhs[i].(*ast.Ident); ok {
+					x.chanVars[id.Name] = true
+				}
+			}
+		}
+	case *ast.ValueSpec:
+		if _, ok := v.Type.(*ast.ChanType); ok {
+			for _, id := range v.Names {
+				x.chanVars[id.Name] = true
+			}
+		}
+	case *ast.Field:
+		if _, ok := v.Type.(*ast.ChanType); ok {
+			for _, id := range v.Names {
+				x.chanVars[id.Name] = true
+			}
+		}
+	}
+}
+
+func (x *extractor) visit(n ast.Node) bool {
+	if n == nil {
+		return true
+	}
+	x.trackChanDecl(n)
+	switch v := n.(type) {
+	case *ast.SendStmt:
+		x.add(v.Arrow, KindSend)
+	case *ast.UnaryExpr:
+		if v.Op == token.ARROW {
+			x.add(v.OpPos, KindRecv)
+		}
+	case *ast.GoStmt:
+		x.add(v.Go, KindGo)
+	case *ast.SelectStmt:
+		x.add(v.Select, KindSelect)
+	case *ast.RangeStmt:
+		if x.isChanExpr(v.X) {
+			x.add(v.For, KindRange)
+		}
+	case *ast.CallExpr:
+		switch fun := v.Fun.(type) {
+		case *ast.Ident:
+			if k, ok := funcKinds[fun.Name]; ok {
+				x.add(v.Lparen, k)
+			}
+		case *ast.SelectorExpr:
+			name := fun.Sel.Name
+			if k, ok := funcKinds[name]; ok {
+				x.add(v.Lparen, k)
+				return true
+			}
+			if k, ok := methodKinds[name]; ok {
+				x.add(v.Lparen, k)
+			}
+		}
+	}
+	return true
+}
+
+// ExtractSource extracts the CUs of one Go source text. The name is used
+// for both parsing diagnostics and the CU File fields (base name).
+func ExtractSource(name, src string) ([]CU, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("cu: parsing %s: %w", name, err)
+	}
+	return extractParsed(fset, f, filepath.Base(name)), nil
+}
+
+// extractParsed runs the extraction walk over a parsed file.
+func extractParsed(fset *token.FileSet, f *ast.File, file string) []CU {
+	x := &extractor{fset: fset, file: file, chanVars: map[string]bool{}}
+	ast.Inspect(f, x.visit)
+	sort.Slice(x.cus, func(i, j int) bool {
+		if x.cus[i].Line != x.cus[j].Line {
+			return x.cus[i].Line < x.cus[j].Line
+		}
+		return x.cus[i].Kind < x.cus[j].Kind
+	})
+	return x.cus
+}
+
+// ExtractFile extracts the CUs of a Go file on disk.
+func ExtractFile(path string) ([]CU, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cu: %w", err)
+	}
+	return ExtractSource(path, string(src))
+}
+
+// ExtractDir builds the concurrency-usage model M of every .go file
+// directly inside dir (not recursive), skipping _test.go files — the
+// program-level granularity the paper's goat binary operates on.
+func ExtractDir(dir string) (*Model, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("cu: %w", err)
+	}
+	var all []CU
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		cus, err := ExtractFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, cus...)
+	}
+	return NewModel(all), nil
+}

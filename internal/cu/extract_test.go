@@ -1,0 +1,249 @@
+package cu
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const nativeSrc = `package main
+
+import "sync"
+
+func main() {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	ch := make(chan int, 1)
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		mu.Lock()
+		ch <- 1
+		mu.Unlock()
+		wg.Done()
+	}()
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+	close(done)
+	for v := range ch {
+		_ = v
+	}
+	wg.Wait()
+}
+`
+
+func kindsOf(cus []CU) map[Kind]int {
+	m := map[Kind]int{}
+	for _, c := range cus {
+		m[c.Kind]++
+	}
+	return m
+}
+
+func TestExtractNativeConstructs(t *testing.T) {
+	cus, err := ExtractSource("main.go", nativeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kindsOf(cus)
+	want := map[Kind]int{
+		KindWgAdd:  1,
+		KindGo:     1,
+		KindLock:   1,
+		KindSend:   1,
+		KindUnlock: 1,
+		KindWgDone: 1,
+		KindSelect: 1,
+		KindRecv:   1, // the select case receive
+		KindClose:  1,
+		KindRange:  1,
+		KindWgWait: 1,
+	}
+	for kind, n := range want {
+		if k[kind] != n {
+			t.Errorf("%s: got %d, want %d (all: %v)", kind, k[kind], n, cus)
+		}
+	}
+	for _, c := range cus {
+		if c.File != "main.go" || c.Line == 0 {
+			t.Errorf("bad attribution: %v", c)
+		}
+	}
+}
+
+func TestExtractGoatAPI(t *testing.T) {
+	src := `package demo
+
+import (
+	"goat/internal/conc"
+	"goat/internal/sim"
+)
+
+func prog(g *sim.G) {
+	ch := conc.NewChan[int](g, 0)
+	mu := conc.NewMutex(g)
+	g.Go("w", func(c *sim.G) {
+		mu.Lock(c)
+		ch.Send(c, 1)
+		mu.Unlock(c)
+	})
+	conc.Select(g, []conc.Case{conc.CaseRecv(ch)}, true)
+	ch.Recv(g)
+	ch.Close(g)
+	conc.Sleep(g, 10)
+}
+`
+	cus, err := ExtractSource("demo.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kindsOf(cus)
+	want := map[Kind]int{
+		KindGo:     1,
+		KindLock:   1,
+		KindSend:   1,
+		KindUnlock: 1,
+		KindSelect: 1,
+		KindRecv:   1,
+		KindClose:  1,
+		KindSleep:  1,
+	}
+	for kind, n := range want {
+		if k[kind] != n {
+			t.Errorf("%s: got %d, want %d (all: %v)", kind, k[kind], n, cus)
+		}
+	}
+}
+
+func TestExtractSourceParseError(t *testing.T) {
+	if _, err := ExtractSource("bad.go", "package ???"); err == nil {
+		t.Fatal("parse error not reported")
+	}
+}
+
+func TestRangeOverNonChannelIgnored(t *testing.T) {
+	src := `package p
+
+func f(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+`
+	cus, err := ExtractSource("p.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cus) != 0 {
+		t.Fatalf("slice range extracted as CU: %v", cus)
+	}
+}
+
+func TestModelDedupAndOrder(t *testing.T) {
+	m := NewModel([]CU{
+		{File: "b.go", Line: 2, Kind: KindSend},
+		{File: "a.go", Line: 9, Kind: KindLock},
+		{File: "b.go", Line: 2, Kind: KindSend}, // duplicate
+		{File: "a.go", Line: 3, Kind: KindRecv},
+	})
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 after dedup", m.Len())
+	}
+	all := m.All()
+	if all[0].File != "a.go" || all[0].Line != 3 {
+		t.Fatalf("order wrong: %v", all)
+	}
+}
+
+func TestModelLookup(t *testing.T) {
+	m := NewModel([]CU{{File: "x.go", Line: 5, Kind: KindSend}})
+	if _, ok := m.Lookup("x.go", 5, KindSend); !ok {
+		t.Fatal("Lookup missed an existing CU")
+	}
+	if _, ok := m.Lookup("x.go", 5, KindRecv); ok {
+		t.Fatal("Lookup matched the wrong kind")
+	}
+	if got := m.At("x.go", 5); len(got) != 1 {
+		t.Fatalf("At = %v", got)
+	}
+}
+
+func TestExtractDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(nativeSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "skip_test.go"), []byte("package main\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ExtractDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() == 0 {
+		t.Fatal("directory model empty")
+	}
+	for _, c := range m.All() {
+		if c.File != "main.go" {
+			t.Fatalf("unexpected file in model: %v", c)
+		}
+	}
+}
+
+func TestKindStringsComplete(t *testing.T) {
+	for k := KindSend; k < kindMax; k++ {
+		if k.String() == "" || k.Group() == "None" {
+			t.Errorf("kind %d lacks name or group", k)
+		}
+	}
+}
+
+func TestParseVisits(t *testing.T) {
+	log := "100 1 main.go:10\n200 2 main.go:12\n\n300 1 worker.go:5\n"
+	vs, err := ParseVisits(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 3 || vs[0].Goid != 1 || vs[1].File != "main.go" || vs[2].Line != 5 {
+		t.Fatalf("visits = %+v", vs)
+	}
+	st := StatsOf(vs)
+	if st.Total != 3 || st.Goroutines != 2 || st.ByLoc["main.go:10"] != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !strings.Contains(RenderVisitStats(st), "3 visits by 2 goroutine(s)") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestParseVisitsRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"x 1 a.go:1", "1 y a.go:1", "1 2 nope", "1 2 a.go:z", "too few"} {
+		if _, err := ParseVisits(strings.NewReader(bad)); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestExecutedCoverage(t *testing.T) {
+	m := NewModel([]CU{
+		{File: "main.go", Line: 11, Kind: KindSend}, // handler at line 10
+		{File: "main.go", Line: 30, Kind: KindLock}, // never visited
+	})
+	vs := []Visit{{Ts: 1, Goid: 1, File: "main.go", Line: 10}}
+	executed, dead, pct := ExecutedCoverage(m, vs)
+	if len(executed) != 1 || executed[0].Line != 11 {
+		t.Fatalf("executed = %v", executed)
+	}
+	if len(dead) != 1 || dead[0].Line != 30 {
+		t.Fatalf("dead = %v", dead)
+	}
+	if pct != 50 {
+		t.Fatalf("pct = %v", pct)
+	}
+}

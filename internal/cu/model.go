@@ -1,0 +1,179 @@
+// Package cu implements GoAT's static analysis front-end: the concurrency
+// usage model M. A concurrency usage (CU) is a tuple (file, line, kind)
+// naming a source location that performs a concurrency action. M is
+// extracted from Go source by traversing its AST and drives three things:
+// where the schedule-perturbation handlers go, which coverage requirements
+// exist, and how dynamic trace events bind back to source.
+package cu
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a concurrency usage. The paper groups kinds as
+// Channel = {send, receive, close}, Sync = {lock, unlock, wait, add, done,
+// signal, broadcast}, Go = {go, select, range}; this implementation adds
+// the RWMutex split, Once and Sleep.
+type Kind uint8
+
+const (
+	// KindNone is the zero kind; never appears in a valid model.
+	KindNone Kind = iota
+
+	// Channel kinds.
+	KindSend
+	KindRecv
+	KindClose
+
+	// Sync kinds.
+	KindLock
+	KindUnlock
+	KindRLock
+	KindRUnlock
+	KindWgAdd
+	KindWgDone
+	KindWgWait
+	KindCondWait
+	KindSignal
+	KindBroadcast
+	KindOnce
+
+	// Go kinds.
+	KindGo
+	KindSelect
+	KindRange
+
+	// Timer kinds.
+	KindSleep
+
+	kindMax
+)
+
+var kindNames = [kindMax]string{
+	KindNone:      "none",
+	KindSend:      "send",
+	KindRecv:      "recv",
+	KindClose:     "close",
+	KindLock:      "lock",
+	KindUnlock:    "unlock",
+	KindRLock:     "rlock",
+	KindRUnlock:   "runlock",
+	KindWgAdd:     "add",
+	KindWgDone:    "done",
+	KindWgWait:    "wait",
+	KindCondWait:  "condwait",
+	KindSignal:    "signal",
+	KindBroadcast: "broadcast",
+	KindOnce:      "once",
+	KindGo:        "go",
+	KindSelect:    "select",
+	KindRange:     "range",
+	KindSleep:     "sleep",
+}
+
+// String returns the kind name used in reports and Table III.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Group names the paper's kind grouping.
+func (k Kind) Group() string {
+	switch k {
+	case KindSend, KindRecv, KindClose:
+		return "Channel"
+	case KindLock, KindUnlock, KindRLock, KindRUnlock, KindWgAdd, KindWgDone,
+		KindWgWait, KindCondWait, KindSignal, KindBroadcast, KindOnce:
+		return "Sync"
+	case KindGo, KindSelect, KindRange:
+		return "Go"
+	case KindSleep:
+		return "Timer"
+	default:
+		return "None"
+	}
+}
+
+// CU is one concurrency usage: the (file, line, kind) tuple of the model M.
+type CU struct {
+	File string
+	Line int
+	Kind Kind
+}
+
+// Key is the canonical string form used as a map key and in reports.
+func (c CU) Key() string { return fmt.Sprintf("%s:%d:%s", c.File, c.Line, c.Kind) }
+
+// Loc is the source location without the kind.
+func (c CU) Loc() string { return fmt.Sprintf("%s:%d", c.File, c.Line) }
+
+// String renders the CU for reports.
+func (c CU) String() string { return c.Key() }
+
+// Model is the concurrency usage model M: the table of CUs of a program.
+type Model struct {
+	cus   []CU
+	byLoc map[string][]CU // "file:line" -> CUs at that location
+}
+
+// NewModel builds a model from extracted CUs, dropping exact duplicates.
+func NewModel(cus []CU) *Model {
+	m := &Model{byLoc: map[string][]CU{}}
+	seen := map[string]bool{}
+	for _, c := range cus {
+		if seen[c.Key()] {
+			continue
+		}
+		seen[c.Key()] = true
+		m.cus = append(m.cus, c)
+	}
+	sort.Slice(m.cus, func(i, j int) bool {
+		a, b := m.cus[i], m.cus[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Kind < b.Kind
+	})
+	for _, c := range m.cus {
+		m.byLoc[c.Loc()] = append(m.byLoc[c.Loc()], c)
+	}
+	return m
+}
+
+// All returns the CUs in deterministic (file, line, kind) order.
+func (m *Model) All() []CU { return m.cus }
+
+// Len returns the number of CUs.
+func (m *Model) Len() int { return len(m.cus) }
+
+// At returns the CUs at a source location.
+func (m *Model) At(file string, line int) []CU {
+	return m.byLoc[fmt.Sprintf("%s:%d", file, line)]
+}
+
+// Lookup finds the CU of a given kind at a location.
+func (m *Model) Lookup(file string, line int, kind Kind) (CU, bool) {
+	for _, c := range m.At(file, line) {
+		if c.Kind == kind {
+			return c, true
+		}
+	}
+	return CU{}, false
+}
+
+// String renders the model as the paper's Table III first column.
+func (m *Model) String() string {
+	var b strings.Builder
+	b.WriteString("Line  Kind\n")
+	for _, c := range m.cus {
+		fmt.Fprintf(&b, "%-24s %s\n", c.Loc(), c.Kind)
+	}
+	return b.String()
+}

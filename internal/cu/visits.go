@@ -1,0 +1,137 @@
+package cu
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Visit is one concurrency-usage visit recorded by a natively
+// instrumented program (goatrt with GOAT_TRACE): who reached which CU
+// location when. It is the approximate native ECT — visits lack the
+// blocked/unblocking detail the virtual runtime records, but they drive
+// executed-CU coverage against the static model M.
+type Visit struct {
+	Ts   int64 // unix nanoseconds
+	Goid int64
+	File string
+	Line int
+}
+
+// Loc returns the visit's CU location key.
+func (v Visit) Loc() string { return fmt.Sprintf("%s:%d", v.File, v.Line) }
+
+// ParseVisits reads a goatrt visit log (`<nanos> <goid> <file>:<line>`
+// per line), tolerating blank lines.
+func ParseVisits(r io.Reader) ([]Visit, error) {
+	var out []Visit
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("cu: visit log line %d: want 3 fields, got %q", lineNo, text)
+		}
+		ts, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cu: visit log line %d: bad timestamp: %w", lineNo, err)
+		}
+		goid, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cu: visit log line %d: bad goid: %w", lineNo, err)
+		}
+		loc := fields[2]
+		colon := strings.LastIndexByte(loc, ':')
+		if colon <= 0 {
+			return nil, fmt.Errorf("cu: visit log line %d: bad location %q", lineNo, loc)
+		}
+		ln, err := strconv.Atoi(loc[colon+1:])
+		if err != nil {
+			return nil, fmt.Errorf("cu: visit log line %d: bad line number: %w", lineNo, err)
+		}
+		out = append(out, Visit{Ts: ts, Goid: goid, File: loc[:colon], Line: ln})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cu: reading visit log: %w", err)
+	}
+	return out, nil
+}
+
+// VisitStats aggregates a visit log: per-location visit counts and the
+// set of goroutines that reached each location.
+type VisitStats struct {
+	Total      int
+	Goroutines int
+	ByLoc      map[string]int
+}
+
+// StatsOf aggregates visits.
+func StatsOf(visits []Visit) *VisitStats {
+	st := &VisitStats{ByLoc: map[string]int{}}
+	gids := map[int64]bool{}
+	for _, v := range visits {
+		st.Total++
+		st.ByLoc[v.Loc()]++
+		gids[v.Goid] = true
+	}
+	st.Goroutines = len(gids)
+	return st
+}
+
+// ExecutedCoverage matches a visit log against a static CU model M.
+// Visits carry the *handler's* call site, which the instrumenter places
+// on the line directly above its CU statement — so pass the model
+// extracted from the instrumented sources, and a CU counts as executed
+// when its own line or the line above was visited. It returns the
+// executed CUs, the never-executed ones, and the percentage.
+func ExecutedCoverage(m *Model, visits []Visit) (executed, dead []CU, percent float64) {
+	visited := map[string]bool{}
+	for _, v := range visits {
+		visited[v.Loc()] = true
+		visited[fmt.Sprintf("%s:%d", v.File, v.Line+1)] = true
+	}
+	for _, c := range m.All() {
+		if visited[c.Loc()] {
+			executed = append(executed, c)
+		} else {
+			dead = append(dead, c)
+		}
+	}
+	if m.Len() > 0 {
+		percent = 100 * float64(len(executed)) / float64(m.Len())
+	}
+	return executed, dead, percent
+}
+
+// RenderVisitStats renders the aggregation for CLI output.
+func RenderVisitStats(st *VisitStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d visits by %d goroutine(s) across %d location(s)\n\n",
+		st.Total, st.Goroutines, len(st.ByLoc))
+	type row struct {
+		loc string
+		n   int
+	}
+	rows := make([]row, 0, len(st.ByLoc))
+	for loc, n := range st.ByLoc {
+		rows = append(rows, row{loc, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].loc < rows[j].loc
+	})
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-30s %d\n", r.loc, r.n)
+	}
+	return b.String()
+}

@@ -1,0 +1,140 @@
+// Package detect implements the four dynamic blocking-bug detectors the
+// paper evaluates: GoAT itself plus the three baselines it is compared
+// against (the runtime's built-in global-deadlock detector, the
+// lock-order-based LockDL, and Uber's goleak end-of-main leak check).
+//
+// Every detector consumes the same execution Result from the virtual
+// runtime but is only allowed to look at what its real counterpart could
+// see — that asymmetry of observation power is exactly what Table IV and
+// Figure 4 measure.
+package detect
+
+import (
+	"fmt"
+
+	"goat/internal/gtree"
+	"goat/internal/sim"
+)
+
+// Detection is one tool's verdict on one execution.
+type Detection struct {
+	Tool    string
+	Found   bool   // the tool reported the bug
+	Verdict string // paper-style tag: PDL-k, GDL, TO/GDL, DL, CRASH, HANG, OK
+	Detail  string // human-readable amplification
+}
+
+// Detector inspects one execution result.
+type Detector interface {
+	// Name returns the tool name used in tables.
+	Name() string
+	// Detect classifies one execution.
+	Detect(r *sim.Result) Detection
+}
+
+// Goat is the full GoAT detector: it rebuilds the goroutine tree from the
+// ECT and runs Procedure 1 (DeadlockCheck). It sees everything the trace
+// records, so it detects partial deadlocks, global deadlocks, hangs and
+// crashes.
+type Goat struct{}
+
+// Name implements Detector.
+func (Goat) Name() string { return "goat" }
+
+// Detect implements Detector.
+func (Goat) Detect(r *sim.Result) Detection {
+	d := Detection{Tool: "goat"}
+	if r.Outcome == sim.OutcomeCrash {
+		return found(d, "CRASH", fmt.Sprintf("panic in g%d: %v", r.PanicG, r.PanicVal))
+	}
+	if r.Outcome == sim.OutcomeTimeout {
+		return found(d, "TO/GDL", "no progress before the watchdog budget expired")
+	}
+	if r.Trace == nil {
+		// Traceless run: fall back to the runtime's own classification.
+		if r.Outcome.Buggy() {
+			return found(d, r.Outcome.String(), "virtual-runtime classification (tracing disabled)")
+		}
+		d.Verdict = "OK"
+		return d
+	}
+	tree, err := gtree.Build(r.Trace)
+	if err != nil {
+		return found(d, "ERROR", err.Error())
+	}
+	verdict, leaked := tree.DeadlockCheck()
+	switch verdict {
+	case gtree.GlobalDeadlock:
+		return found(d, "GDL", "main goroutine never reached its end state")
+	case gtree.PartialDeadlock:
+		return found(d, fmt.Sprintf("PDL-%d", len(leaked)),
+			fmt.Sprintf("%d goroutine(s) leaked", len(leaked)))
+	default:
+		d.Verdict = "OK"
+		return d
+	}
+}
+
+// Builtin emulates the Go runtime's embedded detector: it throws only when
+// every goroutine is blocked while main is still alive (a global
+// deadlock), and it surfaces crashes because panics kill the process
+// visibly. Leaks past a terminating main are invisible to it.
+type Builtin struct{}
+
+// Name implements Detector.
+func (Builtin) Name() string { return "builtin" }
+
+// Detect implements Detector.
+func (Builtin) Detect(r *sim.Result) Detection {
+	d := Detection{Tool: "builtin"}
+	switch r.Outcome {
+	case sim.OutcomeGlobalDeadlock:
+		return found(d, "GDL", "all goroutines are asleep - deadlock!")
+	case sim.OutcomeCrash:
+		return found(d, "CRASH", fmt.Sprint(r.PanicVal))
+	case sim.OutcomeTimeout:
+		d.Verdict = "HANG" // livelock: the runtime queue never empties
+		return d
+	default:
+		d.Verdict = "OK"
+		return d
+	}
+}
+
+// Goleak emulates Uber's goleak: after main returns it inspects the stacks
+// of surviving goroutines and reports those parked on concurrency
+// primitives. If main never returns, goleak itself hangs.
+type Goleak struct{}
+
+// Name implements Detector.
+func (Goleak) Name() string { return "goleak" }
+
+// Detect implements Detector.
+func (Goleak) Detect(r *sim.Result) Detection {
+	d := Detection{Tool: "goleak"}
+	if r.Outcome == sim.OutcomeCrash {
+		return found(d, "CRASH", fmt.Sprint(r.PanicVal))
+	}
+	if !r.MainEnded {
+		d.Verdict = "HANG" // the check at the end of main never runs
+		return d
+	}
+	if n := len(r.Leaked); n > 0 {
+		return found(d, fmt.Sprintf("PDL-%d", n),
+			fmt.Sprintf("found %d unexpected goroutine(s) at main return", n))
+	}
+	d.Verdict = "OK"
+	return d
+}
+
+func found(d Detection, verdict, detail string) Detection {
+	d.Found = true
+	d.Verdict = verdict
+	d.Detail = detail
+	return d
+}
+
+// All returns the paper's detector lineup in Table IV column order.
+func All() []Detector {
+	return []Detector{Builtin{}, LockDL{}, Goleak{}, Goat{}}
+}

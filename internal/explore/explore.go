@@ -1,0 +1,250 @@
+// Package explore implements guided schedule-space exploration — the
+// extension the paper names as future work ("take full control over the
+// Go scheduler and guide testing towards untested interleavings").
+//
+// A Campaign repeatedly executes a program, feeding each run's coverage
+// measurement back into a Strategy that chooses the next run's scheduling
+// options (seed and delay bound). The shipped strategies range from the
+// paper's static configurations (Native, DelayBound) to feedback-driven
+// ones (Escalate, Bandit) that spend perturbation budget only when
+// coverage stalls.
+package explore
+
+import (
+	"fmt"
+
+	"goat/internal/cover"
+	"goat/internal/detect"
+	"goat/internal/gtree"
+	"goat/internal/sim"
+)
+
+// Strategy chooses the options of the next iteration.
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Next returns the options for iteration i (0-based), given the
+	// feedback from the previous iteration (nil for i == 0).
+	Next(i int, prev *Feedback) sim.Options
+}
+
+// Feedback is what a strategy learns from one iteration.
+type Feedback struct {
+	Options    sim.Options
+	Outcome    sim.Outcome
+	NewCovered int     // requirements newly covered by the run
+	Percent    float64 // coverage percentage after the run
+}
+
+// Native replays the unperturbed program under fresh seeds (D = 0).
+type Native struct {
+	// BaseSeed offsets the per-iteration seeds.
+	BaseSeed int64
+}
+
+// Name implements Strategy.
+func (Native) Name() string { return "native" }
+
+// Next implements Strategy.
+func (s Native) Next(i int, _ *Feedback) sim.Options {
+	return sim.Options{Seed: s.BaseSeed + int64(i)}
+}
+
+// DelayBound is the paper's configuration: a fixed yield budget D.
+type DelayBound struct {
+	D        int
+	BaseSeed int64
+}
+
+// Name implements Strategy.
+func (s DelayBound) Name() string { return fmt.Sprintf("delay-D%d", s.D) }
+
+// Next implements Strategy.
+func (s DelayBound) Next(i int, _ *Feedback) sim.Options {
+	return sim.Options{Seed: s.BaseSeed + int64(i), Delays: s.D}
+}
+
+// Escalate starts native and raises the delay bound by one every time
+// coverage stalls for Patience consecutive iterations, up to MaxD. It
+// spends perturbation only when the unperturbed schedule space looks
+// exhausted.
+type Escalate struct {
+	MaxD     int // maximum delay bound (default 4)
+	Patience int // stagnant iterations before escalating (default 5)
+	BaseSeed int64
+
+	d       int
+	stalled int
+}
+
+// Name implements Strategy.
+func (s *Escalate) Name() string { return "escalate" }
+
+// Next implements Strategy.
+func (s *Escalate) Next(i int, prev *Feedback) sim.Options {
+	maxD := s.MaxD
+	if maxD <= 0 {
+		maxD = 4
+	}
+	patience := s.Patience
+	if patience <= 0 {
+		patience = 5
+	}
+	if prev != nil {
+		if prev.NewCovered == 0 {
+			s.stalled++
+			if s.stalled >= patience && s.d < maxD {
+				s.d++
+				s.stalled = 0
+			}
+		} else {
+			s.stalled = 0
+		}
+	}
+	return sim.Options{Seed: s.BaseSeed + int64(i), Delays: s.d}
+}
+
+// Bandit is an epsilon-greedy multi-armed bandit over delay bounds
+// 0..MaxD: each arm's reward is the coverage gained by runs at that
+// bound; ties and exploration use a deterministic rotation so campaigns
+// stay reproducible.
+type Bandit struct {
+	MaxD     int // highest arm (default 4)
+	Epsilon  int // explore every Epsilon-th iteration (default 4)
+	BaseSeed int64
+
+	gains  []int
+	pulls  []int
+	lastD  int
+	inited bool
+}
+
+// Name implements Strategy.
+func (s *Bandit) Name() string { return "bandit" }
+
+// Next implements Strategy.
+func (s *Bandit) Next(i int, prev *Feedback) sim.Options {
+	maxD := s.MaxD
+	if maxD <= 0 {
+		maxD = 4
+	}
+	eps := s.Epsilon
+	if eps <= 0 {
+		eps = 4
+	}
+	if !s.inited {
+		s.gains = make([]int, maxD+1)
+		s.pulls = make([]int, maxD+1)
+		s.inited = true
+	}
+	if prev != nil {
+		s.gains[s.lastD] += prev.NewCovered
+		s.pulls[s.lastD]++
+	}
+	d := 0
+	if i%eps == eps-1 {
+		d = i % (maxD + 1) // deterministic exploration sweep
+	} else {
+		best := -1.0
+		for arm := 0; arm <= maxD; arm++ {
+			if s.pulls[arm] == 0 {
+				d = arm // try every arm once
+				best = -1
+				break
+			}
+			avg := float64(s.gains[arm]) / float64(s.pulls[arm])
+			if avg > best {
+				best = avg
+				d = arm
+			}
+		}
+	}
+	s.lastD = d
+	return sim.Options{Seed: s.BaseSeed + int64(i), Delays: d}
+}
+
+// Config bounds a campaign.
+type Config struct {
+	// MaxIters caps the number of executions (default 100).
+	MaxIters int
+	// StopOnBug ends the campaign at the first detection (default true
+	// when TargetPercent is zero).
+	StopOnBug bool
+	// TargetPercent ends the campaign once coverage reaches it (0 = off).
+	TargetPercent float64
+}
+
+func (c Config) maxIters() int {
+	if c.MaxIters <= 0 {
+		return 100
+	}
+	return c.MaxIters
+}
+
+// Iteration summarizes one executed iteration.
+type Iteration struct {
+	Index   int
+	Delays  int
+	Seed    int64
+	Outcome sim.Outcome
+	Percent float64
+}
+
+// Outcome is the result of a campaign.
+type Outcome struct {
+	Strategy   string
+	Iterations []Iteration
+	BugAt      int // 1-based iteration of first detection; 0 = none
+	Detection  detect.Detection
+	Model      *cover.Model // the accumulated coverage model
+}
+
+// FinalPercent returns the campaign's final coverage percentage.
+func (o *Outcome) FinalPercent() float64 {
+	if len(o.Iterations) == 0 {
+		return 0
+	}
+	return o.Iterations[len(o.Iterations)-1].Percent
+}
+
+// Run drives prog under the strategy until a bug, the coverage target, or
+// the iteration budget. The paper's termination rule: "iterations
+// terminate either by detecting a bug or reaching a percentage
+// threshold".
+func Run(prog func(*sim.G), strat Strategy, cfg Config) (*Outcome, error) {
+	model := cover.NewModel(nil)
+	out := &Outcome{Strategy: strat.Name(), Model: model}
+	goat := detect.Goat{}
+	stopOnBug := cfg.StopOnBug || cfg.TargetPercent == 0
+
+	var prev *Feedback
+	for i := 0; i < cfg.maxIters(); i++ {
+		opts := strat.Next(i, prev)
+		r := sim.Run(opts, prog)
+		tree, err := gtree.Build(r.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("explore: iteration %d: %w", i, err)
+		}
+		st := model.AddRun(tree)
+		out.Iterations = append(out.Iterations, Iteration{
+			Index:   i + 1,
+			Delays:  opts.Delays,
+			Seed:    opts.Seed,
+			Outcome: r.Outcome,
+			Percent: st.Percent,
+		})
+		prev = &Feedback{Options: opts, Outcome: r.Outcome, NewCovered: st.NewCovered, Percent: st.Percent}
+
+		if d := goat.Detect(r); d.Found && out.BugAt == 0 {
+			out.BugAt = i + 1
+			out.Detection = d
+			if stopOnBug {
+				return out, nil
+			}
+		}
+		if cfg.TargetPercent > 0 && st.Percent >= cfg.TargetPercent {
+			return out, nil
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,178 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"goat/internal/goker"
+	"goat/internal/sim"
+)
+
+func kernel(t *testing.T, id string) func(*sim.G) {
+	t.Helper()
+	k, ok := goker.ByID(id)
+	if !ok {
+		t.Fatalf("kernel %s missing", id)
+	}
+	return k.Main
+}
+
+func TestNativeFindsCommonBug(t *testing.T) {
+	out, err := Run(kernel(t, "moby_33293"), Native{}, Config{MaxIters: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.BugAt != 1 {
+		t.Fatalf("deterministic leak found at iteration %d, want 1", out.BugAt)
+	}
+	if !out.Detection.Found || !strings.HasPrefix(out.Detection.Verdict, "PDL") {
+		t.Fatalf("detection = %+v", out.Detection)
+	}
+}
+
+func TestCampaignStopsAtBug(t *testing.T) {
+	out, err := Run(kernel(t, "moby_33293"), Native{}, Config{MaxIters: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Iterations) != out.BugAt {
+		t.Fatalf("campaign ran %d iterations past the bug at %d", len(out.Iterations), out.BugAt)
+	}
+}
+
+func TestCoverageTargetTermination(t *testing.T) {
+	out, err := Run(kernel(t, "etcd_7443"), DelayBound{D: 2}, Config{
+		MaxIters:      200,
+		TargetPercent: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FinalPercent() < 40 {
+		t.Fatalf("campaign ended at %.1f%% without reaching the 40%% target in %d iters",
+			out.FinalPercent(), len(out.Iterations))
+	}
+	if len(out.Iterations) == 200 && out.FinalPercent() < 40 {
+		t.Fatal("budget exhausted without the target")
+	}
+}
+
+// The core claim of guided exploration: kubernetes_6632 is invisible to
+// native schedules (0 hits in 10000 at D=0) but the escalating strategy
+// finds it because stalled coverage pushes the delay bound up.
+func TestEscalateFindsYieldOnlyBug(t *testing.T) {
+	native, err := Run(kernel(t, "kubernetes_6632"), Native{}, Config{MaxIters: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if native.BugAt != 0 {
+		t.Skipf("native unexpectedly found the bug at %d; rarity assumption broken", native.BugAt)
+	}
+	esc, err := Run(kernel(t, "kubernetes_6632"), &Escalate{MaxD: 4, Patience: 3}, Config{MaxIters: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if esc.BugAt == 0 {
+		t.Fatal("escalating strategy never exposed the yield-only bug")
+	}
+	// The bug must have been found at an escalated bound.
+	found := esc.Iterations[esc.BugAt-1]
+	if found.Delays == 0 {
+		t.Fatalf("bug found at D=0?! iteration %+v", found)
+	}
+}
+
+func TestEscalateRaisesBoundOnStall(t *testing.T) {
+	s := &Escalate{MaxD: 3, Patience: 2}
+	var ds []int
+	var prev *Feedback
+	for i := 0; i < 10; i++ {
+		opts := s.Next(i, prev)
+		ds = append(ds, opts.Delays)
+		prev = &Feedback{NewCovered: 0} // permanent stall
+	}
+	if ds[0] != 0 {
+		t.Fatalf("first iteration not native: %v", ds)
+	}
+	if ds[len(ds)-1] != 3 {
+		t.Fatalf("bound never reached MaxD: %v", ds)
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i] < ds[i-1] {
+			t.Fatalf("bound decreased: %v", ds)
+		}
+	}
+}
+
+func TestEscalateResetsOnProgress(t *testing.T) {
+	s := &Escalate{MaxD: 3, Patience: 2}
+	prev := &Feedback{NewCovered: 5} // constant progress
+	for i := 0; i < 10; i++ {
+		opts := s.Next(i, prev)
+		if opts.Delays != 0 {
+			t.Fatalf("bound escalated despite coverage progress at iter %d", i)
+		}
+	}
+}
+
+func TestBanditTriesEveryArm(t *testing.T) {
+	s := &Bandit{MaxD: 3}
+	armSeen := map[int]bool{}
+	var prev *Feedback
+	for i := 0; i < 30; i++ {
+		opts := s.Next(i, prev)
+		armSeen[opts.Delays] = true
+		prev = &Feedback{NewCovered: opts.Delays} // higher D = more gain
+	}
+	for arm := 0; arm <= 3; arm++ {
+		if !armSeen[arm] {
+			t.Fatalf("arm %d never pulled: %v", arm, armSeen)
+		}
+	}
+}
+
+func TestBanditExploitsBestArm(t *testing.T) {
+	s := &Bandit{MaxD: 2, Epsilon: 100} // effectively no forced exploration
+	var prev *Feedback
+	counts := map[int]int{}
+	for i := 0; i < 40; i++ {
+		opts := s.Next(i, prev)
+		counts[opts.Delays]++
+		gain := 0
+		if opts.Delays == 2 {
+			gain = 10 // arm 2 is clearly best
+		}
+		prev = &Feedback{NewCovered: gain}
+	}
+	if counts[2] < counts[0] || counts[2] < counts[1] {
+		t.Fatalf("bandit failed to exploit the best arm: %v", counts)
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	run := func() []Iteration {
+		out, err := Run(kernel(t, "etcd_7443"), &Escalate{}, Config{MaxIters: 30, TargetPercent: 101})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Iterations
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("iteration %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	if (Native{}).Name() != "native" ||
+		(DelayBound{D: 3}).Name() != "delay-D3" ||
+		(&Escalate{}).Name() != "escalate" ||
+		(&Bandit{}).Name() != "bandit" {
+		t.Fatal("strategy names broken")
+	}
+}

@@ -1,0 +1,412 @@
+package goker
+
+import (
+	"goat/internal/conc"
+	"goat/internal/sim"
+)
+
+func init() {
+	register(Kernel{
+		ID: "cockroach_584", Project: "cockroach", Cause: CommunicationDeadlock, Expect: "PDL",
+		Description: "gossip: the client bootstrap loop exits on error without signalling the server loop, which leaks waiting for a connect event.",
+		Main:        cockroach584,
+	})
+	register(Kernel{
+		ID: "cockroach_1055", Project: "cockroach", Cause: MixedDeadlock, Expect: "GDL",
+		Description: "stopper: Quiesce holds the stopper mutex while draining tasks; a task needs the same mutex to deregister.",
+		Main:        cockroach1055,
+	})
+	register(Kernel{
+		ID: "cockroach_1462", Project: "cockroach", Cause: MixedDeadlock, Expect: "PDL",
+		Description: "gossip server: infostore callback holds the server lock while sending on the notification channel whose reader needs the lock.",
+		Main:        cockroach1462,
+	})
+	register(Kernel{
+		ID: "cockroach_2448", Project: "cockroach", Cause: CommunicationDeadlock, Expect: "GDL", Rare: true,
+		Description: "storage event feed: consumer and producer both select on the same unbuffered pair and can commit to mirrored cases, stranding each other.",
+		Main:        cockroach2448,
+	})
+	register(Kernel{
+		ID: "cockroach_3710", Project: "cockroach", Cause: ResourceDeadlock, Expect: "GDL", Rare: true,
+		Description: "storage: ForceRaftLogScanAndProcess takes store.RLock then per-range lock, while RaftSnapshot takes them in the reverse order.",
+		Main:        cockroach3710,
+	})
+	register(Kernel{
+		ID: "cockroach_6181", Project: "cockroach", Cause: ResourceDeadlock, Expect: "GDL", Rare: true,
+		Description: "schema changer: concurrent RLock re-entry races a writer lease renewal on the same RWMutex.",
+		Main:        cockroach6181,
+	})
+	register(Kernel{
+		ID: "cockroach_7504", Project: "cockroach", Cause: ResourceDeadlock, Expect: "GDL", Rare: true,
+		Description: "leaseState/tableNameCache: m.Lock then t.Lock in release, t.Lock then m.Lock in purge — AB-BA.",
+		Main:        cockroach7504,
+	})
+	register(Kernel{
+		ID: "cockroach_9935", Project: "cockroach", Cause: ResourceDeadlock, Expect: "GDL",
+		Description: "log flusher: fatal path re-locks the logging mutex already held by the caller.",
+		Main:        cockroach9935,
+	})
+	register(Kernel{
+		ID: "cockroach_10214", Project: "cockroach", Cause: ResourceDeadlock, Expect: "GDL", Rare: true,
+		Description: "store: raft worker and replica GC take store.mu and replica.mu in opposite orders.",
+		Main:        cockroach10214,
+	})
+	register(Kernel{
+		ID: "cockroach_10790", Project: "cockroach", Cause: CommunicationDeadlock, Expect: "PDL",
+		Description: "distSQL flow: cleanup returns before draining the row channel; producers leak blocked on send.",
+		Main:        cockroach10790,
+	})
+	register(Kernel{
+		ID: "cockroach_13197", Project: "cockroach", Cause: CommunicationDeadlock, Expect: "PDL",
+		Description: "session: the conn executor waits for a result the worker never sends because its context was cancelled between checks.",
+		Main:        cockroach13197,
+	})
+	register(Kernel{
+		ID: "cockroach_13755", Project: "cockroach", Cause: CommunicationDeadlock, Expect: "PDL",
+		Description: "distSQL: the row fetcher leaks when the consumer closes without signalling the producer-side done channel.",
+		Main:        cockroach13755,
+	})
+	register(Kernel{
+		ID: "cockroach_16167", Project: "cockroach", Cause: ResourceDeadlock, Expect: "GDL", Rare: true,
+		Description: "sql executor: systemConfigCond.Wait re-acquires the RWMutex write lock while another goroutine holds it waiting on the same condition's mutex.",
+		Main:        cockroach16167,
+	})
+	register(Kernel{
+		ID: "cockroach_18101", Project: "cockroach", Cause: CommunicationDeadlock, Expect: "PDL",
+		Description: "restore: the split-and-scatter workers block sending readyForImport when the import loop exits early on context cancel.",
+		Main:        cockroach18101,
+	})
+	register(Kernel{
+		ID: "cockroach_24808", Project: "cockroach", Cause: CommunicationDeadlock, Expect: "GDL",
+		Description: "compactor: the suggestion loop waits on a channel that is only fed before the loop started (the pending signal was dropped).",
+		Main:        cockroach24808,
+	})
+	register(Kernel{
+		ID: "cockroach_25456", Project: "cockroach", Cause: CommunicationDeadlock, Expect: "GDL",
+		Description: "CheckConsistency: the collector waits for a result from a worker that was never started on the error path.",
+		Main:        cockroach25456,
+	})
+	register(Kernel{
+		ID: "cockroach_35073", Project: "cockroach", Cause: CommunicationDeadlock, Expect: "PDL", Rare: true,
+		Description: "changefeed: a buffered sink flush races the poller's send; the poller leaks when the flush wins and stops receiving.",
+		Main:        cockroach35073,
+	})
+	register(Kernel{
+		ID: "cockroach_35931", Project: "cockroach", Cause: MixedDeadlock, Expect: "GDL",
+		Description: "distSQL vectorized: the inbox holds its mutex while blocking on a stream the outbox cannot feed before taking the same mutex.",
+		Main:        cockroach35931,
+	})
+}
+
+// cockroach584: server loop waits for a connect event the failed client
+// bootstrap never sends.
+func cockroach584(g *sim.G) {
+	connected := conc.NewChan[struct{}](g, 0)
+	g.Go("serverLoop", func(c *sim.G) {
+		connected.Recv(c) // leaks: bootstrap error path never signals
+	})
+	bootstrapFailed := true
+	if bootstrapFailed {
+		return
+	}
+	connected.Send(g, struct{}{})
+}
+
+// cockroach1055: Quiesce drains tasks holding the stopper lock; a task
+// must take the lock to deregister.
+func cockroach1055(g *sim.G) {
+	mu := conc.NewMutex(g)
+	drained := conc.NewChan[struct{}](g, 0)
+	tasks := 1
+	g.Go("task", func(c *sim.G) {
+		mu.Lock(c) // deregister needs the stopper lock
+		tasks--
+		if tasks == 0 {
+			drained.Send(c, struct{}{})
+		}
+		mu.Unlock(c)
+	})
+	mu.Lock(g) // BUG: Quiesce holds the lock across the drain wait
+	if tasks > 0 {
+		drained.Recv(g)
+	}
+	mu.Unlock(g)
+}
+
+// cockroach1462: callback sends holding the server lock; reader locks first.
+func cockroach1462(g *sim.G) {
+	mu := conc.NewMutex(g)
+	notify := conc.NewChan[int](g, 0)
+	g.Go("callback", func(c *sim.G) {
+		mu.Lock(c)
+		notify.Send(c, 1) // blocks holding mu
+		mu.Unlock(c)
+	})
+	g.Go("reader", func(c *sim.G) {
+		mu.Lock(c) // BUG: lock taken before the receive
+		notify.Recv(c)
+		mu.Unlock(c)
+	})
+	conc.Sleep(g, 200)
+}
+
+// cockroach2448: producer and consumer each select over {send ours,
+// recv theirs}; when both commit to sends (or both to recvs is impossible)
+// ... the pair can strand when each drains its own side and stops.
+func cockroach2448(g *sim.G) {
+	a := conc.NewChan[int](g, 0)
+	b := conc.NewChan[int](g, 0)
+	done := conc.NewChan[struct{}](g, 0)
+	g.Go("producer", func(c *sim.G) {
+		for i := 0; i < 2; i++ {
+			idx, _, _ := conc.Select(c, []conc.Case{
+				conc.CaseSend(a, i),
+				conc.CaseRecv(b),
+			}, false)
+			if idx == 1 {
+				return // BUG: treats any b message as shutdown
+			}
+		}
+		done.Close(c)
+	})
+	g.Go("consumer", func(c *sim.G) {
+		for i := 0; i < 2; i++ {
+			idx, _, _ := conc.Select(c, []conc.Case{
+				conc.CaseRecv(a),
+				conc.CaseSend(b, i),
+			}, false)
+			if idx == 1 {
+				return // BUG: stops after handing back a token
+			}
+		}
+	})
+	done.Recv(g) // global deadlock when both bailed out early
+}
+
+// cockroach3710: AB-BA on store RWMutex vs range mutex.
+func cockroach3710(g *sim.G) {
+	store := conc.NewRWMutex(g)
+	rng := conc.NewMutex(g)
+	wg := conc.NewWaitGroup(g)
+	wg.Add(g, 2)
+	g.Go("scanAndProcess", func(c *sim.G) {
+		store.RLock(c)
+		rng.Lock(c)
+		rng.Unlock(c)
+		store.RUnlock(c)
+		wg.Done(c)
+	})
+	g.Go("raftSnapshot", func(c *sim.G) {
+		rng.Lock(c)
+		store.Lock(c) // reverse order
+		store.Unlock(c)
+		rng.Unlock(c)
+		wg.Done(c)
+	})
+	wg.Wait(g)
+}
+
+// cockroach6181: recursive RLock racing a writer (writer preference).
+func cockroach6181(g *sim.G) {
+	lease := conc.NewRWMutex(g)
+	g.Go("renewal", func(c *sim.G) {
+		lease.Lock(c)
+		lease.Unlock(c)
+	})
+	lease.RLock(g)
+	lease.RLock(g) // deadlocks when the renewal writer queued in between
+	lease.RUnlock(g)
+	lease.RUnlock(g)
+}
+
+// cockroach7504: AB-BA between the lease-manager lock and the table lock.
+func cockroach7504(g *sim.G) {
+	m := conc.NewMutex(g)
+	tbl := conc.NewMutex(g)
+	wg := conc.NewWaitGroup(g)
+	wg.Add(g, 2)
+	g.Go("release", func(c *sim.G) {
+		m.Lock(c)
+		tbl.Lock(c)
+		tbl.Unlock(c)
+		m.Unlock(c)
+		wg.Done(c)
+	})
+	g.Go("purge", func(c *sim.G) {
+		tbl.Lock(c)
+		m.Lock(c)
+		m.Unlock(c)
+		tbl.Unlock(c)
+		wg.Done(c)
+	})
+	wg.Wait(g)
+}
+
+// cockroach9935: the fatal path re-locks the logging mutex.
+func cockroach9935(g *sim.G) {
+	logMu := conc.NewMutex(g)
+	fatal := func(c *sim.G) {
+		logMu.Lock(c) // BUG: caller already holds logMu
+		logMu.Unlock(c)
+	}
+	logMu.Lock(g)
+	diskFull := true
+	if diskFull {
+		fatal(g)
+	}
+	logMu.Unlock(g)
+}
+
+// cockroach10214: AB-BA between store.mu and replica.mu.
+func cockroach10214(g *sim.G) {
+	storeMu := conc.NewMutex(g)
+	replicaMu := conc.NewMutex(g)
+	wg := conc.NewWaitGroup(g)
+	wg.Add(g, 2)
+	g.Go("raftWorker", func(c *sim.G) {
+		storeMu.Lock(c)
+		replicaMu.Lock(c)
+		replicaMu.Unlock(c)
+		storeMu.Unlock(c)
+		wg.Done(c)
+	})
+	g.Go("replicaGC", func(c *sim.G) {
+		replicaMu.Lock(c)
+		storeMu.Lock(c)
+		storeMu.Unlock(c)
+		replicaMu.Unlock(c)
+		wg.Done(c)
+	})
+	wg.Wait(g)
+}
+
+// cockroach10790: producers leak on send after cleanup stops draining.
+func cockroach10790(g *sim.G) {
+	rows := conc.NewChan[int](g, 0)
+	for i := 0; i < 2; i++ {
+		i := i
+		g.Go("producer", func(c *sim.G) {
+			rows.Send(c, i) // leaks once cleanup returns
+		})
+	}
+	rows.Recv(g) // drains one row
+	// BUG: cleanup returns without draining the second producer.
+}
+
+// cockroach13197: worker observes the cancel and returns without sending.
+func cockroach13197(g *sim.G) {
+	ctx, cancel := conc.WithCancel(g)
+	result := conc.NewChan[int](g, 0)
+	g.Go("worker", func(c *sim.G) {
+		idx, _, _ := conc.Select(c, []conc.Case{
+			conc.CaseRecv(ctx.Done()),
+			conc.CaseSend(result, 42),
+		}, false)
+		_ = idx
+	})
+	cancel(g)
+	// BUG: executor receives unconditionally; leaks when the worker took
+	// the cancel case. (Main leaks => partial deadlock of the session.)
+	g.Go("executor", func(c *sim.G) {
+		result.Recv(c)
+	})
+	conc.Sleep(g, 200)
+}
+
+// cockroach13755: row fetcher waits on done that close() never feeds.
+func cockroach13755(g *sim.G) {
+	done := conc.NewChan[struct{}](g, 0)
+	g.Go("rowFetcher", func(c *sim.G) {
+		done.Recv(c) // leaks: consumer closes without the signal
+	})
+	consumerClosed := true
+	if consumerClosed {
+		return // BUG: missing close(done)
+	}
+	done.Close(g)
+}
+
+// cockroach16167: cond re-lock vs a writer holding the lock.
+func cockroach16167(g *sim.G) {
+	mu := conc.NewMutex(g)
+	cond := conc.NewCond(g, mu)
+	g.Go("updater", func(c *sim.G) {
+		mu.Lock(c)
+		cond.Signal(c) // may fire before the waiter parks
+		mu.Unlock(c)
+	})
+	mu.Lock(g)
+	cond.Wait(g) // BUG: unconditional wait; misses an early signal
+	mu.Unlock(g)
+}
+
+// cockroach18101: scatter workers leak when the importer exits early.
+func cockroach18101(g *sim.G) {
+	readyForImport := conc.NewChan[int](g, 0)
+	for i := 0; i < 3; i++ {
+		i := i
+		g.Go("scatterWorker", func(c *sim.G) {
+			readyForImport.Send(c, i) // leaks after the cancel
+		})
+	}
+	readyForImport.Recv(g)
+	// BUG: context cancelled; importer returns, stranding two workers.
+}
+
+// cockroach24808: the pending signal is consumed before the loop waits.
+func cockroach24808(g *sim.G) {
+	pending := conc.NewChan[struct{}](g, 1)
+	pending.Send(g, struct{}{})
+	// The pre-loop check drains the signal...
+	pending.Recv(g)
+	// ...and the loop then waits for a signal that will never come.
+	pending.Recv(g)
+}
+
+// cockroach25456: collector waits for a worker the error path never spawned.
+func cockroach25456(g *sim.G) {
+	results := conc.NewChan[int](g, 0)
+	startWorker := false // error path: worker not started
+	if startWorker {
+		g.Go("worker", func(c *sim.G) {
+			results.Send(c, 1)
+		})
+	}
+	results.Recv(g)
+}
+
+// cockroach35073: poller's send races the flusher's stop-triggered exit.
+func cockroach35073(g *sim.G) {
+	buf := conc.NewChan[int](g, 1)
+	stop := conc.NewChan[struct{}](g, 0)
+	g.Go("poller", func(c *sim.G) {
+		for i := 0; i < 3; i++ {
+			buf.Send(c, i) // leaks on the full buffer after flusher exits
+		}
+	})
+	g.Go("canceler", func(c *sim.G) { stop.Close(c) })
+	g.Go("flusher", func(c *sim.G) {
+		buf.Recv(c)
+		idx, _, _ := conc.Select(c, []conc.Case{
+			conc.CaseRecv(buf),
+			conc.CaseRecv(stop),
+		}, false)
+		_ = idx // BUG: the stop case exits with the poller mid-stream
+	})
+	conc.Sleep(g, 300)
+}
+
+// cockroach35931: inbox holds its lock while waiting for a stream message
+// the outbox can only produce after taking the same lock.
+func cockroach35931(g *sim.G) {
+	inboxMu := conc.NewMutex(g)
+	stream := conc.NewChan[int](g, 0)
+	g.Go("outbox", func(c *sim.G) {
+		inboxMu.Lock(c) // BUG: needs the inbox lock to enqueue
+		stream.Send(c, 1)
+		inboxMu.Unlock(c)
+	})
+	inboxMu.Lock(g)
+	stream.Recv(g) // waits while holding the lock the outbox needs
+	inboxMu.Unlock(g)
+}

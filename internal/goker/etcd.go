@@ -1,0 +1,222 @@
+package goker
+
+import (
+	"goat/internal/conc"
+	"goat/internal/sim"
+)
+
+func init() {
+	register(Kernel{
+		ID: "etcd_5509", Project: "etcd", Cause: ResourceDeadlock, Expect: "GDL",
+		Description: "clientv3 concurrency: Lock's error path returns without releasing the session mutex; the next locker blocks forever.",
+		Main:        etcd5509,
+	})
+	register(Kernel{
+		ID: "etcd_6708", Project: "etcd", Cause: ResourceDeadlock, Expect: "GDL",
+		Description: "watch stream: notify re-acquires the stream mutex already held by the broadcast path (double lock).",
+		Main:        etcd6708,
+	})
+	register(Kernel{
+		ID: "etcd_6857", Project: "etcd", Cause: CommunicationDeadlock, Expect: "PDL", Rare: true,
+		Description: "raft node: the status request races Stop; after the node loop exits via the stop case, the status sender leaks.",
+		Main:        etcd6857,
+	})
+	register(Kernel{
+		ID: "etcd_6873", Project: "etcd", Cause: CommunicationDeadlock, Expect: "PDL", Rare: true,
+		Description: "watch broadcast: a new watcher registers while the broadcaster is draining; the registration send leaks after the drain exits.",
+		Main:        etcd6873,
+	})
+	register(Kernel{
+		ID: "etcd_7443", Project: "etcd", Cause: MixedDeadlock, Expect: "PDL", Rare: true,
+		Description: "clientv3 balancer: notify/upstream coordination over channels, a mutex and a cond inside nested select loops; the coverage case study (Fig. 6a).",
+		Main:        etcd7443,
+	})
+	register(Kernel{
+		ID: "etcd_7492", Project: "etcd", Cause: CommunicationDeadlock, Expect: "PDL",
+		Description: "lease keepalive: the response fan-out sends to a full per-stream buffer while the stream reader already returned.",
+		Main:        etcd7492,
+	})
+	register(Kernel{
+		ID: "etcd_7902", Project: "etcd", Cause: MixedDeadlock, Expect: "GDL",
+		Description: "election: observe holds the client lock while waiting for the leader signal that the campaign goroutine sends only after taking the lock.",
+		Main:        etcd7902,
+	})
+	register(Kernel{
+		ID: "etcd_10492", Project: "etcd", Cause: ResourceDeadlock, Expect: "GDL", Rare: true,
+		Description: "lessor: checkpointScheduledLeases takes the lessor lock then the checkpoint lock while the demote path takes them reversed — AB-BA under contention.",
+		Main:        etcd10492,
+	})
+}
+
+// etcd5509: error path leaks the session mutex.
+func etcd5509(g *sim.G) {
+	session := conc.NewMutex(g)
+	lock := func(c *sim.G, fail bool) {
+		session.Lock(c)
+		if fail {
+			return // BUG: missing Unlock
+		}
+		session.Unlock(c)
+	}
+	lock(g, true)
+	lock(g, false)
+}
+
+// etcd6708: broadcast path calls notify with the stream lock held.
+func etcd6708(g *sim.G) {
+	streamMu := conc.NewMutex(g)
+	notify := func(c *sim.G) {
+		streamMu.Lock(c) // BUG: caller already holds streamMu
+		streamMu.Unlock(c)
+	}
+	streamMu.Lock(g)
+	notify(g)
+	streamMu.Unlock(g)
+}
+
+// etcd6857: the node loop exits on stop; a late status request leaks.
+func etcd6857(g *sim.G) {
+	status := conc.NewChan[int](g, 0)
+	stop := conc.NewChan[struct{}](g, 0)
+	g.Go("nodeLoop", func(c *sim.G) {
+		for {
+			idx, _, _ := conc.Select(c, []conc.Case{
+				conc.CaseRecv(status),
+				conc.CaseRecv(stop),
+			}, false)
+			if idx == 1 {
+				return
+			}
+		}
+	})
+	g.Go("stopper", func(c *sim.G) {
+		stop.Close(c)
+	})
+	g.Go("statusReq", func(c *sim.G) {
+		status.Send(c, 1) // leaks when the loop exits first
+	})
+	conc.Sleep(g, 200)
+}
+
+// etcd6873: registration send races the broadcaster's drain-exit.
+func etcd6873(g *sim.G) {
+	registerCh := conc.NewChan[int](g, 0)
+	drained := conc.NewChan[struct{}](g, 0)
+	g.Go("broadcaster", func(c *sim.G) {
+		for {
+			idx, _, _ := conc.Select(c, []conc.Case{
+				conc.CaseRecv(registerCh),
+				conc.CaseRecv(drained),
+			}, false)
+			if idx == 1 {
+				return // BUG: exits while a watcher may be registering
+			}
+		}
+	})
+	g.Go("drainer", func(c *sim.G) {
+		drained.Close(c)
+	})
+	g.Go("watcher", func(c *sim.G) {
+		registerCh.Send(c, 1) // leaks when the drain case wins
+	})
+	conc.Sleep(g, 200)
+}
+
+// etcd7443: the balancer's upstream loop coordinates address updates over
+// an unbuffered notify channel, a mutex-protected address set, and a cond
+// that announces readiness — nested selects inside nested loops. The bug:
+// teardown can win the final select round while the updater is parked on
+// notify, leaking the updater; and the ready signal can fire before the
+// waiter parks.
+func etcd7443(g *sim.G) {
+	notify := conc.NewChan[int](g, 0)
+	stopc := conc.NewChan[struct{}](g, 0)
+	mu := conc.NewMutex(g)
+	ready := conc.NewCond(g, mu)
+	addrs := 0
+
+	g.Go("upstream", func(c *sim.G) {
+		for round := 0; ; round++ {
+			for {
+				idx, _, _ := conc.Select(c, []conc.Case{
+					conc.CaseRecv(notify),
+					conc.CaseRecv(stopc),
+				}, false)
+				if idx == 1 {
+					return
+				}
+				mu.Lock(c)
+				addrs++
+				if addrs == 1 {
+					ready.Signal(c) // BUG: may fire before the waiter waits
+				}
+				mu.Unlock(c)
+				inner, _, _ := conc.Select(c, []conc.Case{
+					conc.CaseRecv(stopc),
+				}, true)
+				if inner == 0 {
+					return
+				}
+				break
+			}
+		}
+	})
+	g.Go("updater", func(c *sim.G) {
+		for i := 0; i < 2; i++ {
+			notify.Send(c, i) // leaks if teardown wins the last round
+		}
+	})
+	g.Go("teardown", func(c *sim.G) {
+		mu.Lock(c)
+		for addrs == 0 {
+			ready.Wait(c) // misses the signal under the racy order
+		}
+		mu.Unlock(c)
+		stopc.Close(c)
+	})
+	conc.Sleep(g, 500)
+}
+
+// etcd7492: fan-out sends to a full keepalive buffer with no reader.
+func etcd7492(g *sim.G) {
+	ka := conc.NewChan[int](g, 1)
+	ka.Send(g, 0) // buffer full: the reader fell behind and then returned
+	g.Go("fanout", func(c *sim.G) {
+		ka.Send(c, 1) // BUG: unconditional send on the full buffer
+	})
+	g.Yield()
+}
+
+// etcd7902: observe holds the lock while waiting for the leader signal
+// that campaign can only produce after taking the lock.
+func etcd7902(g *sim.G) {
+	clientMu := conc.NewMutex(g)
+	leader := conc.NewChan[struct{}](g, 0)
+	g.Go("campaign", func(c *sim.G) {
+		clientMu.Lock(c) // BUG: needs the lock observe is holding
+		leader.Send(c, struct{}{})
+		clientMu.Unlock(c)
+	})
+	clientMu.Lock(g)
+	leader.Recv(g)
+	clientMu.Unlock(g)
+}
+
+// etcd10492: AB-BA between the lessor lock and the checkpoint lock.
+func etcd10492(g *sim.G) {
+	lessor := conc.NewMutex(g)
+	checkpoint := conc.NewMutex(g)
+	done := conc.NewChan[struct{}](g, 0)
+	g.Go("demote", func(c *sim.G) {
+		checkpoint.Lock(c)
+		lessor.Lock(c) // reverse order
+		lessor.Unlock(c)
+		checkpoint.Unlock(c)
+		done.Send(c, struct{}{})
+	})
+	lessor.Lock(g)
+	checkpoint.Lock(g)
+	checkpoint.Unlock(g)
+	lessor.Unlock(g)
+	done.Recv(g)
+}

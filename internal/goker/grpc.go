@@ -1,0 +1,185 @@
+package goker
+
+import (
+	"goat/internal/conc"
+	"goat/internal/sim"
+)
+
+func init() {
+	register(Kernel{
+		ID: "grpc_660", Project: "grpc", Cause: CommunicationDeadlock, Expect: "PDL",
+		Description: "benchmark server: the stats goroutine sends on an unbuffered channel after the harness stopped reading.",
+		Main:        grpc660,
+	})
+	register(Kernel{
+		ID: "grpc_795", Project: "grpc", Cause: ResourceDeadlock, Expect: "GDL",
+		Description: "roundrobin balancer: Close re-acquires the balancer mutex already held by the caller through the watch path.",
+		Main:        grpc795,
+	})
+	register(Kernel{
+		ID: "grpc_862", Project: "grpc", Cause: CommunicationDeadlock, Expect: "PDL", Rare: true,
+		Description: "clientconn: the cancel watcher exits via ctx.Done while resetTransport is parked sending the ready signal; the reset goroutine leaks.",
+		Main:        grpc862,
+	})
+	register(Kernel{
+		ID: "grpc_1275", Project: "grpc", Cause: CommunicationDeadlock, Expect: "PDL",
+		Description: "transport: recvBufferReader waits for data the closed stream will never deliver because CloseStream skipped the notification.",
+		Main:        grpc1275,
+	})
+	register(Kernel{
+		ID: "grpc_1353", Project: "grpc", Cause: CommunicationDeadlock, Expect: "PDL",
+		Description: "addrConn: transportMonitor waits on the closing event that teardown's fast path never emits.",
+		Main:        grpc1353,
+	})
+	register(Kernel{
+		ID: "grpc_1460", Project: "grpc", Cause: MixedDeadlock, Expect: "GDL",
+		Description: "http2Client: GracefulClose holds the transport mutex while flushing control frames; the loopy writer needs the mutex to drain them.",
+		Main:        grpc1460,
+	})
+	register(Kernel{
+		ID: "grpc_1687", Project: "grpc", Cause: ResourceDeadlock, Expect: "GDL", Rare: true,
+		Description: "server stats: handleStream and Stop take the server mutex and the stream mutex in opposite orders.",
+		Main:        grpc1687,
+	})
+	register(Kernel{
+		ID: "grpc_3017", Project: "grpc", Cause: CommunicationDeadlock, Expect: "GDL", Rare: true,
+		Description: "resolver/balancer wrapper: two update loops forward to each other over unbuffered channels; mirrored select commits strand both.",
+		Main:        grpc3017,
+	})
+}
+
+// grpc660: stats sender leaks after the harness stops reading.
+func grpc660(g *sim.G) {
+	stats := conc.NewChan[int](g, 0)
+	g.Go("statsSender", func(c *sim.G) {
+		for i := 0; i < 2; i++ {
+			stats.Send(c, i) // second send leaks
+		}
+	})
+	stats.Recv(g)
+	// BUG: harness returns after one sample.
+}
+
+// grpc795: Close double-locks through the watcher path.
+func grpc795(g *sim.G) {
+	mu := conc.NewMutex(g)
+	closeBalancer := func(c *sim.G) {
+		mu.Lock(c) // BUG: caller already holds mu
+		mu.Unlock(c)
+	}
+	mu.Lock(g)
+	closeBalancer(g)
+	mu.Unlock(g)
+}
+
+// grpc862: reset goroutine parks on ready while the watcher exits on cancel.
+func grpc862(g *sim.G) {
+	ctx, cancel := conc.WithCancel(g)
+	ready := conc.NewChan[struct{}](g, 0)
+	g.Go("resetTransport", func(c *sim.G) {
+		ready.Send(c, struct{}{}) // leaks when the watcher exits first
+	})
+	g.Go("watcher", func(c *sim.G) {
+		idx, _, _ := conc.Select(c, []conc.Case{
+			conc.CaseRecv(ready),
+			conc.CaseRecv(ctx.Done()),
+		}, false)
+		_ = idx // BUG: the ctx case returns without draining ready
+	})
+	cancel(g)
+	conc.Sleep(g, 200)
+}
+
+// grpc1275: CloseStream forgets to wake the pending reader.
+func grpc1275(g *sim.G) {
+	recvData := conc.NewChan[int](g, 0)
+	g.Go("reader", func(c *sim.G) {
+		recvData.Recv(c) // leaks: close path never feeds or closes it
+	})
+	streamClosed := true
+	if streamClosed {
+		return // BUG: missing close(recvData)
+	}
+	recvData.Send(g, 1)
+}
+
+// grpc1353: teardown's fast path skips the closing event.
+func grpc1353(g *sim.G) {
+	closing := conc.NewChan[struct{}](g, 0)
+	g.Go("transportMonitor", func(c *sim.G) {
+		closing.Recv(c) // leaks on the fast path
+	})
+	fastPath := true
+	if !fastPath {
+		closing.Close(g)
+	}
+}
+
+// grpc1460: GracefulClose holds the mutex the loopy writer needs.
+func grpc1460(g *sim.G) {
+	transportMu := conc.NewMutex(g)
+	controlBuf := conc.NewChan[int](g, 0)
+	g.Go("loopyWriter", func(c *sim.G) {
+		transportMu.Lock(c) // BUG: needs the mutex to drain
+		controlBuf.Recv(c)
+		transportMu.Unlock(c)
+	})
+	transportMu.Lock(g)
+	controlBuf.Send(g, 1) // blocks holding the mutex
+	transportMu.Unlock(g)
+}
+
+// grpc1687: AB-BA between the server mutex and the stream mutex.
+func grpc1687(g *sim.G) {
+	serverMu := conc.NewMutex(g)
+	streamMu := conc.NewMutex(g)
+	wg := conc.NewWaitGroup(g)
+	wg.Add(g, 2)
+	g.Go("handleStream", func(c *sim.G) {
+		serverMu.Lock(c)
+		streamMu.Lock(c)
+		streamMu.Unlock(c)
+		serverMu.Unlock(c)
+		wg.Done(c)
+	})
+	g.Go("stop", func(c *sim.G) {
+		streamMu.Lock(c)
+		serverMu.Lock(c)
+		serverMu.Unlock(c)
+		streamMu.Unlock(c)
+		wg.Done(c)
+	})
+	wg.Wait(g)
+}
+
+// grpc3017: two forwarding loops over unbuffered channels; each can bail
+// out on its peer's token and strand the other.
+func grpc3017(g *sim.G) {
+	resolverCh := conc.NewChan[int](g, 0)
+	balancerCh := conc.NewChan[int](g, 0)
+	done := conc.NewChan[struct{}](g, 0)
+	g.Go("resolverLoop", func(c *sim.G) {
+		for i := 0; i < 2; i++ {
+			idx, _, _ := conc.Select(c, []conc.Case{
+				conc.CaseSend(balancerCh, i),
+				conc.CaseRecv(resolverCh),
+			}, false)
+			if idx == 1 {
+				return // BUG: treats feedback as shutdown
+			}
+		}
+		done.Close(c)
+	})
+	g.Go("balancerLoop", func(c *sim.G) {
+		for i := 0; i < 2; i++ {
+			idx, _, _ := conc.Select(c, []conc.Case{
+				conc.CaseRecv(balancerCh),
+				conc.CaseSend(resolverCh, i),
+			}, false)
+			if idx == 1 {
+				return // BUG: stops after sending feedback
+			}
+		}
+	})
+	done.Recv(g)
+}

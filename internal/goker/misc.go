@@ -1,0 +1,177 @@
+package goker
+
+import (
+	"goat/internal/conc"
+	"goat/internal/sim"
+)
+
+func init() {
+	register(Kernel{
+		ID: "hugo_3251", Project: "hugo", Cause: CommunicationDeadlock, Expect: "PDL",
+		Description: "site build: the once-guarded loader waits for a signal only the second once-caller could send — but that caller is parked inside the same Once.",
+		Main:        hugo3251,
+	})
+	register(Kernel{
+		ID: "hugo_5379", Project: "hugo", Cause: CommunicationDeadlock, Expect: "GDL",
+		Description: "page collector: the producer never closes the pages channel, so the consuming range blocks after the last page.",
+		Main:        hugo5379,
+	})
+	register(Kernel{
+		ID: "istio_16224", Project: "istio", Cause: MixedDeadlock, Expect: "GDL",
+		Description: "config store: the notifier sends on an unbuffered event channel while holding the store mutex the handler needs before receiving.",
+		Main:        istio16224,
+	})
+	register(Kernel{
+		ID: "istio_17860", Project: "istio", Cause: CommunicationDeadlock, Expect: "PDL",
+		Description: "proxy agent: the worker's cancel path skips the terminal status; the status reader loops waiting for a sentinel that never arrives.",
+		Main:        istio17860,
+	})
+	register(Kernel{
+		ID: "istio_18454", Project: "istio", Cause: ResourceDeadlock, Expect: "GDL",
+		Description: "galley processor: a writer re-enters its own RWMutex with RLock (write-to-read re-entry self-deadlock).",
+		Main:        istio18454,
+	})
+	register(Kernel{
+		ID: "serving_2137", Project: "serving", Cause: MixedDeadlock, Expect: "PDL", Rare: true,
+		Description: "breaker: two requests check the token buffer under the lock but release outside it; both observe a free slot, the second release blocks on the full buffer forever (the bug only D=2 exposed in the paper).",
+		Main:        serving2137,
+	})
+	register(Kernel{
+		ID: "syncthing_4829", Project: "syncthing", Cause: MixedDeadlock, Expect: "GDL",
+		Description: "service Stop: holds the service mutex while waiting for the loop's exit signal; the loop needs that mutex before signalling.",
+		Main:        syncthing4829,
+	})
+	register(Kernel{
+		ID: "syncthing_5795", Project: "syncthing", Cause: CommunicationDeadlock, Expect: "GDL",
+		Description: "puller: the coordinator waits on the WaitGroup before draining results; the worker is parked sending a result and can never Done.",
+		Main:        syncthing5795,
+	})
+}
+
+// hugo3251: circular wait between a Once body and a second Once caller.
+func hugo3251(g *sim.G) {
+	once := conc.NewOnce(g)
+	loaded := conc.NewChan[struct{}](g, 0)
+	g.Go("builder", func(c *sim.G) {
+		once.Do(c, func() {
+			loaded.Recv(c) // waits for the renderer's signal
+		})
+	})
+	g.Go("renderer", func(c *sim.G) {
+		once.Do(c, func() {}) // parks behind the builder's Do
+		loaded.Send(c, struct{}{})
+	})
+	conc.Sleep(g, 100)
+}
+
+// hugo5379: range over a channel the producer never closes.
+func hugo5379(g *sim.G) {
+	pages := conc.NewChan[int](g, 2)
+	g.Go("producer", func(c *sim.G) {
+		pages.Send(c, 1)
+		pages.Send(c, 2)
+		// BUG: missing close(pages)
+	})
+	total := 0
+	pages.Range(g, func(v int) bool {
+		total += v
+		return true
+	})
+}
+
+// istio16224: notify send under the store mutex vs a locking handler.
+func istio16224(g *sim.G) {
+	storeMu := conc.NewMutex(g)
+	events := conc.NewChan[int](g, 0)
+	g.Go("notifier", func(c *sim.G) {
+		storeMu.Lock(c)
+		events.Send(c, 1) // blocks holding the store mutex
+		storeMu.Unlock(c)
+	})
+	storeMu.Lock(g) // BUG: handler locks before receiving
+	events.Recv(g)
+	storeMu.Unlock(g)
+}
+
+// istio17860: cancel path skips the terminal status sentinel.
+func istio17860(g *sim.G) {
+	ctx, cancel := conc.WithCancel(g)
+	statusCh := conc.NewChan[int](g, 0)
+	g.Go("worker", func(c *sim.G) {
+		for i := 0; i < 2; i++ {
+			idx, _, _ := conc.Select(c, []conc.Case{
+				conc.CaseSend(statusCh, i),
+				conc.CaseRecv(ctx.Done()),
+			}, false)
+			if idx == 1 {
+				return // BUG: no terminal sentinel on the cancel path
+			}
+		}
+		statusCh.Send(c, -1) // terminal sentinel
+	})
+	g.Go("reader", func(c *sim.G) {
+		for {
+			v, _ := statusCh.Recv(c) // leaks when the sentinel is skipped
+			if v == -1 {
+				return
+			}
+		}
+	})
+	cancel(g)
+	conc.Sleep(g, 200)
+}
+
+// istio18454: write-to-read re-entry on the same RWMutex.
+func istio18454(g *sim.G) {
+	mu := conc.NewRWMutex(g)
+	mu.Lock(g)
+	mu.RLock(g) // self-deadlock: the writer is ourselves
+	mu.RUnlock(g)
+	mu.Unlock(g)
+}
+
+// serving2137: check under the lock, release outside it — two requests
+// can both observe the free slot and the second blocks forever. The
+// buggy window needs a preemption between the unlock and the send.
+func serving2137(g *sim.G) {
+	mu := conc.NewMutex(g)
+	tokens := conc.NewChan[struct{}](g, 1)
+	release := func(c *sim.G) {
+		mu.Lock(c)
+		free := tokens.Len() < 1 // check under the lock...
+		mu.Unlock(c)
+		if free {
+			tokens.Send(c, struct{}{}) // ...send outside it (BUG)
+		}
+	}
+	g.Go("request1", func(c *sim.G) { release(c) })
+	g.Go("request2", func(c *sim.G) { release(c) })
+	conc.Sleep(g, 300)
+}
+
+// syncthing4829: Stop waits for the loop under the mutex the loop needs.
+func syncthing4829(g *sim.G) {
+	serviceMu := conc.NewMutex(g)
+	loopDone := conc.NewChan[struct{}](g, 0)
+	g.Go("serveLoop", func(c *sim.G) {
+		serviceMu.Lock(c) // BUG: needs the mutex Stop is holding
+		serviceMu.Unlock(c)
+		loopDone.Send(c, struct{}{})
+	})
+	serviceMu.Lock(g) // Stop
+	loopDone.Recv(g)  // waits while holding the mutex
+	serviceMu.Unlock(g)
+}
+
+// syncthing5795: Wait before drain; the worker can never reach Done.
+func syncthing5795(g *sim.G) {
+	wg := conc.NewWaitGroup(g)
+	results := conc.NewChan[int](g, 0)
+	wg.Add(g, 1)
+	g.Go("worker", func(c *sim.G) {
+		results.Send(c, 7) // parked: main drains only after Wait
+		wg.Done(c)
+	})
+	wg.Wait(g) // BUG: Wait precedes the drain
+	results.Recv(g)
+}

@@ -1,0 +1,288 @@
+package goker
+
+import (
+	"goat/internal/conc"
+	"goat/internal/sim"
+)
+
+func init() {
+	register(Kernel{
+		ID: "moby_4951", Project: "moby", Cause: ResourceDeadlock, Expect: "GDL", Rare: true,
+		Description: "devmapper: DeviceSet lock and device lock taken in opposite orders by removeDevice and resumeDevice; AB-BA deadlock under contention.",
+		Main:        moby4951,
+	})
+	register(Kernel{
+		ID: "moby_7559", Project: "moby", Cause: ResourceDeadlock, Expect: "GDL",
+		Description: "portmapper: error path re-acquires the map lock already held by the caller (double lock).",
+		Main:        moby7559,
+	})
+	register(Kernel{
+		ID: "moby_17176", Project: "moby", Cause: ResourceDeadlock, Expect: "GDL",
+		Description: "devmapper: deactivateDevice returns early without releasing the devices lock; the next operation blocks forever.",
+		Main:        moby17176,
+	})
+	register(Kernel{
+		ID: "moby_21233", Project: "moby", Cause: CommunicationDeadlock, Expect: "PDL", Rare: true,
+		Description: "pkg/pubsub test utility: publisher sends after the subscriber timed out and stopped receiving; the send leaks.",
+		Main:        moby21233,
+	})
+	register(Kernel{
+		ID: "moby_25348", Project: "moby", Cause: CommunicationDeadlock, Expect: "GDL",
+		Description: "distribution: pull error path returns before wg.Done, so the pull coordinator waits on the WaitGroup forever.",
+		Main:        moby25348,
+	})
+	register(Kernel{
+		ID: "moby_27051", Project: "moby", Cause: ResourceDeadlock, Expect: "GDL",
+		Description: "container store: Get under RLock calls a helper that takes the write lock of the same RWMutex (read-to-write upgrade deadlock).",
+		Main:        moby27051,
+	})
+	register(Kernel{
+		ID: "moby_27782", Project: "moby", Cause: CommunicationDeadlock, Expect: "PDL",
+		Description: "logger: the follower's select lacks the producer-gone case; once the producer exits without closing, the follower leaks in select.",
+		Main:        moby27782,
+	})
+	register(Kernel{
+		ID: "moby_28462", Project: "moby", Cause: MixedDeadlock, Expect: "PDL", Rare: true,
+		Description: "daemon: Monitor's select default path locks the container mutex while StatusChange holds it and blocks sending on the status channel (the paper's listing 1).",
+		Main:        moby28462,
+	})
+	register(Kernel{
+		ID: "moby_29733", Project: "moby", Cause: CommunicationDeadlock, Expect: "GDL",
+		Description: "plugins: client waits on a condition variable for an activation that already failed; the error path skips the broadcast.",
+		Main:        moby29733,
+	})
+	register(Kernel{
+		ID: "moby_30408", Project: "moby", Cause: CommunicationDeadlock, Expect: "GDL", Rare: true,
+		Description: "events: a waiter calls cond.Wait moments after the closer's single Broadcast; the signal is missed and the waiter never wakes.",
+		Main:        moby30408,
+	})
+	register(Kernel{
+		ID: "moby_33293", Project: "moby", Cause: CommunicationDeadlock, Expect: "PDL",
+		Description: "stats collector: value is sent to an unbuffered channel after the only reader returned on error; the sender goroutine leaks.",
+		Main:        moby33293,
+	})
+	register(Kernel{
+		ID: "moby_36114", Project: "moby", Cause: ResourceDeadlock, Expect: "GDL", Rare: true,
+		Description: "container: recursive RLock while a writer is queued between the two read acquisitions; writer preference turns the second RLock into a deadlock.",
+		Main:        moby36114,
+	})
+}
+
+// moby4951: AB-BA lock order between the device-set lock and a device lock.
+func moby4951(g *sim.G) {
+	setLock := conc.NewMutex(g)
+	devLock := conc.NewMutex(g)
+	wg := conc.NewWaitGroup(g)
+	wg.Add(g, 2)
+	g.Go("removeDevice", func(c *sim.G) {
+		setLock.Lock(c)
+		devLock.Lock(c) // set -> dev
+		devLock.Unlock(c)
+		setLock.Unlock(c)
+		wg.Done(c)
+	})
+	g.Go("resumeDevice", func(c *sim.G) {
+		devLock.Lock(c)
+		setLock.Lock(c) // dev -> set: inverted
+		setLock.Unlock(c)
+		devLock.Unlock(c)
+		wg.Done(c)
+	})
+	wg.Wait(g)
+}
+
+// moby7559: the error path locks a mutex the caller already holds.
+func moby7559(g *sim.G) {
+	mapLock := conc.NewMutex(g)
+	cleanup := func(c *sim.G) {
+		mapLock.Lock(c) // double lock: caller holds mapLock
+		mapLock.Unlock(c)
+	}
+	mapLock.Lock(g)
+	cleanup(g)
+	mapLock.Unlock(g)
+}
+
+// moby17176: early return leaks the lock; the next caller blocks.
+func moby17176(g *sim.G) {
+	devices := conc.NewMutex(g)
+	deactivate := func(c *sim.G, fail bool) {
+		devices.Lock(c)
+		if fail {
+			return // BUG: missing Unlock on the error path
+		}
+		devices.Unlock(c)
+	}
+	deactivate(g, true)
+	deactivate(g, false) // blocks forever on the leaked lock
+}
+
+// moby21233: subscriber races a stop signal against the event stream; when
+// stop wins mid-stream the publisher's pending send leaks.
+func moby21233(g *sim.G) {
+	events := conc.NewChan[int](g, 0)
+	stop := conc.NewChan[struct{}](g, 0)
+	g.Go("publisher", func(c *sim.G) {
+		for i := 0; i < 3; i++ {
+			events.Send(c, i) // leaks when the subscriber stops early
+		}
+	})
+	g.Go("canceler", func(c *sim.G) {
+		stop.Close(c)
+	})
+	for received := 0; received < 3; {
+		idx, _, _ := conc.Select(g, []conc.Case{
+			conc.CaseRecv(events),
+			conc.CaseRecv(stop),
+		}, false)
+		if idx == 1 {
+			return // stopped: publisher may still be mid-stream
+		}
+		received++
+	}
+}
+
+// moby25348: error path skips wg.Done.
+func moby25348(g *sim.G) {
+	wg := conc.NewWaitGroup(g)
+	results := conc.NewChan[int](g, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(g, 1)
+		g.Go("puller", func(c *sim.G) {
+			if i == 1 {
+				return // BUG: missing wg.Done on the error branch
+			}
+			results.Send(c, i)
+			wg.Done(c)
+		})
+	}
+	wg.Wait(g) // waits forever for the failed puller
+	results.Close(g)
+}
+
+// moby27051: read-to-write lock upgrade on the same RWMutex.
+func moby27051(g *sim.G) {
+	store := conc.NewRWMutex(g)
+	touch := func(c *sim.G) {
+		store.Lock(c) // upgrade attempt while the caller holds RLock
+		store.Unlock(c)
+	}
+	g.Go("janitor", func(c *sim.G) {
+		// Concurrent reader makes the window visible under some schedules.
+		store.RLock(c)
+		conc.Sleep(c, 10)
+		store.RUnlock(c)
+	})
+	store.RLock(g)
+	touch(g) // self-deadlock: writer waits for our own read lock
+	store.RUnlock(g)
+}
+
+// moby27782: follower's select has no "producer gone" case.
+func moby27782(g *sim.G) {
+	logs := conc.NewChan[int](g, 1)
+	done := conc.NewChan[struct{}](g, 0)
+	g.Go("follower", func(c *sim.G) {
+		for {
+			idx, _, ok := conc.Select(c, []conc.Case{
+				conc.CaseRecv(logs),
+				// BUG: no case watching the producer's lifetime.
+			}, false)
+			if idx == 0 && !ok {
+				return
+			}
+		}
+	})
+	g.Go("producer", func(c *sim.G) {
+		logs.Send(c, 1)
+		// BUG: producer exits without closing logs.
+		done.Close(c)
+	})
+	done.Recv(g)
+}
+
+// moby28462: the paper's listing 1 — Monitor vs StatusChange.
+func moby28462(g *sim.G) {
+	mu := conc.NewMutex(g)
+	status := conc.NewChan[int](g, 0)
+	g.Go("Monitor", func(c *sim.G) {
+		for {
+			idx, _, _ := conc.Select(c, []conc.Case{conc.CaseRecv(status)}, true)
+			if idx == 0 {
+				return // container stopped
+			}
+			mu.Lock(c)
+			mu.Unlock(c)
+		}
+	})
+	g.Go("StatusChange", func(c *sim.G) {
+		mu.Lock(c)
+		status.Send(c, 1) // blocks holding mu if Monitor is at Lock
+		mu.Unlock(c)
+	})
+	conc.Sleep(g, 500)
+}
+
+// moby29733: activation error path forgets the broadcast.
+func moby29733(g *sim.G) {
+	mu := conc.NewMutex(g)
+	activated := conc.NewCond(g, mu)
+	ready := false
+	g.Go("activate", func(c *sim.G) {
+		mu.Lock(c)
+		fail := true
+		if !fail {
+			ready = true
+			activated.Broadcast(c)
+		}
+		// BUG: no broadcast on failure.
+		mu.Unlock(c)
+	})
+	mu.Lock(g)
+	for !ready {
+		activated.Wait(g) // waits forever after the failed activation
+	}
+	mu.Unlock(g)
+}
+
+// moby30408: single Broadcast races with a late Wait.
+func moby30408(g *sim.G) {
+	mu := conc.NewMutex(g)
+	cond := conc.NewCond(g, mu)
+	g.Go("closer", func(c *sim.G) {
+		mu.Lock(c)
+		cond.Broadcast(c) // fires once; a waiter arriving later misses it
+		mu.Unlock(c)
+	})
+	mu.Lock(g)
+	cond.Wait(g) // BUG: no predicate re-check; misses the broadcast
+	mu.Unlock(g)
+}
+
+// moby33293: send after the reader bailed out.
+func moby33293(g *sim.G) {
+	stats := conc.NewChan[int](g, 0)
+	g.Go("collector", func(c *sim.G) {
+		stats.Send(c, 42) // leaks: reader returned on error below
+	})
+	errHappened := true
+	if errHappened {
+		return
+	}
+	stats.Recv(g)
+}
+
+// moby36114: recursive read lock with a writer queued in between.
+func moby36114(g *sim.G) {
+	state := conc.NewRWMutex(g)
+	g.Go("checkpoint", func(c *sim.G) {
+		state.Lock(c) // queued writer blocks later readers
+		state.Unlock(c)
+	})
+	state.RLock(g)
+	// Writer tries to lock here under the buggy schedule.
+	state.RLock(g) // BUG: recursive read lock behind the queued writer
+	state.RUnlock(g)
+	state.RUnlock(g)
+}

@@ -1,0 +1,195 @@
+// Package gtree builds the goroutine tree of an execution concurrency
+// trace and runs the paper's deadlock-detection procedure over it.
+//
+// Nodes are goroutines; a directed edge parent→child means the child was
+// created by a go statement the parent executed. Each node carries the full
+// event sequence the goroutine executed, its creation site, and its final
+// event — the inputs of Procedure 1 (DeadlockCheck) and of the coverage
+// measurement.
+package gtree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"goat/internal/trace"
+)
+
+// Node is one goroutine of the tree.
+type Node struct {
+	ID         trace.GoID
+	Name       string
+	Parent     *Node // nil for the main goroutine
+	Children   []*Node
+	Events     []trace.Event // the goroutine's own events, in order
+	CreateFile string        // CU of the go statement that spawned it
+	CreateLine int
+	System     bool // runtime-internal (timer/watchdog) goroutine
+
+	key string // equivalence key, memoized at build time
+}
+
+// LastEvent returns the node's final executed event (zero Event if none).
+func (n *Node) LastEvent() trace.Event {
+	if len(n.Events) == 0 {
+		return trace.Event{}
+	}
+	return n.Events[len(n.Events)-1]
+}
+
+// Ended reports whether the goroutine reached its end state.
+func (n *Node) Ended() bool { return n.LastEvent().Type == trace.EvGoEnd }
+
+// Key is the cross-run equivalence key: two goroutines from different
+// executions are equivalent iff their parents are equivalent and they were
+// created at the same CU (file and line) — the paper's ≡ relation.
+func (n *Node) Key() string { return n.key }
+
+// AppLevel reports whether the goroutine belongs to the application: it is
+// the main goroutine, or its ancestors are application-level and it is not
+// a runtime-internal goroutine.
+func (n *Node) AppLevel() bool {
+	if n.System {
+		return false
+	}
+	if n.Parent == nil {
+		return true
+	}
+	return n.Parent.AppLevel()
+}
+
+// Tree is the goroutine tree of one execution.
+type Tree struct {
+	Root  *Node
+	Nodes map[trace.GoID]*Node
+}
+
+// Build constructs the goroutine tree from an ECT. The main goroutine is
+// GoID 1 and becomes the root.
+func Build(tr *trace.Trace) (*Tree, error) {
+	if tr == nil || tr.Len() == 0 {
+		return nil, trace.ErrEmpty
+	}
+	t := &Tree{Nodes: map[trace.GoID]*Node{}}
+	root := &Node{ID: 1, Name: "main", key: "main"}
+	t.Root = root
+	t.Nodes[1] = root
+	for _, e := range tr.Events {
+		n, ok := t.Nodes[e.G]
+		if !ok {
+			return nil, fmt.Errorf("gtree: event by unknown goroutine g%d at ts %d", e.G, e.Ts)
+		}
+		n.Events = append(n.Events, e)
+		if e.Type == trace.EvGoCreate {
+			child := &Node{
+				ID:         e.Peer,
+				Name:       e.Str,
+				Parent:     n,
+				CreateFile: e.File,
+				CreateLine: e.Line,
+				System:     e.Aux == 1,
+			}
+			child.key = fmt.Sprintf("%s/%s:%d", n.key, e.File, e.Line)
+			n.Children = append(n.Children, child)
+			t.Nodes[e.Peer] = child
+		}
+	}
+	return t, nil
+}
+
+// AppNodes returns the application-level goroutines in BFS order from the
+// root — the goroutines the paper's analyses operate on.
+func (t *Tree) AppNodes() []*Node {
+	var out []*Node
+	queue := []*Node{t.Root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if !n.AppLevel() {
+			continue
+		}
+		out = append(out, n)
+		queue = append(queue, n.Children...)
+	}
+	return out
+}
+
+// Verdict is the result of DeadlockCheck.
+type Verdict uint8
+
+const (
+	// Pass means every application goroutine reached its end state.
+	Pass Verdict = iota
+	// GlobalDeadlock means the main goroutine itself never ended.
+	GlobalDeadlock
+	// PartialDeadlock means main ended but at least one descendant leaked.
+	PartialDeadlock
+)
+
+var verdictNames = [...]string{"Pass", "Global Deadlock", "Partial Deadlock (leak)"}
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	if int(v) < len(verdictNames) {
+		return verdictNames[v]
+	}
+	return fmt.Sprintf("Verdict(%d)", uint8(v))
+}
+
+// DeadlockCheck is the paper's Procedure 1: a BFS over the application
+// goroutine tree checking final events. The main goroutine must have ended;
+// every descendant must have GoEnd as its final event. It returns the
+// verdict together with every leaked goroutine (the paper's procedure
+// returns on the first, but reports want all of them).
+func (t *Tree) DeadlockCheck() (Verdict, []*Node) {
+	if !t.Root.Ended() {
+		return GlobalDeadlock, []*Node{t.Root}
+	}
+	var leaked []*Node
+	queue := append([]*Node{}, t.Root.Children...)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if !cur.AppLevel() {
+			continue
+		}
+		if !cur.Ended() {
+			leaked = append(leaked, cur)
+		}
+		queue = append(queue, cur.Children...)
+	}
+	if len(leaked) > 0 {
+		return PartialDeadlock, leaked
+	}
+	return Pass, nil
+}
+
+// String renders the tree in a compact indented form (the paper's
+// goroutine-tree visualization, text flavor).
+func (t *Tree) String() string {
+	var b strings.Builder
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		tag := ""
+		if n.System {
+			tag = " [system]"
+		} else if !n.Ended() {
+			last := n.LastEvent()
+			if last.Type == trace.EvGoBlock {
+				tag = fmt.Sprintf(" [LEAKED blocked:%s @%s:%d]", last.BlockReason(), last.File, last.Line)
+			} else {
+				tag = fmt.Sprintf(" [LEAKED last:%s]", last.Type)
+			}
+		}
+		fmt.Fprintf(&b, "%sg%d %s (created %s:%d, %d events)%s\n",
+			strings.Repeat("  ", depth), n.ID, n.Name, n.CreateFile, n.CreateLine, len(n.Events), tag)
+		children := append([]*Node{}, n.Children...)
+		sort.Slice(children, func(i, j int) bool { return children[i].ID < children[j].ID })
+		for _, c := range children {
+			rec(c, depth+1)
+		}
+	}
+	rec(t.Root, 0)
+	return b.String()
+}

@@ -1,0 +1,203 @@
+package gtree
+
+import (
+	"strings"
+	"testing"
+
+	"goat/internal/conc"
+	"goat/internal/sim"
+	"goat/internal/trace"
+)
+
+func runProg(t *testing.T, fn func(*sim.G)) *Tree {
+	t.Helper()
+	r := sim.Run(sim.Options{PreemptProb: -1}, fn)
+	tree, err := Build(r.Trace)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return tree
+}
+
+func TestBuildSimpleTree(t *testing.T) {
+	tree := runProg(t, func(g *sim.G) {
+		g.Go("child1", func(c *sim.G) {
+			c.Go("grandchild", func(*sim.G) {})
+			c.Yield()
+		})
+		g.Yield()
+		g.Yield()
+		g.Go("child2", func(*sim.G) {})
+		g.Yield()
+	})
+	if tree.Root.ID != 1 || tree.Root.Name != "main" {
+		t.Fatalf("root = %v", tree.Root)
+	}
+	if len(tree.Root.Children) != 2 {
+		t.Fatalf("main has %d children, want 2", len(tree.Root.Children))
+	}
+	c1 := tree.Root.Children[0]
+	if c1.Name != "child1" || len(c1.Children) != 1 {
+		t.Fatalf("child1 = %+v", c1)
+	}
+	if c1.Children[0].Name != "grandchild" {
+		t.Fatalf("grandchild = %+v", c1.Children[0])
+	}
+	if c1.Parent != tree.Root {
+		t.Fatal("parent link broken")
+	}
+}
+
+func TestDeadlockCheckPass(t *testing.T) {
+	tree := runProg(t, func(g *sim.G) {
+		ch := conc.NewChan[int](g, 0)
+		g.Go("worker", func(c *sim.G) { ch.Send(c, 1) })
+		ch.Recv(g)
+		g.Yield()
+	})
+	v, leaked := tree.DeadlockCheck()
+	if v != Pass || leaked != nil {
+		t.Fatalf("verdict = %v leaked=%v, want Pass", v, leaked)
+	}
+}
+
+func TestDeadlockCheckPartial(t *testing.T) {
+	tree := runProg(t, func(g *sim.G) {
+		ch := conc.NewChan[int](g, 0)
+		g.Go("leaker", func(c *sim.G) { ch.Send(c, 1) }) // no receiver
+		g.Yield()
+	})
+	v, leaked := tree.DeadlockCheck()
+	if v != PartialDeadlock {
+		t.Fatalf("verdict = %v, want PartialDeadlock", v)
+	}
+	if len(leaked) != 1 || leaked[0].Name != "leaker" {
+		t.Fatalf("leaked = %v", leaked)
+	}
+	last := leaked[0].LastEvent()
+	if last.Type != trace.EvGoBlock || last.BlockReason() != trace.BlockSend {
+		t.Fatalf("leaker last event = %v", last)
+	}
+}
+
+func TestDeadlockCheckGlobal(t *testing.T) {
+	tree := runProg(t, func(g *sim.G) {
+		ch := conc.NewChan[int](g, 0)
+		ch.Recv(g) // main blocks forever
+	})
+	v, leaked := tree.DeadlockCheck()
+	if v != GlobalDeadlock {
+		t.Fatalf("verdict = %v, want GlobalDeadlock", v)
+	}
+	if len(leaked) != 1 || leaked[0].ID != 1 {
+		t.Fatalf("leaked = %v", leaked)
+	}
+}
+
+func TestDeadlockCheckReportsAllLeaks(t *testing.T) {
+	tree := runProg(t, func(g *sim.G) {
+		ch := conc.NewChan[int](g, 0)
+		for i := 0; i < 3; i++ {
+			g.Go("stuck", func(c *sim.G) { ch.Send(c, 1) })
+		}
+		g.Yield()
+		g.Yield()
+		g.Yield()
+	})
+	v, leaked := tree.DeadlockCheck()
+	if v != PartialDeadlock || len(leaked) != 3 {
+		t.Fatalf("verdict=%v leaked=%d, want 3 partial leaks", v, len(leaked))
+	}
+}
+
+func TestSystemGoroutinesExcluded(t *testing.T) {
+	tree := runProg(t, func(g *sim.G) {
+		// conc.After spawns a system timer goroutine that outlives main.
+		conc.After(g, 1_000_000)
+	})
+	v, _ := tree.DeadlockCheck()
+	if v != Pass {
+		t.Fatalf("verdict = %v: system timer goroutine wrongly counted", v)
+	}
+	app := tree.AppNodes()
+	if len(app) != 1 {
+		t.Fatalf("app nodes = %d, want just main", len(app))
+	}
+	// The timer node must exist in the full tree but be non-app.
+	foundSystem := false
+	for _, n := range tree.Nodes {
+		if n.System {
+			foundSystem = true
+			if n.AppLevel() {
+				t.Fatal("system node reported app-level")
+			}
+		}
+	}
+	if !foundSystem {
+		t.Fatal("timer system goroutine missing from tree")
+	}
+}
+
+func TestEquivalenceKeysStableAcrossRuns(t *testing.T) {
+	prog := func(g *sim.G) {
+		g.Go("w", func(c *sim.G) { c.Yield() })
+		g.Yield()
+		g.Yield()
+	}
+	k1 := keyOfOnlyChild(t, runProg(t, prog))
+	k2 := keyOfOnlyChild(t, runProg(t, prog))
+	if k1 != k2 {
+		t.Fatalf("equivalent goroutines got different keys: %q vs %q", k1, k2)
+	}
+	if !strings.HasPrefix(k1, "main/") {
+		t.Fatalf("key %q not rooted at main", k1)
+	}
+}
+
+func keyOfOnlyChild(t *testing.T, tree *Tree) string {
+	t.Helper()
+	if len(tree.Root.Children) != 1 {
+		t.Fatalf("children = %d", len(tree.Root.Children))
+	}
+	return tree.Root.Children[0].Key()
+}
+
+func TestDistinctCreationSitesDistinctKeys(t *testing.T) {
+	tree := runProg(t, func(g *sim.G) {
+		g.Go("a", func(*sim.G) {})
+		g.Go("b", func(*sim.G) {})
+		g.Yield()
+		g.Yield()
+	})
+	ks := map[string]bool{}
+	for _, c := range tree.Root.Children {
+		ks[c.Key()] = true
+	}
+	if len(ks) != 2 {
+		t.Fatalf("keys not distinct: %v", ks)
+	}
+}
+
+func TestBuildRejectsEmptyTrace(t *testing.T) {
+	if _, err := Build(trace.New(0)); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := Build(nil); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+}
+
+func TestStringRendersLeaks(t *testing.T) {
+	tree := runProg(t, func(g *sim.G) {
+		mu := conc.NewMutex(g)
+		mu.Lock(g)
+		g.Go("blocked", func(c *sim.G) { mu.Lock(c) })
+		g.Yield()
+	})
+	s := tree.String()
+	for _, want := range []string{"main", "blocked", "LEAKED", "mutex"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("tree rendering missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Interval buckets used by Figures 2 and 5 (trial counts to detection).
+var intervalLabels = []string{"1", "2-10", "11-100", "101-1000", "X"}
+
+// bucketOf maps a cell to its interval index (4 = not detected).
+func bucketOf(c Cell) int {
+	if !c.Found {
+		return 4
+	}
+	switch {
+	case c.MinExecs <= 1:
+		return 0
+	case c.MinExecs <= 10:
+		return 1
+	case c.MinExecs <= 100:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Figure2 is the histogram of bugs grouped by the number of trials GoAT
+// (at the given column) needed to detect them.
+type Figure2 struct {
+	Tool    string
+	Buckets [5]int // counts per interval
+}
+
+// RunFigure2 derives Fig. 2 from a Table IV run (paper: GoAT at D=0).
+func RunFigure2(t *TableIV, tool string) *Figure2 {
+	f := &Figure2{Tool: tool}
+	for _, c := range t.Column(tool) {
+		f.Buckets[bucketOf(c)]++
+	}
+	return f
+}
+
+// String renders the histogram.
+func (f *Figure2) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: bugs by #trials to detect (%s)\n", f.Tool)
+	for i, label := range intervalLabels {
+		fmt.Fprintf(&b, "%-10s %3d %s\n", label, f.Buckets[i], strings.Repeat("#", f.Buckets[i]))
+	}
+	return b.String()
+}
+
+// Figure4 is the per-tool histogram of detected bugs by symptom class.
+type Figure4 struct {
+	Tools   []string
+	Classes []string         // PDL, GDL/TO, Crash/Halt
+	Counts  map[string][]int // tool -> counts per class
+}
+
+// classOf maps a verdict to a Fig. 4 symptom class index, or -1.
+func classOf(verdict string) int {
+	switch {
+	case strings.HasPrefix(verdict, "PDL") || verdict == "DL":
+		return 0
+	case verdict == "GDL" || verdict == "TO/GDL":
+		return 1
+	case verdict == "CRASH" || verdict == "HANG":
+		return 2
+	default:
+		return -1
+	}
+}
+
+// RunFigure4 derives Fig. 4 from a Table IV run.
+func RunFigure4(t *TableIV) *Figure4 {
+	f := &Figure4{
+		Tools:   t.Tools,
+		Classes: []string{"PDL", "GDL/TO", "Crash/Halt"},
+		Counts:  map[string][]int{},
+	}
+	for _, tool := range t.Tools {
+		counts := make([]int, 3)
+		for _, c := range t.Column(tool) {
+			if !c.Found {
+				continue
+			}
+			if cl := classOf(c.Verdict); cl >= 0 {
+				counts[cl]++
+			}
+		}
+		f.Counts[tool] = counts
+	}
+	return f
+}
+
+// Detected returns the total detections of one tool.
+func (f *Figure4) Detected(tool string) int {
+	sum := 0
+	for _, n := range f.Counts[tool] {
+		sum += n
+	}
+	return sum
+}
+
+// String renders the grouped histogram.
+func (f *Figure4) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: detected bugs by symptom class per tool\n")
+	fmt.Fprintf(&b, "%-12s %8s %8s %12s %8s\n", "tool", "PDL", "GDL/TO", "Crash/Halt", "total")
+	for _, tool := range f.Tools {
+		c := f.Counts[tool]
+		fmt.Fprintf(&b, "%-12s %8d %8d %12d %8d\n", tool, c[0], c[1], c[2], f.Detected(tool))
+	}
+	return b.String()
+}
+
+// Figure5 is the percentage distribution of required iterations per tool.
+type Figure5 struct {
+	Tools     []string
+	Intervals []string
+	Percent   map[string][5]float64 // tool -> share per interval
+}
+
+// RunFigure5 derives Fig. 5 from a Table IV run.
+func RunFigure5(t *TableIV) *Figure5 {
+	f := &Figure5{Tools: t.Tools, Intervals: intervalLabels, Percent: map[string][5]float64{}}
+	for _, tool := range t.Tools {
+		var counts [5]int
+		cells := t.Column(tool)
+		for _, c := range cells {
+			counts[bucketOf(c)]++
+		}
+		var pct [5]float64
+		if len(cells) > 0 {
+			for i, n := range counts {
+				pct[i] = 100 * float64(n) / float64(len(cells))
+			}
+		}
+		f.Percent[tool] = pct
+	}
+	return f
+}
+
+// String renders the distribution table.
+func (f *Figure5) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: distribution of #iterations to detect (% of bugs)\n")
+	fmt.Fprintf(&b, "%-12s", "tool")
+	for _, iv := range f.Intervals {
+		fmt.Fprintf(&b, "%10s", iv)
+	}
+	b.WriteString("\n")
+	for _, tool := range f.Tools {
+		fmt.Fprintf(&b, "%-12s", tool)
+		for _, p := range f.Percent[tool] {
+			fmt.Fprintf(&b, "%9.1f%%", p)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderFigure6 renders the coverage series of RunFigure6 as aligned
+// columns (iteration, one column per D).
+func RenderFigure6(bugID string, series map[int][]Figure6Point, ds []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: coverage %% over iterations (%s)\n", bugID)
+	fmt.Fprintf(&b, "%-6s", "iter")
+	for _, d := range ds {
+		fmt.Fprintf(&b, "%10s", fmt.Sprintf("D%d", d))
+	}
+	b.WriteString("\n")
+	if len(ds) == 0 || len(series[ds[0]]) == 0 {
+		return b.String()
+	}
+	n := len(series[ds[0]])
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%-6d", i+1)
+		for _, d := range ds {
+			fmt.Fprintf(&b, "%9.1f%%", series[d][i].Percent)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

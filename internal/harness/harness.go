@@ -1,0 +1,255 @@
+// Package harness drives the paper's evaluation: it runs every GoKer
+// kernel under every tool configuration, records the minimum number of
+// executions each tool needs to expose each bug, and regenerates Table IV
+// and Figures 2, 4, 5 and 6.
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"goat/internal/cover"
+	"goat/internal/detect"
+	"goat/internal/goker"
+	"goat/internal/gtree"
+	"goat/internal/sim"
+)
+
+// Spec is one tool configuration (a Table IV column).
+type Spec struct {
+	// Name is the display name, e.g. "goat-D2".
+	Name string
+	// Detector classifies each execution.
+	Detector detect.Detector
+	// Delays is the yield bound D for the execution (baselines use 0:
+	// they observe native schedules).
+	Delays int
+	// NeedTrace marks detectors that consume the ECT (GoAT, LockDL).
+	NeedTrace bool
+}
+
+// DefaultTools returns the paper's Table IV column lineup: the three
+// baselines plus GoAT at D = 0..4.
+func DefaultTools() []Spec {
+	specs := []Spec{
+		{Name: "builtin", Detector: detect.Builtin{}},
+		{Name: "lockdl", Detector: detect.LockDL{}, NeedTrace: true},
+		{Name: "goleak", Detector: detect.Goleak{}},
+	}
+	for d := 0; d <= 4; d++ {
+		specs = append(specs, Spec{
+			Name:      fmt.Sprintf("goat-D%d", d),
+			Detector:  detect.Goat{},
+			Delays:    d,
+			NeedTrace: true,
+		})
+	}
+	return specs
+}
+
+// Config bounds one evaluation campaign.
+type Config struct {
+	// MaxExecs is the per-(bug, tool) execution budget (paper: 1000).
+	MaxExecs int
+	// BaseSeed offsets every trial's seed, for independent repetitions.
+	BaseSeed int64
+	// Tools is the column lineup; nil selects DefaultTools.
+	Tools []Spec
+	// Kernels is the bug set; nil selects the full 68-kernel suite.
+	Kernels []goker.Kernel
+	// Parallel runs up to this many bug rows concurrently (each cell is
+	// an independent deterministic campaign, so results are identical to
+	// the sequential run). 0 or 1 = sequential.
+	Parallel int
+}
+
+func (c Config) maxExecs() int {
+	if c.MaxExecs <= 0 {
+		return 1000
+	}
+	return c.MaxExecs
+}
+
+func (c Config) tools() []Spec {
+	if c.Tools == nil {
+		return DefaultTools()
+	}
+	return c.Tools
+}
+
+func (c Config) kernels() []goker.Kernel {
+	if c.Kernels == nil {
+		return goker.All()
+	}
+	return c.Kernels
+}
+
+// Cell is one (bug, tool) outcome: the minimum executions the tool needed
+// to expose the bug, or Found=false after the budget.
+type Cell struct {
+	Bug      string
+	Tool     string
+	Found    bool
+	MinExecs int    // 1-based count of executions until first detection
+	Verdict  string // the detection's verdict at that execution
+}
+
+// String renders the cell the way Table IV prints it: "PDL-2 (3)" or
+// "X (1000)".
+func (c Cell) String() string {
+	if !c.Found {
+		return fmt.Sprintf("X (%d)", c.MinExecs)
+	}
+	return fmt.Sprintf("%s (%d)", c.Verdict, c.MinExecs)
+}
+
+// MinExecs runs one kernel under one tool until first detection or the
+// budget, returning the cell.
+func MinExecs(k goker.Kernel, spec Spec, maxExecs int, baseSeed int64) Cell {
+	cell := Cell{Bug: k.ID, Tool: spec.Name}
+	for trial := 0; trial < maxExecs; trial++ {
+		opts := sim.Options{
+			Seed:    baseSeed + int64(trial),
+			Delays:  spec.Delays,
+			NoTrace: !spec.NeedTrace,
+		}
+		r := goker.Run(k, opts)
+		if d := spec.Detector.Detect(r); d.Found {
+			cell.Found = true
+			cell.MinExecs = trial + 1
+			cell.Verdict = d.Verdict
+			return cell
+		}
+	}
+	cell.MinExecs = maxExecs
+	return cell
+}
+
+// TableIV is the full evaluation matrix.
+type TableIV struct {
+	Tools []string
+	Rows  []TableIVRow
+}
+
+// TableIVRow is one bug's row.
+type TableIVRow struct {
+	Bug   string
+	Cells []Cell // one per tool, in Tools order
+}
+
+// RunTableIV evaluates every kernel under every tool.
+func RunTableIV(cfg Config) *TableIV {
+	tools := cfg.tools()
+	kernels := cfg.kernels()
+	t := &TableIV{Rows: make([]TableIVRow, len(kernels))}
+	for _, s := range tools {
+		t.Tools = append(t.Tools, s.Name)
+	}
+	evalRow := func(i int) {
+		row := TableIVRow{Bug: kernels[i].ID}
+		for _, s := range tools {
+			row.Cells = append(row.Cells, MinExecs(kernels[i], s, cfg.maxExecs(), cfg.BaseSeed))
+		}
+		t.Rows[i] = row
+	}
+	if cfg.Parallel <= 1 {
+		for i := range kernels {
+			evalRow(i)
+		}
+		return t
+	}
+	sem := make(chan struct{}, cfg.Parallel)
+	var wg sync.WaitGroup
+	for i := range kernels {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			evalRow(i)
+		}()
+	}
+	wg.Wait()
+	return t
+}
+
+// DetectedCount returns, per tool, how many bugs it exposed.
+func (t *TableIV) DetectedCount() map[string]int {
+	m := map[string]int{}
+	for _, row := range t.Rows {
+		for i, c := range row.Cells {
+			if c.Found {
+				m[t.Tools[i]]++
+			}
+		}
+	}
+	return m
+}
+
+// Column returns all cells of one tool.
+func (t *TableIV) Column(tool string) []Cell {
+	var out []Cell
+	for _, row := range t.Rows {
+		for i, c := range row.Cells {
+			if t.Tools[i] == tool {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// String renders the matrix as the paper's Table IV (text form).
+func (t *TableIV) String() string {
+	s := fmt.Sprintf("%-22s", "BugID")
+	for _, tool := range t.Tools {
+		s += fmt.Sprintf("%-16s", tool)
+	}
+	s += "\n"
+	for _, row := range t.Rows {
+		s += fmt.Sprintf("%-22s", row.Bug)
+		for _, c := range row.Cells {
+			s += fmt.Sprintf("%-16s", c.String())
+		}
+		s += "\n"
+	}
+	counts := t.DetectedCount()
+	s += fmt.Sprintf("%-22s", "detected")
+	for _, tool := range t.Tools {
+		s += fmt.Sprintf("%-16s", fmt.Sprintf("%d/%d", counts[tool], len(t.Rows)))
+	}
+	s += "\n"
+	return s
+}
+
+// Figure6Point is one iteration of a coverage campaign.
+type Figure6Point struct {
+	Iteration int
+	Percent   float64
+}
+
+// RunFigure6 reproduces Fig. 6: the coverage-percentage growth over
+// testing iterations for one kernel at each delay bound in ds.
+func RunFigure6(bugID string, iters int, ds []int, baseSeed int64) (map[int][]Figure6Point, error) {
+	k, ok := goker.ByID(bugID)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown bug %q", bugID)
+	}
+	out := map[int][]Figure6Point{}
+	for _, d := range ds {
+		model := cover.NewModel(nil)
+		var series []Figure6Point
+		for it := 0; it < iters; it++ {
+			r := goker.Run(k, sim.Options{Seed: baseSeed + int64(it), Delays: d})
+			tree, err := gtree.Build(r.Trace)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s D=%d iter %d: %w", bugID, d, it, err)
+			}
+			st := model.AddRun(tree)
+			series = append(series, Figure6Point{Iteration: it + 1, Percent: st.Percent})
+		}
+		out[d] = series
+	}
+	return out, nil
+}

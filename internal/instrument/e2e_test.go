@@ -1,0 +1,207 @@
+package instrument
+
+import (
+	"goat/internal/cu"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from this source file to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(file))) // internal/instrument -> repo
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not found at %s: %v", root, err)
+	}
+	return root
+}
+
+// TestInstrumentedProgramRuns is the end-to-end check of the native
+// pipeline: instrument a leaking program, build and run it inside the
+// module, and verify goatrt's end-of-main leak check fires.
+func TestInstrumentedProgramRuns(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+	const leaky = `package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1 // leaks: nobody receives
+	}()
+	time.Sleep(50 * time.Millisecond)
+	fmt.Println("main done")
+}
+`
+	res, err := Source("leaky.go", leaky, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.MainHook || res.Handlers == 0 {
+		t.Fatalf("instrumentation incomplete: %+v", res)
+	}
+
+	root := repoRoot(t)
+	dir := filepath.Join(root, "internal", "instrument", "testdata", "e2e_gen")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(res.Source), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command("go", "run", "./internal/instrument/testdata/e2e_gen")
+	cmd.Dir = root
+	cmd.Env = append(os.Environ(), "GOAT_SEED=1", "GOAT_D=2", "GOAT_TIMEOUT=20s")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("instrumented program failed: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "main done") {
+		t.Fatalf("program output missing:\n%s", s)
+	}
+	if !strings.Contains(s, "goroutine(s) leaked") || !strings.Contains(s, "chan send") {
+		t.Fatalf("goatrt leak check did not fire:\n%s", s)
+	}
+}
+
+// TestInstrumentedCleanProgramQuiet: a non-leaking program must pass the
+// end-of-main check silently.
+func TestInstrumentedCleanProgramQuiet(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+	const clean = `package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+func main() {
+	var wg sync.WaitGroup
+	ch := make(chan int, 1)
+	wg.Add(1)
+	go func() {
+		ch <- 42
+		wg.Done()
+	}()
+	wg.Wait()
+	fmt.Println("got", <-ch)
+}
+`
+	res, err := Source("clean.go", clean, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := repoRoot(t)
+	dir := filepath.Join(root, "internal", "instrument", "testdata", "e2e_clean")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(res.Source), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./internal/instrument/testdata/e2e_clean")
+	cmd.Dir = root
+	cmd.Env = append(os.Environ(), "GOAT_SEED=1", "GOAT_TIMEOUT=20s")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("instrumented program failed: %v\n%s", err, out)
+	}
+	if strings.Contains(string(out), "leaked") {
+		t.Fatalf("false leak report on clean program:\n%s", out)
+	}
+	if !strings.Contains(string(out), "got 42") {
+		t.Fatalf("program output wrong:\n%s", out)
+	}
+}
+
+// TestInstrumentedVisitTrace runs the native pipeline end to end with
+// GOAT_TRACE: instrument, run, parse the visit log, and compute
+// executed-CU coverage against the instrumented source's model.
+func TestInstrumentedVisitTrace(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+	const prog = `package main
+
+import "sync"
+
+func main() {
+	var mu sync.Mutex
+	ch := make(chan int, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		mu.Lock()
+		ch <- 1
+		mu.Unlock()
+		wg.Done()
+	}()
+	wg.Wait()
+	<-ch
+}
+`
+	res, err := Source("visits.go", prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := repoRoot(t)
+	dir := filepath.Join(root, "internal", "instrument", "testdata", "e2e_visits")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	srcPath := filepath.Join(dir, "main.go")
+	if err := os.WriteFile(srcPath, []byte(res.Source), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "visits.log")
+	cmd := exec.Command("go", "run", "./internal/instrument/testdata/e2e_visits")
+	cmd.Dir = root
+	cmd.Env = append(os.Environ(), "GOAT_SEED=1", "GOAT_TRACE="+tracePath, "GOAT_TIMEOUT=20s")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("instrumented program failed: %v\n%s", err, out)
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatalf("visit trace not written: %v", err)
+	}
+	defer f.Close()
+	visits, err := cu.ParseVisits(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visits) != res.Handlers {
+		t.Fatalf("visits = %d, want one per handler (%d)", len(visits), res.Handlers)
+	}
+	// Coverage against the instrumented source's own model: everything in
+	// this straight-line program executes.
+	model, err := cu.ExtractSource("main.go", res.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	executed, dead, pct := cu.ExecutedCoverage(cu.NewModel(model), visits)
+	if pct < 100 {
+		t.Fatalf("executed-CU coverage %.1f%% (executed %d, dead %v)", pct, len(executed), dead)
+	}
+}

@@ -1,0 +1,272 @@
+// Package instrument performs GoAT's source-to-source instrumentation of
+// native Go programs: it injects the goatrt bootstrap into main (Start /
+// Watch / deferred Stop) and a goatrt.Handler() schedule-perturbation call
+// before every statement that performs a concurrency usage.
+//
+// The rewrite is purely syntactic (go/ast in, go/format out), mirroring the
+// paper's AST-level injection, and returns the extracted concurrency-usage
+// model M alongside the rewritten source.
+package instrument
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"goat/internal/cu"
+)
+
+// Options configure the instrumentation.
+type Options struct {
+	// RuntimeImport is the import path of the runtime-support package.
+	// Empty selects the default "goat/goatrt".
+	RuntimeImport string
+	// Pkg is the local identifier used in injected calls. Empty selects
+	// "goatrt".
+	Pkg string
+}
+
+func (o Options) runtimeImport() string {
+	if o.RuntimeImport == "" {
+		return "goat/goatrt"
+	}
+	return o.RuntimeImport
+}
+
+func (o Options) pkg() string {
+	if o.Pkg == "" {
+		return "goatrt"
+	}
+	return o.Pkg
+}
+
+// Result is the outcome of instrumenting one file.
+type Result struct {
+	Source   string  // rewritten, gofmt-formatted source
+	CUs      []cu.CU // the file's concurrency-usage model entries
+	Handlers int     // number of injected Handler() calls
+	MainHook bool    // whether the main-function bootstrap was injected
+}
+
+// Source instruments one Go source text. name is used for diagnostics and
+// CU attribution.
+func Source(name, src string, opts Options) (*Result, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("instrument: parsing %s: %w", name, err)
+	}
+	for _, imp := range f.Imports {
+		if p, _ := strconv.Unquote(imp.Path.Value); p == opts.runtimeImport() {
+			return nil, fmt.Errorf("instrument: %s already imports %s", name, opts.runtimeImport())
+		}
+	}
+
+	cus, err := cu.ExtractSource(name, src)
+	if err != nil {
+		return nil, err
+	}
+
+	ins := &inserter{pkg: opts.pkg()}
+	ast.Inspect(f, ins.visit)
+
+	mainHook := false
+	if f.Name.Name == "main" {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Name.Name == "main" && fd.Recv == nil && fd.Body != nil {
+				fd.Body.List = append(mainBootstrap(opts.pkg()), fd.Body.List...)
+				mainHook = true
+			}
+		}
+	}
+
+	if ins.count > 0 || mainHook {
+		addImport(f, opts.pkg(), opts.runtimeImport())
+	}
+
+	var buf bytes.Buffer
+	if err := format.Node(&buf, fset, f); err != nil {
+		return nil, fmt.Errorf("instrument: rendering %s: %w", name, err)
+	}
+	return &Result{Source: buf.String(), CUs: cus, Handlers: ins.count, MainHook: mainHook}, nil
+}
+
+// File instruments a file on disk, returning the result without writing.
+func File(path string, opts Options) (*Result, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("instrument: %w", err)
+	}
+	return Source(path, string(src), opts)
+}
+
+// Dir instruments every .go file of dir into outDir (created if needed)
+// and returns the program's combined CU model.
+func Dir(dir, outDir string, opts Options) (*cu.Model, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("instrument: %w", err)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return nil, fmt.Errorf("instrument: %w", err)
+	}
+	var all []cu.CU
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		res, err := File(filepath.Join(dir, name), opts)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, res.CUs...)
+		if err := os.WriteFile(filepath.Join(outDir, name), []byte(res.Source), 0o644); err != nil {
+			return nil, fmt.Errorf("instrument: %w", err)
+		}
+	}
+	return cu.NewModel(all), nil
+}
+
+// inserter injects Handler() calls into statement lists.
+type inserter struct {
+	pkg   string
+	count int
+}
+
+func (ins *inserter) visit(n ast.Node) bool {
+	switch v := n.(type) {
+	case *ast.BlockStmt:
+		v.List = ins.rewrite(v.List)
+	case *ast.CaseClause:
+		v.Body = ins.rewrite(v.Body)
+	case *ast.CommClause:
+		v.Body = ins.rewrite(v.Body)
+	}
+	return true
+}
+
+func (ins *inserter) rewrite(list []ast.Stmt) []ast.Stmt {
+	out := make([]ast.Stmt, 0, len(list))
+	for _, st := range list {
+		switch st.(type) {
+		case *ast.CommClause, *ast.CaseClause:
+			// Clause headers cannot be preceded by statements; their
+			// bodies are rewritten when the walk reaches them.
+			out = append(out, st)
+			continue
+		}
+		if carriesCU(st) {
+			out = append(out, handlerCall(ins.pkg))
+			ins.count++
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// carriesCU reports whether the statement performs a concurrency usage at
+// its own nesting level (nested blocks and function literals handle their
+// own statements when the walk reaches them).
+func carriesCU(st ast.Stmt) bool {
+	found := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.BlockStmt:
+			return false // inner statements are rewritten separately
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt, *ast.GoStmt, *ast.SelectStmt:
+			found = true
+			return false
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			if isCUCall(v) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isCUCall matches close(ch) and the sync-method vocabulary.
+func isCUCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "close"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Lock", "Unlock", "RLock", "RUnlock", "Add", "Done", "Wait",
+			"Signal", "Broadcast", "Do":
+			return true
+		}
+	}
+	return false
+}
+
+// handlerCall builds `pkg.Handler()`.
+func handlerCall(pkg string) ast.Stmt {
+	return &ast.ExprStmt{X: &ast.CallExpr{
+		Fun: &ast.SelectorExpr{X: ast.NewIdent(pkg), Sel: ast.NewIdent("Handler")},
+	}}
+}
+
+// mainBootstrap builds the three injected main statements:
+//
+//	goatDone := pkg.Start()
+//	pkg.Watch(goatDone)
+//	defer pkg.Stop(goatDone)
+func mainBootstrap(pkg string) []ast.Stmt {
+	doneIdent := ast.NewIdent("goatDone")
+	call := func(fn string, args ...ast.Expr) *ast.CallExpr {
+		return &ast.CallExpr{
+			Fun:  &ast.SelectorExpr{X: ast.NewIdent(pkg), Sel: ast.NewIdent(fn)},
+			Args: args,
+		}
+	}
+	return []ast.Stmt{
+		&ast.AssignStmt{
+			Lhs: []ast.Expr{doneIdent},
+			Tok: token.DEFINE,
+			Rhs: []ast.Expr{call("Start")},
+		},
+		&ast.ExprStmt{X: call("Watch", ast.NewIdent("goatDone"))},
+		&ast.DeferStmt{Call: call("Stop", ast.NewIdent("goatDone"))},
+	}
+}
+
+// addImport appends the runtime-support import to the file.
+func addImport(f *ast.File, pkg, path string) {
+	spec := &ast.ImportSpec{
+		Name: ast.NewIdent(pkg),
+		Path: &ast.BasicLit{Kind: token.STRING, Value: strconv.Quote(path)},
+	}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if ok && gd.Tok == token.IMPORT {
+			gd.Specs = append(gd.Specs, spec)
+			f.Imports = append(f.Imports, spec)
+			return
+		}
+	}
+	gd := &ast.GenDecl{Tok: token.IMPORT, Specs: []ast.Spec{spec}}
+	f.Decls = append([]ast.Decl{gd}, f.Decls...)
+	f.Imports = append(f.Imports, spec)
+}

@@ -1,0 +1,235 @@
+package instrument
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const target = `package main
+
+import "sync"
+
+var mu sync.Mutex
+
+func worker(ch chan int, wg *sync.WaitGroup) {
+	mu.Lock()
+	ch <- 1
+	mu.Unlock()
+	wg.Done()
+}
+
+func main() {
+	ch := make(chan int, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(ch, &wg)
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+	wg.Wait()
+}
+`
+
+func TestSourceInjectsBootstrapAndHandlers(t *testing.T) {
+	res, err := Source("main.go", target, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.MainHook {
+		t.Fatal("main bootstrap not injected")
+	}
+	for _, want := range []string{
+		"goatDone := goatrt.Start()",
+		"goatrt.Watch(goatDone)",
+		"defer goatrt.Stop(goatDone)",
+		"goatrt.Handler()",
+		`goatrt "goat/goatrt"`,
+	} {
+		if !strings.Contains(res.Source, want) {
+			t.Errorf("instrumented source missing %q:\n%s", want, res.Source)
+		}
+	}
+	// Handlers: mu.Lock, ch<-, mu.Unlock, wg.Done, wg.Add, go stmt,
+	// select stmt, wg.Wait = 8.
+	if res.Handlers != 8 {
+		t.Errorf("Handlers = %d, want 8\n%s", res.Handlers, res.Source)
+	}
+	if len(res.CUs) == 0 {
+		t.Error("CU model empty")
+	}
+}
+
+func TestInstrumentedSourceParses(t *testing.T) {
+	res, err := Source("main.go", target, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "out.go", res.Source, 0); err != nil {
+		t.Fatalf("instrumented output does not parse: %v\n%s", err, res.Source)
+	}
+}
+
+func TestHandlerPrecedesEachCU(t *testing.T) {
+	res, err := Source("main.go", target, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(res.Source, "\n")
+	for i, line := range lines {
+		tl := strings.TrimSpace(line)
+		if tl == "ch <- 1" || strings.HasPrefix(tl, "go worker") || tl == "select {" {
+			if i == 0 || strings.TrimSpace(lines[i-1]) != "goatrt.Handler()" {
+				t.Errorf("no handler before %q (line %d):\n%s", tl, i+1, res.Source)
+			}
+		}
+	}
+}
+
+func TestBootstrapComesFirstInMain(t *testing.T) {
+	res, err := Source("main.go", target, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainIdx := strings.Index(res.Source, "func main() {")
+	startIdx := strings.Index(res.Source, "goatDone := goatrt.Start()")
+	firstCU := strings.Index(res.Source, "ch := make(chan int, 1)")
+	if !(mainIdx < startIdx && startIdx < firstCU) {
+		t.Fatalf("bootstrap not first in main:\n%s", res.Source)
+	}
+}
+
+func TestCustomRuntimeImport(t *testing.T) {
+	res, err := Source("main.go", target, Options{RuntimeImport: "example.com/rt", Pkg: "rt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Source, `rt "example.com/rt"`) || !strings.Contains(res.Source, "rt.Handler()") {
+		t.Fatalf("custom import not honored:\n%s", res.Source)
+	}
+}
+
+func TestDoubleInstrumentationRejected(t *testing.T) {
+	res, err := Source("main.go", target, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Source("main.go", res.Source, Options{}); err == nil {
+		t.Fatal("re-instrumentation accepted")
+	}
+}
+
+func TestNonMainPackageGetsHandlersOnly(t *testing.T) {
+	src := `package lib
+
+func Produce(ch chan int) {
+	ch <- 1
+}
+`
+	res, err := Source("lib.go", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MainHook {
+		t.Fatal("bootstrap injected into a non-main package")
+	}
+	if res.Handlers != 1 {
+		t.Fatalf("Handlers = %d, want 1", res.Handlers)
+	}
+	if !strings.Contains(res.Source, "goatrt.Handler()") {
+		t.Fatalf("handler missing:\n%s", res.Source)
+	}
+}
+
+func TestFileWithoutCUsUntouched(t *testing.T) {
+	src := `package pure
+
+func Add(a, b int) int { return a + b }
+`
+	res, err := Source("pure.go", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Handlers != 0 || strings.Contains(res.Source, "goatrt") {
+		t.Fatalf("pure file modified:\n%s", res.Source)
+	}
+}
+
+func TestNestedBlocksHandledOnce(t *testing.T) {
+	src := `package p
+
+func f(ch chan int) {
+	for i := 0; i < 3; i++ {
+		if i > 0 {
+			ch <- i
+		}
+	}
+}
+`
+	res, err := Source("p.go", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one handler: before the send. Neither the for nor the if
+	// carries the CU at its own level.
+	if res.Handlers != 1 {
+		t.Fatalf("Handlers = %d, want 1:\n%s", res.Handlers, res.Source)
+	}
+	idx := strings.Index(res.Source, "goatrt.Handler()")
+	sendIdx := strings.Index(res.Source, "ch <- i")
+	if idx == -1 || sendIdx < idx {
+		t.Fatalf("handler not immediately before send:\n%s", res.Source)
+	}
+}
+
+func TestFuncLitBodiesInstrumented(t *testing.T) {
+	src := `package p
+
+func f(ch chan int) func() {
+	return func() {
+		ch <- 1
+	}
+}
+`
+	res, err := Source("p.go", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Handlers != 1 {
+		t.Fatalf("Handlers = %d, want 1 inside the func literal:\n%s", res.Handlers, res.Source)
+	}
+}
+
+func TestDirInstrumentsAllFiles(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out")
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(target), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	model, err := Dir(dir, out, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Len() == 0 {
+		t.Fatal("model empty")
+	}
+	data, err := os.ReadFile(filepath.Join(out, "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "goatrt.Handler()") {
+		t.Fatal("output file not instrumented")
+	}
+}
+
+func TestParseErrorSurfaces(t *testing.T) {
+	if _, err := Source("bad.go", "package {", Options{}); err == nil {
+		t.Fatal("parse error not reported")
+	}
+}

@@ -1,0 +1,256 @@
+// Package race is the offline happens-before data-race checker — the
+// reproduction of the paper's -race option, built on the ECT instead of
+// the native race runtime.
+//
+// It replays the trace once, maintaining a vector clock per goroutine and
+// deriving synchronization edges from the recorded events:
+//
+//   - program order within each goroutine;
+//   - GoCreate → the child's first event;
+//   - every EvGoUnblock (the waker's clock flows into the woken
+//     goroutine), which covers rendezvous channels, mutex handoff,
+//     WaitGroup release, Cond signal/broadcast and Once completion;
+//   - buffered channels: the k-th send happens-before the k-th receive
+//     (FIFO), and a close happens-before every receive that observes it;
+//   - mutexes: each release's clock flows into every later acquisition of
+//     the same lock (read acquisitions included — a deliberate
+//     over-approximation that cannot produce false positives for
+//     lock-protected data).
+//
+// Two accesses to the same Shared cell race when at least one is a write
+// and neither happens-before the other. The virtual runtime serializes
+// execution, so races never manifest as torn memory — they are exactly
+// the unordered pairs this checker reports.
+package race
+
+import (
+	"fmt"
+	"sort"
+
+	"goat/internal/trace"
+)
+
+// VC is a vector clock mapping goroutine to logical time.
+type VC map[trace.GoID]int64
+
+// clone copies the clock.
+func (v VC) clone() VC {
+	out := make(VC, len(v))
+	for g, t := range v {
+		out[g] = t
+	}
+	return out
+}
+
+// join folds other into v (pointwise max).
+func (v VC) join(other VC) {
+	for g, t := range other {
+		if t > v[g] {
+			v[g] = t
+		}
+	}
+}
+
+// leq reports whether v happens-before-or-equals other (pointwise ≤).
+func (v VC) leq(other VC) bool {
+	for g, t := range v {
+		if t > other[g] {
+			return false
+		}
+	}
+	return true
+}
+
+// access is one recorded shared-variable access.
+type access struct {
+	g     trace.GoID
+	write bool
+	file  string
+	line  int
+	name  string
+	ts    int64
+	vc    VC
+}
+
+func (a access) kind() string {
+	if a.write {
+		return "write"
+	}
+	return "read"
+}
+
+// Race is one detected data race: a pair of unordered accesses, at least
+// one of them a write.
+type Race struct {
+	Var    trace.ResID
+	Name   string
+	First  Conflict
+	Second Conflict
+}
+
+// Conflict is one side of a race.
+type Conflict struct {
+	G    trace.GoID
+	Kind string // "read" or "write"
+	File string
+	Line int
+	Ts   int64
+}
+
+// String renders the race report in the familiar two-sided format.
+func (r Race) String() string {
+	return fmt.Sprintf("DATA RACE on %q (r%d): %s by g%d at %s:%d (ts %d) unordered with %s by g%d at %s:%d (ts %d)",
+		r.Name, r.Var,
+		r.First.Kind, r.First.G, r.First.File, r.First.Line, r.First.Ts,
+		r.Second.Kind, r.Second.G, r.Second.File, r.Second.Line, r.Second.Ts)
+}
+
+// Check replays the trace and returns every data race on Shared cells,
+// ordered by the second access's timestamp. Duplicate pairs over the same
+// (variable, first-location, second-location) are reported once.
+func Check(tr *trace.Trace) []Race {
+	if tr == nil {
+		return nil
+	}
+	clocks := map[trace.GoID]VC{}
+	clockOf := func(g trace.GoID) VC {
+		if c, ok := clocks[g]; ok {
+			return c
+		}
+		c := VC{}
+		clocks[g] = c
+		return c
+	}
+
+	lockVC := map[trace.ResID]VC{}   // released-lock clocks
+	closeVC := map[trace.ResID]VC{}  // channel-close clocks
+	sendVC := map[trace.ResID][]VC{} // FIFO of send clocks per channel
+	wgVC := map[trace.ResID]VC{}     // WaitGroup Done accumulation
+
+	// Access history per variable: the last write plus reads since.
+	lastWrite := map[trace.ResID]*access{}
+	reads := map[trace.ResID][]access{}
+
+	var races []Race
+	seen := map[string]bool{}
+	report := func(res trace.ResID, a, b access) {
+		key := fmt.Sprintf("%d|%s:%d|%s:%d", res, a.file, a.line, b.file, b.line)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		races = append(races, Race{
+			Var:    res,
+			Name:   b.name,
+			First:  Conflict{G: a.g, Kind: a.kind(), File: a.file, Line: a.line, Ts: a.ts},
+			Second: Conflict{G: b.g, Kind: b.kind(), File: b.file, Line: b.line, Ts: b.ts},
+		})
+	}
+
+	for _, e := range tr.Events {
+		vc := clockOf(e.G)
+		vc[e.G]++
+
+		switch e.Type {
+		case trace.EvGoCreate:
+			child := vc.clone()
+			child[e.Peer] = child[e.Peer] + 1
+			clocks[e.Peer] = child
+		case trace.EvGoUnblock:
+			if e.Peer != 0 && e.Peer != e.G {
+				clockOf(e.Peer).join(vc)
+			}
+		case trace.EvGoBlock:
+			// A parked sender's pre-park clock is what the eventual
+			// receiver must inherit; its own ChanSend event is only
+			// emitted after it wakes, too late for FIFO alignment.
+			if e.BlockReason() == trace.BlockSend {
+				sendVC[e.Res] = append(sendVC[e.Res], vc.clone())
+			}
+		case trace.EvChanSend:
+			// Direct handoffs to a parked receiver (Peer != 0) are covered
+			// by the EvGoUnblock edge; post-wake sends (Blocked) already
+			// pushed their clock at park time.
+			if !e.Blocked && e.Peer == 0 {
+				sendVC[e.Res] = append(sendVC[e.Res], vc.clone())
+			}
+		case trace.EvChanRecv:
+			// A receiver that parked got its value by direct delivery and
+			// its ordering via EvGoUnblock; only completed-in-place
+			// receives consume a queued send clock.
+			if !e.Blocked && e.Aux == 1 {
+				if q := sendVC[e.Res]; len(q) > 0 {
+					vc.join(q[0])
+					sendVC[e.Res] = q[1:]
+				}
+			}
+			if e.Aux == 0 { // receive observed the close
+				if cvc, ok := closeVC[e.Res]; ok {
+					vc.join(cvc)
+				}
+			}
+		case trace.EvSelectCase:
+			// Select clauses mirror the plain-channel rules; blocked
+			// clauses rely on the EvGoUnblock edge alone.
+			if e.Blocked {
+				break
+			}
+			if e.Str == "send" && e.Peer == 0 {
+				sendVC[e.Res] = append(sendVC[e.Res], vc.clone())
+			}
+			if e.Str == "recv" {
+				if q := sendVC[e.Res]; len(q) > 0 {
+					vc.join(q[0])
+					sendVC[e.Res] = q[1:]
+				}
+			}
+		case trace.EvChanClose:
+			closeVC[e.Res] = vc.clone()
+		case trace.EvMutexUnlock, trace.EvRWUnlock, trace.EvRUnlock:
+			acc, ok := lockVC[e.Res]
+			if !ok {
+				acc = VC{}
+				lockVC[e.Res] = acc
+			}
+			acc.join(vc)
+		case trace.EvMutexLock, trace.EvRWLock, trace.EvRLock:
+			if acc, ok := lockVC[e.Res]; ok {
+				vc.join(acc)
+			}
+		case trace.EvWgAdd:
+			if e.Aux < 0 {
+				acc, ok := wgVC[e.Res]
+				if !ok {
+					acc = VC{}
+					wgVC[e.Res] = acc
+				}
+				acc.join(vc)
+			}
+		case trace.EvWgWait:
+			if acc, ok := wgVC[e.Res]; ok {
+				vc.join(acc)
+			}
+		case trace.EvVarRead:
+			a := access{g: e.G, write: false, file: e.File, line: e.Line, name: e.Str, ts: e.Ts, vc: vc.clone()}
+			if w := lastWrite[e.Res]; w != nil && w.g != a.g && !w.vc.leq(a.vc) {
+				report(e.Res, *w, a)
+			}
+			reads[e.Res] = append(reads[e.Res], a)
+		case trace.EvVarWrite:
+			a := access{g: e.G, write: true, file: e.File, line: e.Line, name: e.Str, ts: e.Ts, vc: vc.clone()}
+			if w := lastWrite[e.Res]; w != nil && w.g != a.g && !w.vc.leq(a.vc) {
+				report(e.Res, *w, a)
+			}
+			for _, r := range reads[e.Res] {
+				if r.g != a.g && !r.vc.leq(a.vc) {
+					report(e.Res, r, a)
+				}
+			}
+			w := a
+			lastWrite[e.Res] = &w
+			reads[e.Res] = nil
+		}
+	}
+	sort.Slice(races, func(i, j int) bool { return races[i].Second.Ts < races[j].Second.Ts })
+	return races
+}

@@ -1,0 +1,112 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strings"
+
+	"goat/internal/gtree"
+	"goat/internal/trace"
+)
+
+// HTMLTimeline renders the execution as a self-contained HTML page: one
+// horizontal lane per application goroutine, one tick per concurrency
+// event (colored by category, blocking events flagged), with hover
+// tool-tips carrying the CU location — the shareable flavor of the
+// paper's execution visualizations.
+func HTMLTimeline(t *gtree.Tree, title string) string {
+	nodes := t.AppNodes()
+	laneOf := map[trace.GoID]int{}
+	for i, n := range nodes {
+		laneOf[n.ID] = i
+	}
+	var events []trace.Event
+	for _, n := range nodes {
+		for _, e := range n.Events {
+			if keepInInterleaving(e.Type) {
+				events = append(events, e)
+			}
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Ts < events[j].Ts })
+
+	const (
+		laneH   = 34
+		tick    = 16
+		leftPad = 170
+	)
+	width := leftPad + (len(events)+2)*tick
+	height := (len(nodes) + 1) * laneH
+
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(title))
+	b.WriteString(`<style>
+body { font-family: monospace; background: #fff; }
+.legend span { margin-right: 14px; }
+.dot { display: inline-block; width: 10px; height: 10px; border-radius: 2px; margin-right: 4px; }
+</style></head><body>
+`)
+	fmt.Fprintf(&b, "<h3>%s</h3>\n", html.EscapeString(title))
+	b.WriteString(`<div class="legend">`)
+	for _, l := range []struct{ cat, color string }{
+		{"Goroutine", "#888888"}, {"Channel", "#1f77b4"}, {"Sync", "#2ca02c"},
+		{"Select", "#9467bd"}, {"Timer", "#bcbd22"}, {"Shared", "#17becf"}, {"blocked", "#d62728"},
+	} {
+		fmt.Fprintf(&b, `<span><i class="dot" style="background:%s"></i>%s</span>`, l.color, l.cat)
+	}
+	b.WriteString("</div>\n")
+	fmt.Fprintf(&b, `<svg width="%d" height="%d" xmlns="http://www.w3.org/2000/svg">`+"\n", width, height)
+
+	for i, n := range nodes {
+		y := (i + 1) * laneH
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#eee"/>`+"\n",
+			leftPad, y, width, y)
+		label := fmt.Sprintf("g%d %s", n.ID, n.Name)
+		color := "#000"
+		if !n.Ended() {
+			color = "#d62728"
+			label += " ✗"
+		}
+		fmt.Fprintf(&b, `<text x="4" y="%d" font-size="12" fill="%s">%s</text>`+"\n",
+			y+4, color, html.EscapeString(label))
+	}
+	for i, e := range events {
+		lane, ok := laneOf[e.G]
+		if !ok {
+			continue
+		}
+		x := leftPad + (i+1)*tick
+		y := (lane+1)*laneH - 8
+		color := categoryColor(e)
+		tip := fmt.Sprintf("ts %d: %s", e.Ts, eventLabel(e))
+		if e.File != "" {
+			tip += fmt.Sprintf(" @%s:%d", e.File, e.Line)
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="16" fill="%s"><title>%s</title></rect>`+"\n",
+			x, y, tick-4, color, html.EscapeString(tip))
+	}
+	b.WriteString("</svg>\n</body></html>\n")
+	return b.String()
+}
+
+func categoryColor(e trace.Event) string {
+	if e.Type == trace.EvGoBlock || e.Blocked {
+		return "#d62728"
+	}
+	switch trace.CategoryOf(e.Type) {
+	case trace.CatChannel:
+		return "#1f77b4"
+	case trace.CatSync:
+		return "#2ca02c"
+	case trace.CatSelect:
+		return "#9467bd"
+	case trace.CatTimer:
+		return "#bcbd22"
+	case trace.CatShared:
+		return "#17becf"
+	default:
+		return "#888888"
+	}
+}

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"goat/internal/cover"
+)
+
+// Table3 renders the paper's Table III: one row per requirement, with a
+// cumulative "covered by run #k" column per accumulated run and the
+// overall column. Rows group by concurrency usage in source order.
+func Table3(m *cover.Model) string {
+	runs := m.Runs()
+	if runs > 6 {
+		runs = 6 // keep the table printable; later runs fold into overall
+	}
+	reqs := append(m.Covered(), m.Uncovered()...)
+	sort.Slice(reqs, func(i, j int) bool {
+		a, b := reqs[i], reqs[j]
+		if a.CU.File != b.CU.File {
+			return a.CU.File < b.CU.File
+		}
+		if a.CU.Line != b.CU.Line {
+			return a.CU.Line < b.CU.Line
+		}
+		return a.Key() < b.Key()
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %-10s %-28s", "CU", "Kind", "Requirement")
+	for r := 1; r <= runs; r++ {
+		fmt.Fprintf(&b, " run#%-3d", r)
+	}
+	fmt.Fprintf(&b, " %s\n", "overall")
+
+	covered := map[string]bool{}
+	for _, r := range m.Covered() {
+		covered[r.Key()] = true
+	}
+	lastLoc := ""
+	for _, r := range reqs {
+		loc, kind := r.CU.Loc(), r.CU.Kind.String()
+		if loc == lastLoc {
+			loc, kind = "", ""
+		} else {
+			lastLoc = r.CU.Loc()
+		}
+		label := r.Aspect.String()
+		if r.Case != cover.NoCase {
+			label = fmt.Sprintf("case%d-%s-%s", r.Case, r.Dir, r.Aspect)
+		} else if r.Dir == "default" {
+			label = "default"
+		}
+		fmt.Fprintf(&b, "%-22s %-10s %-28s", loc, kind, label)
+		first := m.FirstCoveredRun(r)
+		for run := 1; run <= runs; run++ {
+			mark := " "
+			if covered[r.Key()] && first > 0 && first <= run {
+				mark = "Y"
+			}
+			fmt.Fprintf(&b, " %-7s", mark)
+		}
+		overall := " "
+		if covered[r.Key()] {
+			overall = "Y"
+		}
+		fmt.Fprintf(&b, " %s\n", overall)
+	}
+	fmt.Fprintf(&b, "\noverall coverage: %d/%d (%.1f%%) over %d run(s)\n",
+		m.CoveredCount(), m.Total(), m.Percent(), m.Runs())
+	return b.String()
+}

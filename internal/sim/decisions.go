@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// A decider supplies every nondeterministic choice the virtual runtime
+// makes: run-queue picks, handler yield/preempt draws, and select-case
+// choices. Abstracting it lets an execution be recorded as a portable
+// decision script and replayed exactly, independent of RNG internals —
+// the debugging artifact a detected schedule is shipped as.
+type decider interface {
+	// Intn draws a uniform integer in [0, n).
+	Intn(n int) int
+	// Chance draws a biased coin with probability p.
+	Chance(p float64) bool
+}
+
+// randDecider draws from a seeded PRNG (the default).
+type randDecider struct {
+	rng *rand.Rand
+}
+
+func (d *randDecider) Intn(n int) int        { return d.rng.Intn(n) }
+func (d *randDecider) Chance(p float64) bool { return d.rng.Float64() < p }
+
+// recorder wraps another decider and logs every decision.
+//
+// Script encoding: Intn(n) results are stored as the drawn value (≥ 0);
+// Chance results as 1 (hit) / 0 (miss). Replay validates only structure,
+// not ranges, so a script replayed against a different program may fail.
+type recorder struct {
+	inner decider
+	log   []int64
+}
+
+func (d *recorder) Intn(n int) int {
+	v := d.inner.Intn(n)
+	d.log = append(d.log, int64(v))
+	return v
+}
+
+func (d *recorder) Chance(p float64) bool {
+	v := d.inner.Chance(p)
+	bit := int64(0)
+	if v {
+		bit = 1
+	}
+	d.log = append(d.log, bit)
+	return v
+}
+
+// ErrScriptExhausted reports a replay that ran out of recorded decisions
+// (the replayed program diverged from the recording).
+var ErrScriptExhausted = errors.New("sim: replay script exhausted")
+
+// scriptDecider replays a recorded decision log. When the script runs dry
+// it falls back to the seeded PRNG and flags the divergence.
+type scriptDecider struct {
+	script   []int64
+	pos      int
+	fallback decider
+	diverged bool
+}
+
+func (d *scriptDecider) next() (int64, bool) {
+	if d.pos >= len(d.script) {
+		d.diverged = true
+		return 0, false
+	}
+	v := d.script[d.pos]
+	d.pos++
+	return v, true
+}
+
+func (d *scriptDecider) Intn(n int) int {
+	v, ok := d.next()
+	if !ok {
+		return d.fallback.Intn(n)
+	}
+	if v < 0 || v >= int64(n) {
+		// Structural divergence: clamp but mark it.
+		d.diverged = true
+		if v < 0 {
+			return 0
+		}
+		return int(v) % n
+	}
+	return int(v)
+}
+
+func (d *scriptDecider) Chance(p float64) bool {
+	v, ok := d.next()
+	if !ok {
+		return d.fallback.Chance(p)
+	}
+	return v != 0
+}

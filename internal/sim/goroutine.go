@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+
+	"goat/internal/trace"
+)
+
+// State is the lifecycle state of a simulated goroutine.
+type State uint8
+
+const (
+	// StateRunnable means the goroutine is on the run queue.
+	StateRunnable State = iota
+	// StateRunning means the goroutine currently holds the processor.
+	StateRunning
+	// StateBlocked means the goroutine is parked on a resource.
+	StateBlocked
+	// StateDone means the goroutine reached the end of its function.
+	StateDone
+	// StatePanicked means the goroutine terminated by panic.
+	StatePanicked
+)
+
+var stateNames = [...]string{"runnable", "running", "blocked", "done", "panicked"}
+
+// String returns the state name.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// G is the handle a simulated goroutine uses to interact with the virtual
+// runtime. Every function running under the scheduler receives its own *G;
+// all primitive operations take it as their first argument (the explicit
+// analogue of the implicit current-goroutine context in the real runtime).
+type G struct {
+	s      *Scheduler
+	id     trace.GoID
+	parent trace.GoID
+	name   string
+	system bool // runtime-internal goroutine (timers, watchdog): excluded from the application tree
+
+	state  State
+	reason trace.BlockReason // valid while StateBlocked
+	resume chan struct{}
+
+	createFile string
+	createLine int
+
+	// wake communication for primitives: a waker may attach a note the
+	// sleeper reads after resuming (e.g. "channel closed while you waited").
+	wakeNote any
+}
+
+// ID returns the goroutine's trace identifier.
+func (g *G) ID() trace.GoID { return g.id }
+
+// Name returns the goroutine's creation name.
+func (g *G) Name() string { return g.name }
+
+// Parent returns the creator's identifier (0 for the main goroutine).
+func (g *G) Parent() trace.GoID { return g.parent }
+
+// System reports whether this is a runtime-internal goroutine.
+func (g *G) System() bool { return g.system }
+
+// Sched returns the scheduler this goroutine runs on.
+func (g *G) Sched() *Scheduler { return g.s }
+
+// State returns the goroutine's current lifecycle state.
+func (g *G) State() State { return g.state }
+
+// BlockedOn returns the block reason while the goroutine is parked.
+func (g *G) BlockedOn() trace.BlockReason { return g.reason }
+
+// Caller returns the file (base name) and line of the caller's caller,
+// used by primitives to attribute events to their concurrency usage.
+func Caller(skip int) (string, int) {
+	_, file, line, ok := runtime.Caller(skip + 1)
+	if !ok {
+		return "?", 0
+	}
+	return filepath.Base(file), line
+}
+
+// Info is a read-only snapshot of a goroutine's final state, reported in
+// the execution Result.
+type Info struct {
+	ID         trace.GoID
+	Parent     trace.GoID
+	Name       string
+	System     bool
+	State      State
+	Reason     trace.BlockReason
+	CreateFile string
+	CreateLine int
+}
+
+func (g *G) info() Info {
+	return Info{
+		ID:         g.id,
+		Parent:     g.parent,
+		Name:       g.name,
+		System:     g.system,
+		State:      g.state,
+		Reason:     g.reason,
+		CreateFile: g.createFile,
+		CreateLine: g.createLine,
+	}
+}
+
+// String identifies the goroutine for diagnostics.
+func (g *G) String() string {
+	return fmt.Sprintf("g%d(%s)", g.id, g.name)
+}

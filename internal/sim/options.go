@@ -1,0 +1,125 @@
+// Package sim implements the virtual runtime GoAT executes programs on: a
+// deterministic cooperative scheduler for simulated goroutines.
+//
+// The paper instruments the real Go runtime (a patched 1.15.6 tracer) to
+// observe concurrency events and perturbs the native scheduler with injected
+// runtime.Gosched calls. This package is the substitute substrate: simulated
+// goroutines are real goroutines, but exactly one runs at a time, handed the
+// processor explicitly by the scheduler loop. Every scheduling decision draws
+// from a seeded RNG, so a (program, seed, options) triple replays the exact
+// same interleaving — which is what makes the schedule-space exploration and
+// coverage experiments measurable.
+//
+// Scheduling model:
+//   - A goroutine keeps the processor until it blocks, yields, ends, or is
+//     preempted at a concurrency-usage (CU) point.
+//   - At every CU point the injected handler may force a yield while the
+//     delay budget D lasts (the paper's goat.handler → runtime.Gosched), and
+//     independently may preempt with a small probability that models the
+//     nondeterminism of the native Go scheduler (async preemption, OS
+//     threads).
+//   - When nothing is runnable, virtual time advances to the earliest timer;
+//     if there are no timers either, the run is classified (deadlock, leak,
+//     or normal termination).
+package sim
+
+// Pick selects the runnable-queue discipline.
+type Pick uint8
+
+const (
+	// PickRandom dispatches a uniformly random runnable goroutine (default).
+	PickRandom Pick = iota
+	// PickFIFO dispatches runnable goroutines in queue order, mimicking the
+	// global run queue of the native scheduler. Used for ablations.
+	PickFIFO
+)
+
+// Options configure one execution of the virtual runtime.
+type Options struct {
+	// Seed feeds every random decision (dispatch, select choice, yields).
+	Seed int64
+
+	// Delays is the paper's bound D: the maximum number of forced yields
+	// injected at CU points during the execution. 0 disables injection.
+	Delays int
+
+	// YieldProb is the probability that the CU handler fires a forced yield
+	// while the Delays budget lasts. Zero selects the default (0.2).
+	YieldProb float64
+
+	// PreemptProb is the probability of a natural preemption at a CU point,
+	// modeling native-scheduler noise. Zero selects the default (0.02).
+	// Negative disables preemption entirely.
+	PreemptProb float64
+
+	// MaxSteps bounds scheduler dispatches before the run is declared hung
+	// (the analogue of the paper's 30-second watchdog). Zero selects the
+	// default (200000).
+	MaxSteps int
+
+	// DrainSteps bounds dispatches spent letting surviving goroutines finish
+	// after the main goroutine ends. Zero selects the default (20000).
+	DrainSteps int
+
+	// Pick selects the run-queue discipline.
+	Pick Pick
+
+	// NoTrace disables ECT capture (for pure detection-throughput runs).
+	NoTrace bool
+
+	// Record captures the execution's decision script into
+	// Result.Schedule — a portable artifact that replays the exact
+	// interleaving independent of PRNG internals.
+	Record bool
+
+	// Replay feeds a previously recorded decision script instead of the
+	// PRNG. A script from a structurally different program sets
+	// Result.ReplayDiverged.
+	Replay []int64
+
+	// YieldAt switches the handler to *systematic* mode: a forced yield
+	// fires exactly at the listed global op indices (1-based count of
+	// handler invocations) and probabilistic yields/preemptions are
+	// disabled. Combined with PickFIFO this makes the entire schedule a
+	// deterministic function of the yield placement — the substrate of
+	// the systematic explorer and the schedule minimizer.
+	YieldAt []int64
+}
+
+const (
+	defaultYieldProb   = 0.2
+	defaultPreemptProb = 0.02
+	defaultMaxSteps    = 200000
+	defaultDrainSteps  = 20000
+)
+
+func (o Options) yieldProb() float64 {
+	if o.YieldProb == 0 {
+		return defaultYieldProb
+	}
+	return o.YieldProb
+}
+
+func (o Options) preemptProb() float64 {
+	if o.PreemptProb == 0 {
+		return defaultPreemptProb
+	}
+	if o.PreemptProb < 0 {
+		return 0
+	}
+	return o.PreemptProb
+}
+
+func (o Options) maxSteps() int {
+	if o.MaxSteps <= 0 {
+		return defaultMaxSteps
+	}
+	return o.MaxSteps
+}
+
+func (o Options) drainSteps() int {
+	if o.DrainSteps <= 0 {
+		return defaultDrainSteps
+	}
+	return o.DrainSteps
+}

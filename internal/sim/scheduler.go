@@ -1,0 +1,430 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"goat/internal/trace"
+)
+
+// stopSignal is the sentinel panic value used to unwind abandoned
+// goroutines when the scheduler stops the world.
+type stopSignal struct{}
+
+// Scheduler is the virtual runtime: it owns all simulated goroutines and
+// hands the single logical processor from one to the next. Exactly one
+// simulated goroutine runs at any moment (strict ping-pong with the
+// scheduler loop), so all scheduler and primitive state is mutated without
+// locks and every run is deterministic for a fixed seed.
+type Scheduler struct {
+	opts Options
+	rng  *rand.Rand
+	dec  decider
+
+	gs      map[trace.GoID]*G
+	order   []trace.GoID // creation order, for deterministic iteration
+	runq    []*G
+	current *G
+
+	handoff chan struct{} // running goroutine -> scheduler: "I left the processor"
+
+	clock     int64 // logical timestamp source for trace events
+	now       int64 // virtual time (nanoseconds) for timers
+	steps     int
+	ops       int // total CU handler invocations (op budget accounting)
+	sliceOps  int // handler invocations since the last dispatch
+	yieldLeft int
+
+	timers   timerHeap
+	timerSeq int64
+
+	ect *trace.Trace
+
+	nextGID trace.GoID
+	nextRes trace.ResID
+
+	mainEnded bool
+	stopping  bool
+	panicked  bool
+	panicVal  any
+	panicG    trace.GoID
+
+	yieldAt map[int64]bool // systematic mode: op indices that force a yield
+}
+
+// newScheduler builds a scheduler ready to run a main function.
+func newScheduler(opts Options) *Scheduler {
+	s := &Scheduler{
+		opts:      opts,
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+		gs:        map[trace.GoID]*G{},
+		handoff:   make(chan struct{}),
+		yieldLeft: opts.Delays,
+		nextGID:   1,
+	}
+	base := decider(&randDecider{rng: s.rng})
+	switch {
+	case opts.Replay != nil:
+		s.dec = &scriptDecider{script: opts.Replay, fallback: base}
+	case opts.Record:
+		s.dec = &recorder{inner: base}
+	default:
+		s.dec = base
+	}
+	if opts.YieldAt != nil {
+		s.yieldAt = make(map[int64]bool, len(opts.YieldAt))
+		for _, op := range opts.YieldAt {
+			s.yieldAt[op] = true
+		}
+	}
+	if !opts.NoTrace {
+		s.ect = trace.New(1024)
+	}
+	return s
+}
+
+// Intn draws one scheduling decision in [0, n); primitives use it for
+// pseudo-random choices such as select-case picks, so the decision enters
+// the recorded schedule script. Degenerate single-choice draws are not
+// decisions and stay out of the script.
+func (s *Scheduler) Intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return s.dec.Intn(n)
+}
+
+// NewResID allocates the next resource identifier.
+func (s *Scheduler) NewResID() trace.ResID {
+	s.nextRes++
+	return s.nextRes
+}
+
+// Now returns the current virtual time in nanoseconds.
+func (s *Scheduler) Now() int64 { return s.now }
+
+// Emit appends an event to the ECT, stamping it with the next logical
+// timestamp. It is a no-op when tracing is disabled.
+func (s *Scheduler) Emit(e trace.Event) {
+	s.clock++
+	if s.ect == nil {
+		return
+	}
+	e.Ts = s.clock
+	s.ect.Append(e)
+}
+
+func (s *Scheduler) newG(name string, parent trace.GoID, system bool, file string, line int) *G {
+	g := &G{
+		s:          s,
+		id:         s.nextGID,
+		parent:     parent,
+		name:       name,
+		system:     system,
+		state:      StateRunnable,
+		resume:     make(chan struct{}),
+		createFile: file,
+		createLine: line,
+	}
+	s.nextGID++
+	s.gs[g.id] = g
+	s.order = append(s.order, g.id)
+	return g
+}
+
+// spawn launches the real goroutine hosting a simulated goroutine and puts
+// it on the run queue. The hosting goroutine waits for its first dispatch
+// before emitting GoStart and calling fn.
+func (s *Scheduler) spawn(g *G, fn func(*G)) {
+	go func() {
+		<-g.resume
+		if s.stopping {
+			s.handoff <- struct{}{}
+			return
+		}
+		g.state = StateRunning
+		s.Emit(trace.Event{G: g.id, Type: trace.EvGoStart})
+		defer func() {
+			if r := recover(); r != nil {
+				if _, isStop := r.(stopSignal); isStop {
+					s.handoff <- struct{}{}
+					return
+				}
+				g.state = StatePanicked
+				s.panicked = true
+				s.panicVal = r
+				s.panicG = g.id
+				s.Emit(trace.Event{G: g.id, Type: trace.EvGoPanic, Str: fmt.Sprint(r)})
+				s.handoff <- struct{}{}
+				return
+			}
+			g.state = StateDone
+			s.Emit(trace.Event{G: g.id, Type: trace.EvGoEnd})
+			s.handoff <- struct{}{}
+		}()
+		fn(g)
+	}()
+	s.runq = append(s.runq, g)
+}
+
+// Go spawns a child application goroutine from g, emitting GoCreate with
+// the call-site CU. It returns the child's handle (mainly for tests).
+func (g *G) Go(name string, fn func(*G)) *G {
+	file, line := Caller(1)
+	return g.GoAt(name, file, line, fn)
+}
+
+// GoAt is Go with an explicit creation site (used by primitives that wrap
+// goroutine creation, where the interesting CU is the wrapper's caller).
+func (g *G) GoAt(name string, file string, line int, fn func(*G)) *G {
+	child := g.s.newG(name, g.id, false, file, line)
+	g.s.Emit(trace.Event{G: g.id, Type: trace.EvGoCreate, Peer: child.id, File: file, Line: line, Str: name})
+	g.s.spawn(child, fn)
+	return child
+}
+
+// GoSystem spawns a runtime-internal goroutine (timers, watchdogs) that is
+// excluded from the application-level goroutine tree. Its GoCreate event is
+// marked with Aux=1 so offline analysis can separate it, the way the paper
+// separates runtime/tracer goroutines from application goroutines.
+func (g *G) GoSystem(name string, fn func(*G)) *G {
+	file, line := Caller(1)
+	child := g.s.newG(name, g.id, true, file, line)
+	g.s.Emit(trace.Event{G: g.id, Type: trace.EvGoCreate, Peer: child.id, Aux: 1, File: file, Line: line, Str: name})
+	g.s.spawn(child, fn)
+	return child
+}
+
+// leaveProcessor parks the calling goroutine until the scheduler dispatches
+// it again, panicking with stopSignal if the world stopped meanwhile.
+func (g *G) leaveProcessor() {
+	g.s.current = nil
+	g.s.handoff <- struct{}{}
+	<-g.resume
+	if g.s.stopping {
+		panic(stopSignal{})
+	}
+	g.state = StateRunning
+}
+
+// Block parks g with the given reason, emitting EvGoBlock attributed to the
+// CU at (file, line). It returns after some other goroutine readies g; the
+// wake note attached by the waker (if any) is returned.
+func (g *G) Block(reason trace.BlockReason, res trace.ResID, file string, line int) any {
+	g.state = StateBlocked
+	g.reason = reason
+	g.wakeNote = nil
+	g.s.Emit(trace.Event{G: g.id, Type: trace.EvGoBlock, Res: res, Aux: int64(reason), File: file, Line: line})
+	g.leaveProcessor()
+	g.reason = trace.BlockNone
+	return g.wakeNote
+}
+
+// Ready moves target from blocked to runnable, emitting EvGoUnblock
+// attributed to g (the unblocking action's goroutine). The note is
+// delivered to the sleeper's Block return value.
+func (g *G) Ready(target *G, res trace.ResID, note any) {
+	if target.state != StateBlocked {
+		panic(fmt.Sprintf("sim: Ready(%v) but state is %v", target, target.state))
+	}
+	target.state = StateRunnable
+	target.wakeNote = note
+	g.s.Emit(trace.Event{G: g.id, Type: trace.EvGoUnblock, Peer: target.id, Res: res})
+	g.s.runq = append(g.s.runq, target)
+}
+
+// Yield gives up the processor voluntarily (runtime.Gosched analogue).
+func (g *G) Yield() {
+	file, line := Caller(1)
+	g.yield(trace.EvGoSched, file, line)
+}
+
+func (g *G) yield(ev trace.Type, file string, line int) {
+	g.state = StateRunnable
+	g.s.Emit(trace.Event{G: g.id, Type: ev, File: file, Line: line})
+	g.s.runq = append(g.s.runq, g)
+	g.leaveProcessor()
+}
+
+// sliceOpBudget bounds how many concurrency usages one goroutine may
+// execute without leaving the processor. A goroutine spinning through CU
+// points (a select/default polling loop) would otherwise starve the
+// scheduler forever when probabilistic preemption is disabled — this is
+// the virtual runtime's analogue of Go 1.14's asynchronous preemption,
+// and it is not a scheduling *decision*, so it bypasses the decider.
+const sliceOpBudget = 256
+
+// Handler is the schedule-perturbation hook injected before every
+// concurrency usage (the paper's goat.handler()). While the delay budget D
+// lasts it forces a yield with probability YieldProb; independently it may
+// preempt with the natural-noise probability, and unconditionally after
+// the per-slice op budget.
+func (g *G) Handler(file string, line int) {
+	s := g.s
+	s.ops++
+	s.sliceOps++
+	if s.yieldAt != nil {
+		// Systematic mode: yields fire exactly at the chosen op indices.
+		if s.yieldAt[int64(s.ops)] {
+			g.yield(trace.EvGoSched, file, line)
+			return
+		}
+		if s.sliceOps >= sliceOpBudget {
+			g.yield(trace.EvGoPreempt, file, line)
+		}
+		return
+	}
+	if s.yieldLeft > 0 && s.dec.Chance(s.opts.yieldProb()) {
+		s.yieldLeft--
+		g.yield(trace.EvGoSched, file, line)
+		return
+	}
+	if s.sliceOps >= sliceOpBudget {
+		g.yield(trace.EvGoPreempt, file, line)
+		return
+	}
+	if p := s.opts.preemptProb(); p > 0 && s.dec.Chance(p) {
+		g.yield(trace.EvGoPreempt, file, line)
+	}
+}
+
+// HandlerHere is Handler with the CU attributed to the caller's call site.
+func (g *G) HandlerHere() {
+	file, line := Caller(1)
+	g.Handler(file, line)
+}
+
+// pick removes and returns the next goroutine to dispatch.
+func (s *Scheduler) pick() *G {
+	var i int
+	switch s.opts.Pick {
+	case PickFIFO:
+		i = 0
+	default:
+		i = s.Intn(len(s.runq))
+	}
+	g := s.runq[i]
+	s.runq = append(s.runq[:i], s.runq[i+1:]...)
+	return g
+}
+
+// dispatch runs one goroutine until it leaves the processor.
+func (s *Scheduler) dispatch(g *G) {
+	s.steps++
+	s.sliceOps = 0
+	s.current = g
+	g.resume <- struct{}{}
+	<-s.handoff
+	s.current = nil
+}
+
+// Run executes main under a fresh scheduler and returns the classified
+// result. It is the only entry point of the virtual runtime.
+func Run(opts Options, main func(*G)) *Result {
+	s := newScheduler(opts)
+	mainG := s.newG("main", 0, false, "", 0)
+	s.spawn(mainG, main)
+
+	budget := s.opts.maxSteps()
+	outcome := OutcomeOK
+
+loop:
+	for {
+		if s.panicked {
+			outcome = OutcomeCrash
+			break
+		}
+		if mainG.state == StateDone && !s.mainEnded {
+			s.mainEnded = true
+			// Main returned: surviving goroutines get a bounded drain to
+			// finish naturally (the paper's watchdog grace period).
+			budget = s.steps + s.opts.drainSteps()
+		}
+		if len(s.runq) == 0 {
+			// Nothing runnable: advance virtual time to the next timer.
+			if s.fireTimers() {
+				continue
+			}
+			break // settled: classify below
+		}
+		// The op budget (64 CUs per step on average) catches spin loops
+		// whose slices are long; the step budget catches everything else.
+		if s.steps >= budget || s.ops >= budget*64 {
+			if s.mainEnded {
+				break // drain budget exhausted; classify leaks below
+			}
+			outcome = OutcomeTimeout
+			break loop
+		}
+		s.dispatch(s.pick())
+	}
+
+	if outcome == OutcomeOK && !s.panicked {
+		outcome = s.classify(mainG)
+	}
+	if s.panicked {
+		outcome = OutcomeCrash
+	}
+	s.stopWorld()
+	return s.result(outcome, mainG)
+}
+
+// classify inspects the settled world (nothing runnable, no timers or
+// budget exhausted) and names the outcome.
+func (s *Scheduler) classify(mainG *G) Outcome {
+	if mainG.state != StateDone {
+		// Main never finished and nothing can run: every live goroutine is
+		// blocked — the runtime's global-deadlock condition.
+		return OutcomeGlobalDeadlock
+	}
+	for _, id := range s.order {
+		g := s.gs[id]
+		if !g.system && g.state != StateDone {
+			return OutcomeLeak
+		}
+	}
+	return OutcomeOK
+}
+
+// stopWorld unwinds every goroutine still parked so no real goroutines
+// leak across simulations.
+func (s *Scheduler) stopWorld() {
+	s.stopping = true
+	for _, id := range s.order {
+		g := s.gs[id]
+		if g.state == StateDone || g.state == StatePanicked {
+			continue
+		}
+		g.resume <- struct{}{}
+		<-s.handoff
+	}
+}
+
+// result snapshots the final world.
+func (s *Scheduler) result(outcome Outcome, mainG *G) *Result {
+	r := &Result{
+		Outcome:   outcome,
+		Trace:     s.ect,
+		Seed:      s.opts.Seed,
+		Steps:     s.steps,
+		Ops:       s.ops,
+		MainEnded: mainG.state == StateDone,
+		PanicVal:  s.panicVal,
+		PanicG:    s.panicG,
+	}
+	for _, id := range s.order {
+		g := s.gs[id]
+		info := g.info()
+		r.Goroutines = append(r.Goroutines, info)
+		if !g.system && g.state != StateDone && g.state != StatePanicked {
+			r.Leaked = append(r.Leaked, info)
+		}
+	}
+	switch d := s.dec.(type) {
+	case *recorder:
+		r.Schedule = d.log
+	case *scriptDecider:
+		r.ReplayDiverged = d.diverged
+	}
+	return r
+}

@@ -1,0 +1,130 @@
+package systematic
+
+import (
+	"strings"
+	"testing"
+
+	"goat/internal/goker"
+	"goat/internal/sim"
+)
+
+func kernelMain(t *testing.T, id string) func(*sim.G) {
+	t.Helper()
+	k, ok := goker.ByID(id)
+	if !ok {
+		t.Fatalf("kernel %s missing", id)
+	}
+	return k.Main
+}
+
+func TestSystematicModeDeterministic(t *testing.T) {
+	prog := kernelMain(t, "etcd_7443")
+	a := runWith(prog, 1, []int64{5, 9})
+	b := runWith(prog, 1, []int64{5, 9})
+	if a.Trace.String() != b.Trace.String() {
+		t.Fatal("systematic runs with identical placement diverged")
+	}
+	c := runWith(prog, 1, []int64{6, 9})
+	if a.Outcome != c.Outcome && a.Trace.String() == c.Trace.String() {
+		t.Fatal("different placements produced inconsistent results")
+	}
+}
+
+func TestYieldAtFiresExactly(t *testing.T) {
+	// A program with a known op count: each Handler call is one op.
+	var r *sim.Result
+	opts := baseOptions(0)
+	opts.YieldAt = []int64{2, 4}
+	r = sim.Run(opts, func(g *sim.G) {
+		for i := 0; i < 6; i++ {
+			g.Handler("f.go", i)
+		}
+	})
+	scheds := 0
+	for _, e := range r.Trace.Events {
+		if e.Type.String() == "GoSched" {
+			scheds++
+		}
+	}
+	if scheds != 2 {
+		t.Fatalf("forced yields = %d, want exactly 2", scheds)
+	}
+	if r.Ops != 6 {
+		t.Fatalf("ops = %d, want 6", r.Ops)
+	}
+}
+
+func TestExploreFindsDeterministicBugWithNoYields(t *testing.T) {
+	f := Explore(kernelMain(t, "moby_33293"), Config{})
+	if f == nil {
+		t.Fatal("deterministic leak not found")
+	}
+	if len(f.Yields) != 0 {
+		t.Fatalf("deterministic bug needed yields: %v", f.Yields)
+	}
+	if f.Runs != 1 {
+		t.Fatalf("base schedule should suffice, took %d runs", f.Runs)
+	}
+}
+
+func TestExploreFindsRacyBugWithFewYields(t *testing.T) {
+	// The paper's abstract: the schedule-yielding method detects the
+	// benchmark's rare bugs with less than three yields.
+	for _, id := range []string{"moby_28462", "serving_2137", "moby_30408"} {
+		f := Explore(kernelMain(t, id), Config{Seed: 1, MaxRuns: 4000})
+		if f == nil {
+			t.Errorf("%s: no bug-triggering placement within budget", id)
+			continue
+		}
+		min := Minimize(kernelMain(t, id), f)
+		if !min.Detection.Found {
+			t.Errorf("%s: minimized placement lost the bug", id)
+			continue
+		}
+		if len(min.Yields) >= 3 {
+			t.Errorf("%s: minimal placement needs %d yields (%v), want < 3",
+				id, len(min.Yields), min.Yields)
+		}
+		t.Logf("%s: %s", id, min)
+	}
+}
+
+func TestMinimizeIsLocallyMinimal(t *testing.T) {
+	prog := kernelMain(t, "moby_28462")
+	f := Explore(prog, Config{Seed: 2, MaxRuns: 4000})
+	if f == nil {
+		t.Skip("no finding under this seed")
+	}
+	min := Minimize(prog, f)
+	// Removing any remaining yield must lose the bug.
+	for i := range min.Yields {
+		cand := append(append([]int64{}, min.Yields[:i]...), min.Yields[i+1:]...)
+		r := runWith(prog, min.Seed, cand)
+		if r.Outcome.Buggy() {
+			t.Fatalf("placement %v still buggy without yield %d — not minimal", cand, min.Yields[i])
+		}
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Seed: 1, Yields: []int64{3, 7}, Runs: 12}
+	f.Detection.Verdict = "PDL-2"
+	s := f.String()
+	for _, want := range []string{"PDL-2", "2 yield", "[3 7]", "12 runs"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestExploreRespectsBudget(t *testing.T) {
+	// A healthy program: the budget must bound the search.
+	healthy := func(g *sim.G) {
+		g.Go("w", func(c *sim.G) { c.HandlerHere() })
+		g.Yield()
+	}
+	f := Explore(healthy, Config{MaxRuns: 50})
+	if f != nil {
+		t.Fatalf("healthy program reported buggy: %v", f)
+	}
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace format:
+//
+//	magic "GOATECT1" (8 bytes)
+//	uint64 event count
+//	per event: varint-encoded fields in a fixed order, strings as
+//	(uvarint length, bytes).
+//
+// The format is self-contained and versioned by the magic string.
+
+const magic = "GOATECT1"
+
+// Encode writes the trace to w in the binary ECT format.
+func (t *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	putString := func(s string) error {
+		if err := putUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Events))); err != nil {
+		return err
+	}
+	for _, e := range t.Events {
+		blocked := uint64(0)
+		if e.Blocked {
+			blocked = 1
+		}
+		for _, step := range []error{
+			putVarint(e.Ts),
+			putVarint(int64(e.G)),
+			putUvarint(uint64(e.Type)),
+			putString(e.File),
+			putVarint(int64(e.Line)),
+			putUvarint(uint64(e.Res)),
+			putVarint(int64(e.Peer)),
+			putVarint(e.Aux),
+			putUvarint(blocked),
+			putString(e.Str),
+		} {
+			if step != nil {
+				return step
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a trace previously written by Encode.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head)
+	}
+	getString := func() (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<24 {
+			return "", fmt.Errorf("trace: string too long (%d)", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	if count > 1<<30 {
+		return nil, fmt.Errorf("trace: implausible event count %d", count)
+	}
+	t := New(int(count))
+	for i := uint64(0); i < count; i++ {
+		var e Event
+		if e.Ts, err = binary.ReadVarint(br); err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		g, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		e.G = GoID(g)
+		typ, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		e.Type = Type(typ)
+		if e.File, err = getString(); err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		line, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		e.Line = int(line)
+		res, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		e.Res = ResID(res)
+		peer, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		e.Peer = GoID(peer)
+		if e.Aux, err = binary.ReadVarint(br); err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		blocked, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		e.Blocked = blocked != 0
+		if e.Str, err = getString(); err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		t.Append(e)
+	}
+	return t, nil
+}

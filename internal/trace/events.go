@@ -1,0 +1,278 @@
+// Package trace defines the execution concurrency trace (ECT): a totally
+// ordered sequence of events describing the dynamic behavior of the
+// concurrent components of a program run.
+//
+// The event vocabulary mirrors the paper's enhanced runtime tracer: the
+// standard goroutine lifecycle events (create, start, block, unblock, end,
+// sched) extended with one event per concurrency-primitive action (channel
+// send/recv/close, select, mutex lock/unlock, waitgroup, condition variable,
+// once). Each event carries the goroutine that performed it, a logical
+// timestamp, the source location of the corresponding statement (the
+// concurrency usage, CU), and enough detail to decide the coverage
+// classification of the action (blocked / unblocking / NOP).
+package trace
+
+import "fmt"
+
+// GoID identifies a goroutine within one execution. The main goroutine is
+// always GoID 1; 0 means "no goroutine" (e.g. no peer was unblocked).
+type GoID int64
+
+// ResID identifies a concurrency resource (channel, mutex, waitgroup, ...)
+// within one execution. IDs are assigned in creation order and are stable
+// for a fixed schedule.
+type ResID uint64
+
+// Type enumerates ECT event types.
+type Type uint8
+
+const (
+	// EvNone is the zero Type; it never appears in a valid trace.
+	EvNone Type = iota
+
+	// Goroutine lifecycle events.
+	EvGoCreate  // goroutine created; Peer = child GoID
+	EvGoStart   // goroutine starts running for the first time
+	EvGoEnd     // goroutine reached the end of its function
+	EvGoSched   // goroutine yielded the processor (runtime.Gosched analogue)
+	EvGoPreempt // goroutine was preempted by the scheduler
+	EvGoBlock   // goroutine blocked; Aux = BlockReason
+	EvGoUnblock // goroutine became runnable again
+	EvGoPanic   // goroutine terminated by panic
+
+	// Channel events.
+	EvChanMake  // channel created; Aux = capacity
+	EvChanSend  // send completed; Blocked records whether it parked first
+	EvChanRecv  // receive completed
+	EvChanClose // channel closed
+
+	// Select events.
+	EvSelect     // select committed; Aux = chosen case index (-1 = default)
+	EvSelectCase // one ready/chosen case; Aux = case index
+
+	// Mutex / RWMutex events.
+	EvMutexLock   // Lock acquired
+	EvMutexUnlock // Unlock performed
+	EvRWLock      // write lock acquired
+	EvRWUnlock    // write unlock
+	EvRLock       // read lock acquired
+	EvRUnlock     // read unlock
+
+	// WaitGroup events.
+	EvWgAdd  // Add/Done; Aux = delta
+	EvWgWait // Wait completed
+
+	// Condition variable events.
+	EvCondWait      // Wait returned
+	EvCondSignal    // Signal performed
+	EvCondBroadcast // Broadcast performed
+
+	// Once.
+	EvOnceDo // Once.Do executed (Aux=1 if this call ran the function)
+
+	// Timer / sleep events.
+	EvSleep // timed sleep completed
+
+	// User events (paper: user-annotated regions/tasks).
+	EvUserLog // user annotation; Str carries the message
+
+	// Shared-variable accesses (the -race extension).
+	EvVarRead  // read of a Shared cell; Res = variable
+	EvVarWrite // write of a Shared cell; Res = variable
+
+	evMax
+)
+
+// BlockReason says why a goroutine parked (payload of EvGoBlock.Aux).
+type BlockReason int64
+
+const (
+	BlockNone      BlockReason = iota
+	BlockSend                  // blocked sending on a channel
+	BlockRecv                  // blocked receiving from a channel
+	BlockSelect                // blocked in a select with no ready case
+	BlockMutex                 // blocked acquiring a mutex / write lock
+	BlockRMutex                // blocked acquiring a read lock
+	BlockWaitGroup             // blocked in WaitGroup.Wait
+	BlockCond                  // blocked in Cond.Wait
+	BlockSleep                 // blocked in a timed sleep
+	BlockSync                  // blocked on another sync primitive (Once, semaphore)
+	BlockGoatDone              // blocked in the goat watchdog handshake
+)
+
+var blockReasonNames = map[BlockReason]string{
+	BlockNone:      "none",
+	BlockSend:      "chan-send",
+	BlockRecv:      "chan-recv",
+	BlockSelect:    "select",
+	BlockMutex:     "mutex",
+	BlockRMutex:    "rwmutex-r",
+	BlockWaitGroup: "waitgroup",
+	BlockCond:      "cond",
+	BlockSleep:     "sleep",
+	BlockSync:      "sync",
+	BlockGoatDone:  "goat-done",
+}
+
+// String returns the human-readable block reason.
+func (r BlockReason) String() string {
+	if s, ok := blockReasonNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("BlockReason(%d)", int64(r))
+}
+
+var typeNames = [evMax]string{
+	EvNone:          "None",
+	EvGoCreate:      "GoCreate",
+	EvGoStart:       "GoStart",
+	EvGoEnd:         "GoEnd",
+	EvGoSched:       "GoSched",
+	EvGoPreempt:     "GoPreempt",
+	EvGoBlock:       "GoBlock",
+	EvGoUnblock:     "GoUnblock",
+	EvGoPanic:       "GoPanic",
+	EvChanMake:      "ChanMake",
+	EvChanSend:      "ChanSend",
+	EvChanRecv:      "ChanRecv",
+	EvChanClose:     "ChanClose",
+	EvSelect:        "Select",
+	EvSelectCase:    "SelectCase",
+	EvMutexLock:     "MutexLock",
+	EvMutexUnlock:   "MutexUnlock",
+	EvRWLock:        "RWLock",
+	EvRWUnlock:      "RWUnlock",
+	EvRLock:         "RLock",
+	EvRUnlock:       "RUnlock",
+	EvWgAdd:         "WgAdd",
+	EvWgWait:        "WgWait",
+	EvCondWait:      "CondWait",
+	EvCondSignal:    "CondSignal",
+	EvCondBroadcast: "CondBroadcast",
+	EvOnceDo:        "OnceDo",
+	EvSleep:         "Sleep",
+	EvUserLog:       "UserLog",
+	EvVarRead:       "VarRead",
+	EvVarWrite:      "VarWrite",
+}
+
+// String returns the event type name.
+func (t Type) String() string {
+	if int(t) < len(typeNames) && typeNames[t] != "" {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Valid reports whether t is a known event type other than EvNone.
+func (t Type) Valid() bool { return t > EvNone && t < evMax }
+
+// Category groups event types the way the paper's Table II groups the
+// standard tracer vocabulary.
+type Category uint8
+
+const (
+	CatNone      Category = iota
+	CatGoroutine          // goroutine lifecycle
+	CatChannel            // channel operations
+	CatSync               // mutex / waitgroup / cond / once
+	CatSelect             // select statements
+	CatTimer              // sleeps and timers
+	CatUser               // user annotations
+	CatShared             // shared-variable accesses
+)
+
+var categoryNames = map[Category]string{
+	CatNone:      "None",
+	CatGoroutine: "Goroutine",
+	CatChannel:   "Channel",
+	CatSync:      "Sync",
+	CatSelect:    "Select",
+	CatTimer:     "Timer",
+	CatUser:      "User",
+	CatShared:    "Shared",
+}
+
+// String returns the category name.
+func (c Category) String() string {
+	if s, ok := categoryNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("Category(%d)", uint8(c))
+}
+
+// CategoryOf returns the category of an event type.
+func CategoryOf(t Type) Category {
+	switch t {
+	case EvGoCreate, EvGoStart, EvGoEnd, EvGoSched, EvGoPreempt, EvGoBlock, EvGoUnblock, EvGoPanic:
+		return CatGoroutine
+	case EvChanMake, EvChanSend, EvChanRecv, EvChanClose:
+		return CatChannel
+	case EvMutexLock, EvMutexUnlock, EvRWLock, EvRWUnlock, EvRLock, EvRUnlock,
+		EvWgAdd, EvWgWait, EvCondWait, EvCondSignal, EvCondBroadcast, EvOnceDo:
+		return CatSync
+	case EvSelect, EvSelectCase:
+		return CatSelect
+	case EvSleep:
+		return CatTimer
+	case EvUserLog:
+		return CatUser
+	case EvVarRead, EvVarWrite:
+		return CatShared
+	default:
+		return CatNone
+	}
+}
+
+// Event is a single entry of an execution concurrency trace. Each event
+// corresponds to exactly one statement (concurrency usage) in the source.
+type Event struct {
+	Ts   int64  // logical timestamp; strictly increasing within a trace
+	G    GoID   // goroutine that performed the action
+	Type Type   // what happened
+	File string // source file of the CU that emitted the event
+	Line int    // source line of the CU
+
+	Res     ResID  // resource operated on (0 if none)
+	Peer    GoID   // goroutine created or unblocked by this action (0 if none)
+	Aux     int64  // type-specific payload (capacity, case index, delta, reason)
+	Blocked bool   // the action parked the goroutine before completing
+	Str     string // user payload (EvUserLog) or goroutine name (EvGoCreate)
+}
+
+// BlockReason returns the reason payload of an EvGoBlock event, or BlockNone.
+func (e Event) BlockReason() BlockReason {
+	if e.Type == EvGoBlock {
+		return BlockReason(e.Aux)
+	}
+	return BlockNone
+}
+
+// Unblocking reports whether the action woke up at least one peer goroutine.
+func (e Event) Unblocking() bool { return e.Peer != 0 && e.Type != EvGoCreate }
+
+// String renders the event in the one-line textual trace format.
+func (e Event) String() string {
+	s := fmt.Sprintf("%6d g%-3d %-13s", e.Ts, e.G, e.Type)
+	if e.Res != 0 {
+		s += fmt.Sprintf(" r%d", e.Res)
+	}
+	if e.Peer != 0 {
+		s += fmt.Sprintf(" peer=g%d", e.Peer)
+	}
+	if e.Type == EvGoBlock {
+		s += fmt.Sprintf(" reason=%s", BlockReason(e.Aux))
+	} else if e.Aux != 0 {
+		s += fmt.Sprintf(" aux=%d", e.Aux)
+	}
+	if e.Blocked {
+		s += " [blocked]"
+	}
+	if e.File != "" {
+		s += fmt.Sprintf(" @%s:%d", e.File, e.Line)
+	}
+	if e.Str != "" {
+		s += fmt.Sprintf(" %q", e.Str)
+	}
+	return s
+}

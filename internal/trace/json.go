@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonEvent is the export shape: stable field names, symbolic type and
+// reason strings, omitted zero fields — meant for external tooling
+// (jq, timeline viewers), not for round-tripping (use Encode/Decode).
+type jsonEvent struct {
+	Ts      int64  `json:"ts"`
+	G       GoID   `json:"g"`
+	Type    string `json:"type"`
+	File    string `json:"file,omitempty"`
+	Line    int    `json:"line,omitempty"`
+	Res     ResID  `json:"res,omitempty"`
+	Peer    GoID   `json:"peer,omitempty"`
+	Aux     int64  `json:"aux,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+	Blocked bool   `json:"blocked,omitempty"`
+	Str     string `json:"str,omitempty"`
+}
+
+// EncodeJSON writes the trace as newline-delimited JSON (one event per
+// line), the interchange format for external analysis tools.
+func (t *Trace) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i, e := range t.Events {
+		je := jsonEvent{
+			Ts:      e.Ts,
+			G:       e.G,
+			Type:    e.Type.String(),
+			File:    e.File,
+			Line:    e.Line,
+			Res:     e.Res,
+			Peer:    e.Peer,
+			Aux:     e.Aux,
+			Blocked: e.Blocked,
+			Str:     e.Str,
+		}
+		if e.Type == EvGoBlock {
+			je.Reason = e.BlockReason().String()
+			je.Aux = 0
+		}
+		if err := enc.Encode(je); err != nil {
+			return fmt.Errorf("trace: encoding event %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// GoProfile aggregates one goroutine's dynamic behavior.
+type GoProfile struct {
+	G        GoID
+	Name     string
+	Events   int
+	Blocks   int
+	ByReason map[BlockReason]int
+	Yields   int // voluntary + injected yields
+	Preempts int
+	Ended    bool
+	Panicked bool
+}
+
+// ResProfile aggregates the traffic on one concurrency resource.
+type ResProfile struct {
+	Res        ResID
+	Category   Category
+	Ops        int
+	Blocks     int          // parks attributed to the resource
+	Contenders map[GoID]int // per-goroutine op counts
+}
+
+// Profile is the blocking/latency model the paper derives from the
+// standard tracer vocabulary: per-goroutine lifecycle and blocking
+// statistics plus per-resource contention.
+type Profile struct {
+	Goroutines map[GoID]*GoProfile
+	Resources  map[ResID]*ResProfile
+	Total      int // total events
+}
+
+// BuildProfile aggregates a trace into its profile.
+func BuildProfile(t *Trace) *Profile {
+	p := &Profile{
+		Goroutines: map[GoID]*GoProfile{},
+		Resources:  map[ResID]*ResProfile{},
+	}
+	gp := func(g GoID) *GoProfile {
+		x, ok := p.Goroutines[g]
+		if !ok {
+			x = &GoProfile{G: g, ByReason: map[BlockReason]int{}}
+			p.Goroutines[g] = x
+		}
+		return x
+	}
+	rp := func(r ResID, cat Category) *ResProfile {
+		x, ok := p.Resources[r]
+		if !ok {
+			x = &ResProfile{Res: r, Category: cat, Contenders: map[GoID]int{}}
+			p.Resources[r] = x
+		}
+		return x
+	}
+	for _, e := range t.Events {
+		p.Total++
+		g := gp(e.G)
+		g.Events++
+		switch e.Type {
+		case EvGoCreate:
+			child := gp(e.Peer)
+			child.Name = e.Str
+		case EvGoBlock:
+			g.Blocks++
+			g.ByReason[e.BlockReason()]++
+			if e.Res != 0 {
+				rp(e.Res, CatNone).Blocks++
+			}
+		case EvGoSched:
+			g.Yields++
+		case EvGoPreempt:
+			g.Preempts++
+		case EvGoEnd:
+			g.Ended = true
+		case EvGoPanic:
+			g.Panicked = true
+		}
+		if e.Res != 0 && CategoryOf(e.Type) != CatGoroutine {
+			r := rp(e.Res, CategoryOf(e.Type))
+			if r.Category == CatNone {
+				r.Category = CategoryOf(e.Type)
+			}
+			r.Ops++
+			r.Contenders[e.G]++
+		}
+	}
+	if main, ok := p.Goroutines[1]; ok && main.Name == "" {
+		main.Name = "main"
+	}
+	return p
+}
+
+// HottestResources returns up to n resources ordered by blocks then ops.
+func (p *Profile) HottestResources(n int) []*ResProfile {
+	out := make([]*ResProfile, 0, len(p.Resources))
+	for _, r := range p.Resources {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Blocks != out[j].Blocks {
+			return out[i].Blocks > out[j].Blocks
+		}
+		if out[i].Ops != out[j].Ops {
+			return out[i].Ops > out[j].Ops
+		}
+		return out[i].Res < out[j].Res
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// MostBlocked returns up to n goroutines ordered by block count.
+func (p *Profile) MostBlocked(n int) []*GoProfile {
+	out := make([]*GoProfile, 0, len(p.Goroutines))
+	for _, g := range p.Goroutines {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Blocks != out[j].Blocks {
+			return out[i].Blocks > out[j].Blocks
+		}
+		return out[i].G < out[j].G
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// String renders the profile in a pprof-like text form.
+func (p *Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace profile: %d events, %d goroutines, %d resources\n",
+		p.Total, len(p.Goroutines), len(p.Resources))
+	b.WriteString("\nmost-blocked goroutines:\n")
+	for _, g := range p.MostBlocked(8) {
+		fmt.Fprintf(&b, "  g%-4d %-14s events=%-5d blocks=%-4d yields=%-3d preempts=%-3d",
+			g.G, g.Name, g.Events, g.Blocks, g.Yields, g.Preempts)
+		if len(g.ByReason) > 0 {
+			var reasons []string
+			for r, n := range g.ByReason {
+				reasons = append(reasons, fmt.Sprintf("%s×%d", r, n))
+			}
+			sort.Strings(reasons)
+			fmt.Fprintf(&b, " [%s]", strings.Join(reasons, " "))
+		}
+		if !g.Ended && !g.Panicked {
+			b.WriteString(" (never ended)")
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("\nhottest resources:\n")
+	for _, r := range p.HottestResources(8) {
+		fmt.Fprintf(&b, "  r%-4d %-9s ops=%-5d blocks=%-4d contenders=%d\n",
+			r.Res, r.Category, r.Ops, r.Blocks, len(r.Contenders))
+	}
+	return b.String()
+}

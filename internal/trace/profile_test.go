@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func profileTrace() *Trace {
+	t := New(16)
+	ts := int64(0)
+	add := func(e Event) {
+		ts++
+		e.Ts = ts
+		t.Append(e)
+	}
+	add(Event{G: 1, Type: EvGoStart})
+	add(Event{G: 1, Type: EvChanMake, Res: 1})
+	add(Event{G: 1, Type: EvGoCreate, Peer: 2, Str: "worker"})
+	add(Event{G: 2, Type: EvGoStart})
+	add(Event{G: 2, Type: EvGoBlock, Res: 1, Aux: int64(BlockSend)})
+	add(Event{G: 1, Type: EvGoUnblock, Peer: 2, Res: 1})
+	add(Event{G: 1, Type: EvChanRecv, Res: 1, Peer: 2})
+	add(Event{G: 2, Type: EvChanSend, Res: 1, Blocked: true})
+	add(Event{G: 2, Type: EvGoSched})
+	add(Event{G: 2, Type: EvGoPreempt})
+	add(Event{G: 2, Type: EvMutexLock, Res: 2})
+	add(Event{G: 2, Type: EvMutexUnlock, Res: 2})
+	add(Event{G: 2, Type: EvGoEnd})
+	add(Event{G: 1, Type: EvGoEnd})
+	return t
+}
+
+func TestBuildProfileCounts(t *testing.T) {
+	p := BuildProfile(profileTrace())
+	if p.Total != 14 {
+		t.Fatalf("total = %d", p.Total)
+	}
+	w := p.Goroutines[2]
+	if w == nil || w.Name != "worker" {
+		t.Fatalf("worker profile = %+v", w)
+	}
+	if w.Blocks != 1 || w.ByReason[BlockSend] != 1 {
+		t.Fatalf("worker blocks = %d %v", w.Blocks, w.ByReason)
+	}
+	if w.Yields != 1 || w.Preempts != 1 || !w.Ended {
+		t.Fatalf("worker = %+v", w)
+	}
+	main := p.Goroutines[1]
+	if main.Name != "main" || main.Blocks != 0 || !main.Ended {
+		t.Fatalf("main = %+v", main)
+	}
+}
+
+func TestProfileResources(t *testing.T) {
+	p := BuildProfile(profileTrace())
+	ch := p.Resources[1]
+	if ch == nil || ch.Category != CatChannel {
+		t.Fatalf("channel profile = %+v", ch)
+	}
+	if ch.Blocks != 1 {
+		t.Fatalf("channel blocks = %d", ch.Blocks)
+	}
+	if len(ch.Contenders) != 2 {
+		t.Fatalf("channel contenders = %v", ch.Contenders)
+	}
+	mu := p.Resources[2]
+	if mu == nil || mu.Category != CatSync || mu.Ops != 2 {
+		t.Fatalf("mutex profile = %+v", mu)
+	}
+}
+
+func TestHottestAndMostBlockedOrdering(t *testing.T) {
+	p := BuildProfile(profileTrace())
+	hot := p.HottestResources(0)
+	if len(hot) != 2 || hot[0].Res != 1 {
+		t.Fatalf("hottest = %+v", hot)
+	}
+	blocked := p.MostBlocked(1)
+	if len(blocked) != 1 || blocked[0].G != 2 {
+		t.Fatalf("most blocked = %+v", blocked)
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	s := BuildProfile(profileTrace()).String()
+	for _, want := range []string{"trace profile", "worker", "chan-send", "hottest resources", "Channel"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("profile rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestProfileEmptyTrace(t *testing.T) {
+	p := BuildProfile(New(0))
+	if p.Total != 0 || len(p.Goroutines) != 0 {
+		t.Fatalf("empty profile = %+v", p)
+	}
+	if !strings.Contains(p.String(), "0 events") {
+		t.Fatal("rendering broken")
+	}
+}
