@@ -19,6 +19,7 @@ import (
 	"goat/internal/cover"
 	"goat/internal/cu"
 	"goat/internal/detect"
+	"goat/internal/fault"
 	"goat/internal/goker"
 	"goat/internal/gtree"
 	"goat/internal/instrument"
@@ -31,21 +32,27 @@ import (
 
 func main() {
 	var (
-		path     = flag.String("path", "", "target folder of Go sources (static analysis)")
-		instOut  = flag.String("instrument", "", "with -path: write instrumented sources to this folder")
-		bug      = flag.String("bug", "", "run a GoKer kernel by ID")
-		list     = flag.Bool("list", false, "list the GoKer kernels")
-		d        = flag.Int("d", 0, "number of delays (yield bound D)")
-		freq     = flag.Int("freq", 1, "frequency of executions")
-		covFlag  = flag.Bool("cov", false, "include coverage report in evaluation")
-		seed     = flag.Int64("seed", 0, "base RNG seed")
-		tool     = flag.String("tool", "goat", "detector: goat|builtin|lockdl|goleak")
-		raceOn   = flag.Bool("race", false, "enable the happens-before data race checker")
-		traceOut = flag.String("traceout", "", "with -bug: write the detecting run's ECT to this file")
-		minimize = flag.Bool("minimize", false, "with -bug: systematic search + minimal yield placement")
-		htmlOut  = flag.String("htmlout", "", "with -bug: write an HTML timeline of the detecting run")
+		path      = flag.String("path", "", "target folder of Go sources (static analysis)")
+		instOut   = flag.String("instrument", "", "with -path: write instrumented sources to this folder")
+		bug       = flag.String("bug", "", "run a GoKer kernel by ID")
+		list      = flag.Bool("list", false, "list the GoKer kernels")
+		d         = flag.Int("d", 0, "number of delays (yield bound D)")
+		freq      = flag.Int("freq", 1, "frequency of executions")
+		covFlag   = flag.Bool("cov", false, "include coverage report in evaluation")
+		seed      = flag.Int64("seed", 0, "base RNG seed")
+		tool      = flag.String("tool", "goat", "detector: goat|builtin|lockdl|goleak")
+		raceOn    = flag.Bool("race", false, "enable the happens-before data race checker")
+		traceOut  = flag.String("traceout", "", "with -bug: write the detecting run's ECT to this file")
+		minimize  = flag.Bool("minimize", false, "with -bug: systematic search + minimal yield placement")
+		htmlOut   = flag.String("htmlout", "", "with -bug: write an HTML timeline of the detecting run")
+		faultSpec = flag.String("faults", "", `with -bug: fault-injection spec, e.g. "stall=2,cancel=1,skew=0.3,slow=2,panic=1"`)
 	)
 	flag.Parse()
+
+	faults, err := validateFlags(*bug, *tool, *minimize, *traceOut, *htmlOut, *faultSpec)
+	if err != nil {
+		fatal(err)
+	}
 
 	switch {
 	case *list:
@@ -55,7 +62,7 @@ func main() {
 			fatal(err)
 		}
 	case *bug != "":
-		if err := runBug(*bug, *tool, *d, *freq, *seed, *covFlag, *raceOn, *traceOut, *htmlOut); err != nil {
+		if err := runBug(*bug, *tool, *d, *freq, *seed, *covFlag, *raceOn, *traceOut, *htmlOut, faults); err != nil {
 			fatal(err)
 		}
 	case *path != "":
@@ -71,6 +78,34 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "goat:", err)
 	os.Exit(1)
+}
+
+// validateFlags rejects meaningless flag combinations up front with a
+// one-line error instead of silently ignoring them.
+func validateFlags(bug, tool string, minimize bool, traceOut, htmlOut, faultSpec string) (fault.Options, error) {
+	if bug == "" {
+		switch {
+		case minimize:
+			return fault.Options{}, fmt.Errorf("-minimize requires -bug")
+		case traceOut != "":
+			return fault.Options{}, fmt.Errorf("-traceout requires -bug")
+		case htmlOut != "":
+			return fault.Options{}, fmt.Errorf("-htmlout requires -bug")
+		case faultSpec != "":
+			return fault.Options{}, fmt.Errorf("-faults requires -bug")
+		}
+	}
+	if _, err := detectorFor(tool); err != nil {
+		return fault.Options{}, fmt.Errorf("%v (want goat|builtin|lockdl|goleak)", err)
+	}
+	if minimize && faultSpec != "" {
+		return fault.Options{}, fmt.Errorf("-faults cannot be combined with -minimize (systematic search assumes a fault-free schedule space)")
+	}
+	faults, err := fault.ParseSpec(faultSpec)
+	if err != nil {
+		return fault.Options{}, fmt.Errorf("bad -faults spec: %v", err)
+	}
+	return faults, nil
 }
 
 func listKernels() {
@@ -99,7 +134,7 @@ func detectorFor(name string) (detect.Detector, error) {
 	}
 }
 
-func runBug(id, tool string, d, freq int, seed int64, covFlag, raceOn bool, traceOut, htmlOut string) error {
+func runBug(id, tool string, d, freq int, seed int64, covFlag, raceOn bool, traceOut, htmlOut string, faults fault.Options) error {
 	k, ok := goker.ByID(id)
 	if !ok {
 		return fmt.Errorf("unknown bug %q (try -list)", id)
@@ -109,10 +144,16 @@ func runBug(id, tool string, d, freq int, seed int64, covFlag, raceOn bool, trac
 		return err
 	}
 	fmt.Printf("bug %s (%s, %s deadlock): %s\n\n", k.ID, k.Project, k.Cause, k.Description)
+	if faults.Enabled() {
+		fmt.Printf("fault injection: %s\n\n", faults)
+	}
 
 	model := cover.NewModel(nil)
 	for trial := 0; trial < freq; trial++ {
-		r := goker.Run(k, sim.Options{Seed: seed + int64(trial), Delays: d})
+		r := goker.Run(k, sim.Options{Seed: seed + int64(trial), Delays: d, Faults: faults})
+		if faults.Enabled() && len(r.Faults) > 0 {
+			fmt.Printf("run %3d: %d fault(s) injected\n", trial+1, len(r.Faults))
+		}
 		if raceOn && r.Trace != nil {
 			for _, rc := range race.Check(r.Trace) {
 				fmt.Printf("run %3d: %s\n", trial+1, rc)

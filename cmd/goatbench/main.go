@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"goat/internal/cover"
+	"goat/internal/fault"
 	"goat/internal/goker"
 	"goat/internal/gtree"
 	"goat/internal/harness"
@@ -27,13 +28,22 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|table3|table4|fig2|fig4|fig5|fig6|all")
-		freq     = flag.Int("freq", 1000, "per-(bug,tool) execution budget")
-		iters    = flag.Int("iters", 100, "fig6 iterations")
-		seed     = flag.Int64("seed", 0, "base RNG seed")
-		parallel = flag.Int("parallel", 4, "concurrent bug rows in the table4 campaign")
+		exp       = flag.String("exp", "all", "experiment: table1|table3|table4|fig2|fig4|fig5|fig6|all")
+		freq      = flag.Int("freq", 1000, "per-(bug,tool) execution budget")
+		iters     = flag.Int("iters", 100, "fig6 iterations")
+		seed      = flag.Int64("seed", 0, "base RNG seed")
+		parallel  = flag.Int("parallel", 4, "concurrent bug rows in the table4 campaign")
+		faultSpec = flag.String("faults", "", `fault-injection spec for the table4 campaign, e.g. "stall=2,cancel=1"`)
+		budget    = flag.Duration("cellbudget", 0, "wall-clock watchdog per table4 cell (0 = default 30s)")
+		retries   = flag.Int("retries", 0, "fresh-seed retries for hung table4 cells (0 = default 1, negative = none)")
 	)
 	flag.Parse()
+
+	faults, err := fault.ParseSpec(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goatbench: bad -faults spec: %v\n", err)
+		os.Exit(1)
+	}
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -50,7 +60,14 @@ func main() {
 	var tab *harness.TableIV
 	table4 := func() *harness.TableIV {
 		if tab == nil {
-			tab = harness.RunTableIV(harness.Config{MaxExecs: *freq, BaseSeed: *seed, Parallel: *parallel})
+			tab = harness.RunTableIV(harness.Config{
+				MaxExecs:   *freq,
+				BaseSeed:   *seed,
+				Parallel:   *parallel,
+				Faults:     faults,
+				CellBudget: *budget,
+				Retries:    *retries,
+			})
 		}
 		return tab
 	}
@@ -61,7 +78,9 @@ func main() {
 	})
 	run("table3", func() error { return table3(*seed) })
 	run("table4", func() error {
-		fmt.Println(table4())
+		t := table4()
+		fmt.Println(t)
+		fmt.Println(report.CampaignHealth(t))
 		return nil
 	})
 	run("fig2", func() error {

@@ -278,14 +278,14 @@ func (cc *chanCore) closeCore(g *sim.G, file string, line int) {
 // It panics if the channel is closed, matching native semantics.
 func (c *Chan[T]) Send(g *sim.G, v T) {
 	file, line := sim.Caller(1)
-	g.Handler(file, line)
+	g.HandlerCat(trace.CatChannel, file, line)
 	c.core.send(g, v, true, file, line)
 }
 
 // TrySend attempts a non-blocking send, reporting whether it completed.
 func (c *Chan[T]) TrySend(g *sim.G, v T) bool {
 	file, line := sim.Caller(1)
-	g.Handler(file, line)
+	g.HandlerCat(trace.CatChannel, file, line)
 	return c.core.send(g, v, false, file, line)
 }
 
@@ -293,7 +293,7 @@ func (c *Chan[T]) TrySend(g *sim.G, v T) bool {
 // the channel is closed and drained.
 func (c *Chan[T]) Recv(g *sim.G) (T, bool) {
 	file, line := sim.Caller(1)
-	g.Handler(file, line)
+	g.HandlerCat(trace.CatChannel, file, line)
 	v, ok, _ := c.core.recv(g, true, file, line)
 	return coerce[T](v), ok
 }
@@ -302,7 +302,7 @@ func (c *Chan[T]) Recv(g *sim.G) (T, bool) {
 // operation completed (ok distinguishes a real value from a closed channel).
 func (c *Chan[T]) TryRecv(g *sim.G) (v T, ok bool, done bool) {
 	file, line := sim.Caller(1)
-	g.Handler(file, line)
+	g.HandlerCat(trace.CatChannel, file, line)
 	rv, ok, done := c.core.recv(g, false, file, line)
 	return coerce[T](rv), ok, done
 }
@@ -311,7 +311,7 @@ func (c *Chan[T]) TryRecv(g *sim.G) (v T, ok bool, done bool) {
 // receivers (they observe ok=false).
 func (c *Chan[T]) Close(g *sim.G) {
 	file, line := sim.Caller(1)
-	g.Handler(file, line)
+	g.HandlerCat(trace.CatChannel, file, line)
 	c.core.closeCore(g, file, line)
 }
 
@@ -320,7 +320,7 @@ func (c *Chan[T]) Close(g *sim.G) {
 func (c *Chan[T]) Range(g *sim.G, body func(T) bool) {
 	for {
 		file, line := sim.Caller(1)
-		g.Handler(file, line)
+		g.HandlerCat(trace.CatChannel, file, line)
 		v, ok, _ := c.core.recv(g, true, file, line)
 		if !ok {
 			return

@@ -29,7 +29,8 @@ func Background(g *sim.G) *Context {
 }
 
 // WithCancel derives a cancellable context. The returned CancelFunc is
-// idempotent.
+// idempotent. The context is registered with the scheduler as a target
+// for injected cancellation faults.
 func WithCancel(g *sim.G) (*Context, CancelFunc) {
 	ctx := &Context{done: NewChan[struct{}](g, 0)}
 	cancel := func(cg *sim.G) {
@@ -40,6 +41,7 @@ func WithCancel(g *sim.G) (*Context, CancelFunc) {
 		ctx.err = Canceled
 		ctx.done.Close(cg)
 	}
+	g.Sched().RegisterCancel(cancel)
 	return ctx, cancel
 }
 
@@ -59,6 +61,7 @@ func WithTimeout(g *sim.G, d Duration) (*Context, CancelFunc) {
 		Sleep(tg, d)
 		fire(tg, DeadlineExceeded)
 	})
+	g.Sched().RegisterCancel(func(cg *sim.G) { fire(cg, Canceled) })
 	return ctx, func(cg *sim.G) { fire(cg, Canceled) }
 }
 

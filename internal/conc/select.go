@@ -104,7 +104,7 @@ func execRecv(g *sim.G, cc *chanCore) (v any, ok bool, peer trace.GoID) {
 // receive cases the received value and ok flag.
 func Select(g *sim.G, cases []Case, hasDefault bool) (idx int, recv any, ok bool) {
 	file, line := sim.Caller(1)
-	g.Handler(file, line)
+	g.HandlerCat(trace.CatSelect, file, line)
 	s := g.Sched()
 
 	var readyIdx []int

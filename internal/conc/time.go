@@ -22,7 +22,7 @@ const (
 // runnable one — the discrete-event analogue of time.Sleep.
 func Sleep(g *sim.G, d Duration) {
 	file, line := sim.Caller(1)
-	g.Handler(file, line)
+	g.HandlerCat(trace.CatTimer, file, line)
 	if d <= 0 {
 		return
 	}

@@ -24,6 +24,17 @@ type Detection struct {
 	Detail  string // human-readable amplification
 }
 
+// injectedCrash classifies a crash caused by the fault layer's injected
+// panic: every detector recognizes the marker and reports the crash
+// without counting it as a program bug, so robustness campaigns with
+// panic faults enabled do not record false detections.
+func injectedCrash(d Detection, r *sim.Result) Detection {
+	d.Found = false
+	d.Verdict = "CRASH(injected)"
+	d.Detail = fmt.Sprint(r.PanicVal)
+	return d
+}
+
 // Detector inspects one execution result.
 type Detector interface {
 	// Name returns the tool name used in tables.
@@ -45,10 +56,17 @@ func (Goat) Name() string { return "goat" }
 func (Goat) Detect(r *sim.Result) Detection {
 	d := Detection{Tool: "goat"}
 	if r.Outcome == sim.OutcomeCrash {
+		if r.FaultCrashed() {
+			return injectedCrash(d, r)
+		}
 		return found(d, "CRASH", fmt.Sprintf("panic in g%d: %v", r.PanicG, r.PanicVal))
 	}
 	if r.Outcome == sim.OutcomeTimeout {
-		return found(d, "TO/GDL", "no progress before the watchdog budget expired")
+		detail := "no progress before the watchdog budget expired"
+		if len(r.Faults) > 0 {
+			detail += fmt.Sprintf(" (%d fault(s) injected)", len(r.Faults))
+		}
+		return found(d, "TO/GDL", detail)
 	}
 	if r.Trace == nil {
 		// Traceless run: fall back to the runtime's own classification.
@@ -91,6 +109,9 @@ func (Builtin) Detect(r *sim.Result) Detection {
 	case sim.OutcomeGlobalDeadlock:
 		return found(d, "GDL", "all goroutines are asleep - deadlock!")
 	case sim.OutcomeCrash:
+		if r.FaultCrashed() {
+			return injectedCrash(d, r)
+		}
 		return found(d, "CRASH", fmt.Sprint(r.PanicVal))
 	case sim.OutcomeTimeout:
 		d.Verdict = "HANG" // livelock: the runtime queue never empties
@@ -113,6 +134,9 @@ func (Goleak) Name() string { return "goleak" }
 func (Goleak) Detect(r *sim.Result) Detection {
 	d := Detection{Tool: "goleak"}
 	if r.Outcome == sim.OutcomeCrash {
+		if r.FaultCrashed() {
+			return injectedCrash(d, r)
+		}
 		return found(d, "CRASH", fmt.Sprint(r.PanicVal))
 	}
 	if !r.MainEnded {

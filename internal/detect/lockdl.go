@@ -24,6 +24,9 @@ func (LockDL) Name() string { return "lockdl" }
 func (LockDL) Detect(r *sim.Result) Detection {
 	d := Detection{Tool: "lockdl"}
 	if r.Outcome == sim.OutcomeCrash {
+		if r.FaultCrashed() {
+			return injectedCrash(d, r)
+		}
 		return found(d, "CRASH", fmt.Sprint(r.PanicVal))
 	}
 	if r.Trace != nil {

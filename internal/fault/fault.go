@@ -1,0 +1,378 @@
+// Package fault is the deterministic fault-injection layer of the virtual
+// runtime. A Plan is derived from the execution seed and a fault Options
+// value; it decides, ahead of time, at which concurrency-usage (CU) points
+// which environmental faults fire. The plan draws from its own PRNG streams
+// — never from the scheduler's decision source — so enabling faults changes
+// *what the environment does* without disturbing the recorded schedule
+// script, and (program, seed, fault options) reproduces the exact same
+// fault schedule, ECT and outcome on every run.
+//
+// Fault vocabulary (each recorded as a dedicated ECT event kind):
+//
+//   - stall:    the goroutine at the CU point is held unrunnable for K
+//     scheduler dispatches (models an OS-thread descheduling / GC assist).
+//   - skew:     timer registrations have their durations stretched or
+//     shrunk by a bounded random factor (models clock jitter).
+//   - cancel:   one live cancellable context is cancelled from the current
+//     goroutine (models an external deadline or caller-side abort).
+//   - slow:     the next channel/select operation is delayed by K forced
+//     yields (models a slow peer or contended channel).
+//   - panic:    the goroutine at the CU point panics with an InjectedPanic
+//     value (models a crashing dependency); detectors recognize the marker
+//     and classify the crash as fault-induced rather than a program bug.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind uint8
+
+const (
+	// KindNone is the zero Kind; it never appears in a plan.
+	KindNone Kind = iota
+	// KindStall holds a goroutine unrunnable for Param dispatches.
+	KindStall
+	// KindTimerSkew stretches or shrinks a timer duration.
+	KindTimerSkew
+	// KindCancel cancels one live cancellable context.
+	KindCancel
+	// KindSlow delays a channel/select operation by Param forced yields.
+	KindSlow
+	// KindPanic panics the goroutine with an InjectedPanic value.
+	KindPanic
+)
+
+var kindNames = [...]string{"none", "stall", "skew", "cancel", "slow", "panic"}
+
+// String returns the kind's spec name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Options configure the fault plan of one execution. The zero value
+// disables injection entirely.
+type Options struct {
+	// Stalls is the number of goroutine stalls to inject.
+	Stalls int
+	// StallSteps is how many scheduler dispatches a stalled goroutine is
+	// held unrunnable. Zero selects the default (25).
+	StallSteps int
+
+	// Cancels is the number of injected context cancellations.
+	Cancels int
+
+	// Slowdowns is the number of channel-op slowdowns to inject.
+	Slowdowns int
+	// SlowYields is the number of forced yields per slowdown. Zero selects
+	// the default (3).
+	SlowYields int
+
+	// Panics is the number of injected goroutine panics (usually 0 or 1).
+	Panics int
+
+	// TimerSkew bounds the relative skew applied to every timer duration:
+	// a duration d becomes d * f with f drawn uniformly from
+	// [1-TimerSkew, 1+TimerSkew]. Zero disables skew; values are clamped
+	// to [0, 0.9].
+	TimerSkew float64
+
+	// MeanGap is the mean number of CU-handler invocations between
+	// consecutive injections of one kind. Zero selects the default (40).
+	MeanGap int64
+}
+
+const (
+	defaultStallSteps = 25
+	defaultSlowYields = 3
+	defaultMeanGap    = 40
+	maxTimerSkew      = 0.9
+)
+
+// Enabled reports whether the options request any injection at all.
+func (o Options) Enabled() bool {
+	return o.Stalls > 0 || o.Cancels > 0 || o.Slowdowns > 0 || o.Panics > 0 || o.TimerSkew > 0
+}
+
+func (o Options) stallSteps() int {
+	if o.StallSteps <= 0 {
+		return defaultStallSteps
+	}
+	return o.StallSteps
+}
+
+func (o Options) slowYields() int {
+	if o.SlowYields <= 0 {
+		return defaultSlowYields
+	}
+	return o.SlowYields
+}
+
+func (o Options) meanGap() int64 {
+	if o.MeanGap <= 0 {
+		return defaultMeanGap
+	}
+	return o.MeanGap
+}
+
+func (o Options) timerSkew() float64 {
+	if o.TimerSkew < 0 {
+		return 0
+	}
+	if o.TimerSkew > maxTimerSkew {
+		return maxTimerSkew
+	}
+	return o.TimerSkew
+}
+
+// String renders the options in the -faults spec syntax.
+func (o Options) String() string {
+	var parts []string
+	if o.Stalls > 0 {
+		parts = append(parts, fmt.Sprintf("stall=%d", o.Stalls))
+	}
+	if o.Cancels > 0 {
+		parts = append(parts, fmt.Sprintf("cancel=%d", o.Cancels))
+	}
+	if o.Slowdowns > 0 {
+		parts = append(parts, fmt.Sprintf("slow=%d", o.Slowdowns))
+	}
+	if o.Panics > 0 {
+		parts = append(parts, fmt.Sprintf("panic=%d", o.Panics))
+	}
+	if o.TimerSkew > 0 {
+		parts = append(parts, fmt.Sprintf("skew=%g", o.TimerSkew))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSpec parses the -faults flag syntax: a comma-separated list of
+// key=value pairs, e.g. "stall=2,cancel=1,skew=0.3,slow=2,panic=1".
+// Optional tuning keys: stallsteps, slowyields, gap. An empty spec or
+// "none" yields disabled options.
+func ParseSpec(spec string) (Options, error) {
+	var o Options
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return o, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return o, fmt.Errorf("fault: bad spec element %q (want key=value)", part)
+		}
+		key, val := kv[0], kv[1]
+		if key == "skew" {
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > maxTimerSkew {
+				return o, fmt.Errorf("fault: skew=%q (want a float in [0, %g])", val, maxTimerSkew)
+			}
+			o.TimerSkew = f
+			continue
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return o, fmt.Errorf("fault: %s=%q (want a non-negative integer)", key, val)
+		}
+		switch key {
+		case "stall":
+			o.Stalls = n
+		case "cancel":
+			o.Cancels = n
+		case "slow":
+			o.Slowdowns = n
+		case "panic":
+			o.Panics = n
+		case "stallsteps":
+			o.StallSteps = n
+		case "slowyields":
+			o.SlowYields = n
+		case "gap":
+			o.MeanGap = int64(n)
+		default:
+			return o, fmt.Errorf("fault: unknown spec key %q (known: stall, cancel, slow, panic, skew, stallsteps, slowyields, gap)", key)
+		}
+	}
+	return o, nil
+}
+
+// Action is one planned (or applied) fault.
+type Action struct {
+	Kind  Kind
+	Op    int64 // planned CU-handler index (1-based); 0 for timer skew
+	At    int64 // actual op index the fault fired at (0 until applied)
+	Param int64 // kind-specific payload: stall dispatches, slow yields, cancel pick
+}
+
+// String renders the action for logs and reports.
+func (a Action) String() string {
+	s := fmt.Sprintf("%s@op%d", a.Kind, a.Op)
+	if a.At != 0 && a.At != a.Op {
+		s += fmt.Sprintf("(fired@%d)", a.At)
+	}
+	if a.Param != 0 {
+		s += fmt.Sprintf("[%d]", a.Param)
+	}
+	return s
+}
+
+// InjectedPanic is the panic value thrown by a KindPanic fault. Detectors
+// recognize it (via IsInjected) and classify the resulting crash as
+// fault-induced rather than as a program bug.
+type InjectedPanic struct {
+	// Op is the CU-handler index the panic was injected at.
+	Op int64
+}
+
+// Error makes the marker a readable error value.
+func (p InjectedPanic) Error() string {
+	return fmt.Sprintf("fault: injected panic at op %d", p.Op)
+}
+
+// String implements fmt.Stringer.
+func (p InjectedPanic) String() string { return p.Error() }
+
+// IsInjected reports whether a recovered panic value is a fault-layer
+// injected panic.
+func IsInjected(v any) bool {
+	_, ok := v.(InjectedPanic)
+	return ok
+}
+
+// Plan is the per-execution fault schedule. It is built once from
+// (seed, Options) and consumed by the scheduler: pending actions of each
+// kind fire in op order as their planned op index is reached, and every
+// applied action is recorded for the execution Result.
+type Plan struct {
+	opts Options
+
+	pending map[Kind][]Action // per kind, ascending planned op
+	skewRNG *rand.Rand        // consumed once per timer registration
+	applied []Action
+}
+
+// NewPlan derives the deterministic fault schedule for one execution.
+// A disabled Options value yields a nil plan.
+func NewPlan(seed int64, o Options) *Plan {
+	if !o.Enabled() {
+		return nil
+	}
+	p := &Plan{opts: o, pending: map[Kind][]Action{}}
+	plant := func(kind Kind, count int, param int64) {
+		if count <= 0 {
+			return
+		}
+		rng := rand.New(rand.NewSource(mix(seed, int64(kind))))
+		gap := o.meanGap()
+		op := int64(0)
+		for i := 0; i < count; i++ {
+			op += 1 + rng.Int63n(2*gap)
+			a := Action{Kind: kind, Op: op, Param: param}
+			if kind == KindCancel {
+				// The pick among live cancellables is resolved at fire
+				// time: Param carries a raw deterministic draw.
+				a.Param = rng.Int63()
+			}
+			p.pending[kind] = append(p.pending[kind], a)
+		}
+	}
+	plant(KindStall, o.Stalls, int64(o.stallSteps()))
+	plant(KindCancel, o.Cancels, 0)
+	plant(KindSlow, o.Slowdowns, int64(o.slowYields()))
+	plant(KindPanic, o.Panics, 0)
+	if o.timerSkew() > 0 {
+		p.skewRNG = rand.New(rand.NewSource(mix(seed, int64(KindTimerSkew))))
+	}
+	return p
+}
+
+// mix derives a stream seed from the execution seed and a kind tag
+// (splitmix64 finalizer), keeping the per-kind streams independent.
+func mix(seed, tag int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(tag+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Due returns the next pending action of the kind if its planned op index
+// has been reached. The action stays pending until Fire consumes it, so a
+// fault whose precondition is not met yet (no live cancellable, not a
+// channel op) fires at the next eligible CU point instead of being lost.
+func (p *Plan) Due(kind Kind, op int64) (Action, bool) {
+	q := p.pending[kind]
+	if len(q) == 0 || q[0].Op > op {
+		return Action{}, false
+	}
+	return q[0], true
+}
+
+// Fire consumes the head pending action of the kind, recording it as
+// applied at the given op index, and returns it.
+func (p *Plan) Fire(kind Kind, op int64) Action {
+	q := p.pending[kind]
+	if len(q) == 0 {
+		panic("fault: Fire without a pending action")
+	}
+	a := q[0]
+	p.pending[kind] = q[1:]
+	a.At = op
+	p.applied = append(p.applied, a)
+	return a
+}
+
+// SkewDelta returns the skewed replacement for a timer delta. It consumes
+// one draw per call, so a fixed execution sees a fixed skew sequence. The
+// result is at least 1 so a skewed timer still fires.
+func (p *Plan) SkewDelta(delta int64) int64 {
+	if p.skewRNG == nil || delta <= 0 {
+		return delta
+	}
+	skew := p.opts.timerSkew()
+	f := 1 - skew + 2*skew*p.skewRNG.Float64()
+	out := int64(float64(delta) * f)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// Applied returns the actions that actually fired, in firing order.
+func (p *Plan) Applied() []Action { return p.applied }
+
+// PendingCount returns how many planted actions never fired (the program
+// ended before their op index, or their precondition never became true).
+func (p *Plan) PendingCount() int {
+	n := 0
+	for _, q := range p.pending {
+		n += len(q)
+	}
+	return n
+}
+
+// Planned returns every planted point-fault action in (kind, op) order —
+// the full schedule before execution, mainly for tests and debugging.
+func (p *Plan) Planned() []Action {
+	var out []Action
+	for _, q := range p.pending {
+		out = append(out, q...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Op != out[j].Op {
+			return out[i].Op < out[j].Op
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}

@@ -1,0 +1,115 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	o, err := ParseSpec("stall=2,cancel=1,skew=0.3,slow=2,panic=1,gap=10")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	want := Options{Stalls: 2, Cancels: 1, Slowdowns: 2, Panics: 1, TimerSkew: 0.3, MeanGap: 10}
+	if o != want {
+		t.Fatalf("ParseSpec = %+v, want %+v", o, want)
+	}
+	if !o.Enabled() {
+		t.Fatal("options should be enabled")
+	}
+	for _, empty := range []string{"", "none", "  "} {
+		o, err := ParseSpec(empty)
+		if err != nil || o.Enabled() {
+			t.Fatalf("ParseSpec(%q) = %+v, %v; want disabled, nil", empty, o, err)
+		}
+	}
+	for _, bad := range []string{"stall", "stall=", "stall=-1", "skew=2", "skew=x", "bogus=1", "=3"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	o := Options{Stalls: 3, Cancels: 2, Slowdowns: 1, Panics: 1, TimerSkew: 0.25}
+	back, err := ParseSpec(o.String())
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", o.String(), err)
+	}
+	if back != o {
+		t.Fatalf("round trip = %+v, want %+v", back, o)
+	}
+	if (Options{}).String() != "none" {
+		t.Fatalf("zero options render %q, want none", (Options{}).String())
+	}
+}
+
+func TestPlanDeterminism(t *testing.T) {
+	o := Options{Stalls: 3, Cancels: 2, Slowdowns: 2, Panics: 1, TimerSkew: 0.4}
+	a := NewPlan(42, o)
+	b := NewPlan(42, o)
+	if !reflect.DeepEqual(a.Planned(), b.Planned()) {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", a.Planned(), b.Planned())
+	}
+	for i := 0; i < 16; i++ {
+		da, db := a.SkewDelta(1000), b.SkewDelta(1000)
+		if da != db {
+			t.Fatalf("skew stream diverged at draw %d: %d vs %d", i, da, db)
+		}
+		if da < 600 || da > 1400 {
+			t.Fatalf("skew(1000) = %d outside [600, 1400] for TimerSkew=0.4", da)
+		}
+	}
+	c := NewPlan(43, o)
+	if reflect.DeepEqual(a.Planned(), c.Planned()) {
+		t.Fatal("different seeds produced an identical fault schedule")
+	}
+}
+
+func TestPlanFireOrder(t *testing.T) {
+	p := NewPlan(7, Options{Stalls: 2, MeanGap: 5})
+	planned := p.Planned()
+	if len(planned) != 2 {
+		t.Fatalf("planned %d stalls, want 2", len(planned))
+	}
+	if _, ok := p.Due(KindStall, planned[0].Op-1); ok {
+		t.Fatal("stall due before its op index")
+	}
+	a, ok := p.Due(KindStall, planned[0].Op)
+	if !ok || a.Op != planned[0].Op {
+		t.Fatalf("Due = %v, %v; want first planned stall", a, ok)
+	}
+	// Not consumed until Fire: still due at a later op.
+	if _, ok := p.Due(KindStall, planned[0].Op+100); !ok {
+		t.Fatal("pending action was lost without Fire")
+	}
+	fired := p.Fire(KindStall, planned[0].Op+3)
+	if fired.At != planned[0].Op+3 || fired.Param == 0 {
+		t.Fatalf("Fire = %+v; want At recorded and stall param set", fired)
+	}
+	if got := p.Applied(); len(got) != 1 || got[0] != fired {
+		t.Fatalf("Applied = %v, want [%v]", got, fired)
+	}
+	if p.PendingCount() != 1 {
+		t.Fatalf("PendingCount = %d, want 1", p.PendingCount())
+	}
+}
+
+func TestDisabledPlanIsNil(t *testing.T) {
+	if p := NewPlan(1, Options{}); p != nil {
+		t.Fatalf("NewPlan(disabled) = %v, want nil", p)
+	}
+}
+
+func TestInjectedPanicMarker(t *testing.T) {
+	v := InjectedPanic{Op: 12}
+	if !IsInjected(v) {
+		t.Fatal("IsInjected(InjectedPanic) = false")
+	}
+	if IsInjected("boom") || IsInjected(nil) {
+		t.Fatal("IsInjected misfired on a non-marker value")
+	}
+	if v.Error() == "" {
+		t.Fatal("empty marker message")
+	}
+}

@@ -8,9 +8,11 @@ import (
 // Interval buckets used by Figures 2 and 5 (trial counts to detection).
 var intervalLabels = []string{"1", "2-10", "11-100", "101-1000", "X"}
 
-// bucketOf maps a cell to its interval index (4 = not detected).
+// bucketOf maps a cell to its interval index (4 = not detected). Cells
+// that failed at the host level (ERR/HUNG) count as not detected, so a
+// degraded campaign still renders every figure.
 func bucketOf(c Cell) int {
-	if !c.Found {
+	if c.Failed() || !c.Found {
 		return 4
 	}
 	switch {

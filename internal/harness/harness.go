@@ -2,14 +2,23 @@
 // kernel under every tool configuration, records the minimum number of
 // executions each tool needs to expose each bug, and regenerates Table IV
 // and Figures 2, 4, 5 and 6.
+//
+// The harness is hardened against misbehaving kernels: every (bug, tool)
+// cell runs under a panic quarantine and a wall-clock watchdog, cells that
+// hang the host are retried with a fresh seed a bounded number of times,
+// and a campaign always completes end-to-end — failed cells are annotated
+// (ERR / HUNG) in Table IV and counted as not-detected by the figures
+// instead of aborting the whole evaluation.
 package harness
 
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"goat/internal/cover"
 	"goat/internal/detect"
+	"goat/internal/fault"
 	"goat/internal/goker"
 	"goat/internal/gtree"
 	"goat/internal/sim"
@@ -61,6 +70,21 @@ type Config struct {
 	// an independent deterministic campaign, so results are identical to
 	// the sequential run). 0 or 1 = sequential.
 	Parallel int
+
+	// Faults enables deterministic fault injection for every execution of
+	// the campaign (robustness benchmarking). The zero value disables it.
+	Faults fault.Options
+
+	// CellBudget bounds the wall-clock time one (bug, tool) cell may take
+	// before the watchdog abandons it — the analogue of the paper's
+	// 30-second watchdog, applied per cell instead of per process. Zero
+	// selects the default (30s).
+	CellBudget time.Duration
+
+	// Retries is how many times a cell abandoned by the watchdog is
+	// retried with a fresh seed before being recorded as HUNG. Zero
+	// selects the default (1); negative disables retries.
+	Retries int
 }
 
 func (c Config) maxExecs() int {
@@ -84,19 +108,76 @@ func (c Config) kernels() []goker.Kernel {
 	return c.Kernels
 }
 
+func (c Config) cellBudget() time.Duration {
+	if c.CellBudget <= 0 {
+		return 30 * time.Second
+	}
+	return c.CellBudget
+}
+
+func (c Config) retries() int {
+	if c.Retries < 0 {
+		return 0
+	}
+	if c.Retries == 0 {
+		return 1
+	}
+	return c.Retries
+}
+
+// CellStatus records how a cell's evaluation ended at the host level.
+type CellStatus uint8
+
+const (
+	// CellOK means the campaign loop ran to completion (whether or not
+	// the bug was found).
+	CellOK CellStatus = iota
+	// CellErr means the cell's worker panicked; the panic was quarantined
+	// and the campaign continued.
+	CellErr
+	// CellHung means the cell exceeded its wall-clock budget (even after
+	// retries) and was abandoned by the watchdog.
+	CellHung
+)
+
+var cellStatusNames = [...]string{"ok", "err", "hung"}
+
+// String returns the status name.
+func (s CellStatus) String() string {
+	if int(s) < len(cellStatusNames) {
+		return cellStatusNames[s]
+	}
+	return fmt.Sprintf("CellStatus(%d)", uint8(s))
+}
+
 // Cell is one (bug, tool) outcome: the minimum executions the tool needed
-// to expose the bug, or Found=false after the budget.
+// to expose the bug, or Found=false after the budget. Status departs from
+// CellOK when the cell itself failed at the host level.
 type Cell struct {
 	Bug      string
 	Tool     string
 	Found    bool
 	MinExecs int    // 1-based count of executions until first detection
 	Verdict  string // the detection's verdict at that execution
+
+	Status  CellStatus
+	Err     string // panic or watchdog message when Status != CellOK
+	Retries int    // fresh-seed retries consumed by the watchdog
 }
 
-// String renders the cell the way Table IV prints it: "PDL-2 (3)" or
-// "X (1000)".
+// Failed reports whether the cell failed at the host level (as opposed to
+// merely not finding the bug).
+func (c Cell) Failed() bool { return c.Status != CellOK }
+
+// String renders the cell the way Table IV prints it: "PDL-2 (3)",
+// "X (1000)", or the failure annotations "ERR!" / "HUNG!".
 func (c Cell) String() string {
+	switch c.Status {
+	case CellErr:
+		return "ERR!"
+	case CellHung:
+		return fmt.Sprintf("HUNG! (r%d)", c.Retries)
+	}
 	if !c.Found {
 		return fmt.Sprintf("X (%d)", c.MinExecs)
 	}
@@ -104,14 +185,20 @@ func (c Cell) String() string {
 }
 
 // MinExecs runs one kernel under one tool until first detection or the
-// budget, returning the cell.
+// budget, returning the cell. This is the raw, unguarded campaign loop;
+// RunTableIV wraps it in the quarantine/watchdog machinery via RunCell.
 func MinExecs(k goker.Kernel, spec Spec, maxExecs int, baseSeed int64) Cell {
+	return minExecs(k, spec, maxExecs, baseSeed, fault.Options{})
+}
+
+func minExecs(k goker.Kernel, spec Spec, maxExecs int, baseSeed int64, faults fault.Options) Cell {
 	cell := Cell{Bug: k.ID, Tool: spec.Name}
 	for trial := 0; trial < maxExecs; trial++ {
 		opts := sim.Options{
 			Seed:    baseSeed + int64(trial),
 			Delays:  spec.Delays,
 			NoTrace: !spec.NeedTrace,
+			Faults:  faults,
 		}
 		r := goker.Run(k, opts)
 		if d := spec.Detector.Detect(r); d.Found {
@@ -123,6 +210,54 @@ func MinExecs(k goker.Kernel, spec Spec, maxExecs int, baseSeed int64) Cell {
 	}
 	cell.MinExecs = maxExecs
 	return cell
+}
+
+// retrySeedStride separates the seed space of watchdog retries from the
+// per-trial seeds of the original attempt.
+const retrySeedStride = int64(1) << 32
+
+// RunCell evaluates one (bug, tool) cell under the hardened regime: the
+// campaign loop runs in its own goroutine behind a panic quarantine and a
+// wall-clock watchdog, and a cell abandoned by the watchdog is retried
+// with a fresh seed up to cfg.retries() times. A worker that panics marks
+// the cell ERR; one that exceeds the budget (on every attempt) marks it
+// HUNG. The abandoned worker goroutine is left behind — the harness
+// cannot kill it, only stop waiting — which is exactly the paper's
+// watchdog-and-move-on regime.
+func RunCell(k goker.Kernel, spec Spec, cfg Config) Cell {
+	var cell Cell
+	for attempt := 0; ; attempt++ {
+		seed := cfg.BaseSeed + int64(attempt)*retrySeedStride
+		cell = guardedMinExecs(k, spec, cfg, seed)
+		cell.Retries = attempt
+		if cell.Status != CellHung || attempt >= cfg.retries() {
+			return cell
+		}
+	}
+}
+
+// guardedMinExecs is one watchdogged, quarantined attempt at a cell.
+func guardedMinExecs(k goker.Kernel, spec Spec, cfg Config, seed int64) Cell {
+	done := make(chan Cell, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- Cell{Bug: k.ID, Tool: spec.Name, Status: CellErr, Err: fmt.Sprint(r)}
+			}
+		}()
+		done <- minExecs(k, spec, cfg.maxExecs(), seed, cfg.Faults)
+	}()
+	watchdog := time.NewTimer(cfg.cellBudget())
+	defer watchdog.Stop()
+	select {
+	case c := <-done:
+		return c
+	case <-watchdog.C:
+		return Cell{
+			Bug: k.ID, Tool: spec.Name, Status: CellHung,
+			Err: fmt.Sprintf("cell exceeded the %v wall-clock budget", cfg.cellBudget()),
+		}
+	}
 }
 
 // TableIV is the full evaluation matrix.
@@ -145,10 +280,27 @@ func RunTableIV(cfg Config) *TableIV {
 	for _, s := range tools {
 		t.Tools = append(t.Tools, s.Name)
 	}
+	// evalRow is additionally wrapped in a row-level quarantine: RunCell
+	// already contains per-cell recovery, but a panic in the row
+	// bookkeeping itself must also be recorded as a failure instead of
+	// killing the campaign (in Parallel mode an unrecovered panic in one
+	// worker would take down the whole process).
 	evalRow := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				row := TableIVRow{Bug: kernels[i].ID}
+				for _, s := range tools {
+					row.Cells = append(row.Cells, Cell{
+						Bug: kernels[i].ID, Tool: s.Name,
+						Status: CellErr, Err: fmt.Sprint(r),
+					})
+				}
+				t.Rows[i] = row
+			}
+		}()
 		row := TableIVRow{Bug: kernels[i].ID}
 		for _, s := range tools {
-			row.Cells = append(row.Cells, MinExecs(kernels[i], s, cfg.maxExecs(), cfg.BaseSeed))
+			row.Cells = append(row.Cells, RunCell(kernels[i], s, cfg))
 		}
 		t.Rows[i] = row
 	}
@@ -172,6 +324,20 @@ func RunTableIV(cfg Config) *TableIV {
 	}
 	wg.Wait()
 	return t
+}
+
+// FailedCells returns every cell that failed at the host level, in row
+// order — the input of the campaign-health report.
+func (t *TableIV) FailedCells() []Cell {
+	var out []Cell
+	for _, row := range t.Rows {
+		for _, c := range row.Cells {
+			if c.Failed() {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
 }
 
 // DetectedCount returns, per tool, how many bugs it exposed.
@@ -230,7 +396,10 @@ type Figure6Point struct {
 }
 
 // RunFigure6 reproduces Fig. 6: the coverage-percentage growth over
-// testing iterations for one kernel at each delay bound in ds.
+// testing iterations for one kernel at each delay bound in ds. An
+// iteration whose run or tree construction fails is quarantined: the
+// series carries the last good percentage forward instead of aborting
+// the whole campaign.
 func RunFigure6(bugID string, iters int, ds []int, baseSeed int64) (map[int][]Figure6Point, error) {
 	k, ok := goker.ByID(bugID)
 	if !ok {
@@ -240,16 +409,31 @@ func RunFigure6(bugID string, iters int, ds []int, baseSeed int64) (map[int][]Fi
 	for _, d := range ds {
 		model := cover.NewModel(nil)
 		var series []Figure6Point
+		last := 0.0
 		for it := 0; it < iters; it++ {
-			r := goker.Run(k, sim.Options{Seed: baseSeed + int64(it), Delays: d})
-			tree, err := gtree.Build(r.Trace)
-			if err != nil {
-				return nil, fmt.Errorf("harness: %s D=%d iter %d: %w", bugID, d, it, err)
+			pct, ok := figure6Iter(k, model, baseSeed+int64(it), d)
+			if ok {
+				last = pct
 			}
-			st := model.AddRun(tree)
-			series = append(series, Figure6Point{Iteration: it + 1, Percent: st.Percent})
+			series = append(series, Figure6Point{Iteration: it + 1, Percent: last})
 		}
 		out[d] = series
 	}
 	return out, nil
+}
+
+// figure6Iter runs one coverage iteration under a panic quarantine.
+func figure6Iter(k goker.Kernel, model *cover.Model, seed int64, d int) (pct float64, ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	r := goker.Run(k, sim.Options{Seed: seed, Delays: d})
+	tree, err := gtree.Build(r.Trace)
+	if err != nil {
+		return 0, false
+	}
+	st := model.AddRun(tree)
+	return st.Percent, true
 }

@@ -1,0 +1,36 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"goat/internal/harness"
+)
+
+// CampaignHealth renders the degradation summary of a Table IV campaign:
+// which cells failed at the host level (quarantined panics, watchdog
+// abandonments), how many retries the watchdog spent, and how much of the
+// matrix stayed healthy. A fully healthy campaign renders as one line, so
+// the summary can always be appended to the table output.
+func CampaignHealth(t *harness.TableIV) string {
+	total := 0
+	for _, row := range t.Rows {
+		total += len(row.Cells)
+	}
+	failed := t.FailedCells()
+	var b strings.Builder
+	if len(failed) == 0 {
+		fmt.Fprintf(&b, "campaign health: all %d cells completed\n", total)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "campaign health: %d/%d cells failed (results degraded, campaign completed)\n",
+		len(failed), total)
+	for _, c := range failed {
+		detail := c.Err
+		if detail == "" {
+			detail = "(no detail)"
+		}
+		fmt.Fprintf(&b, "  %-22s %-12s %-6s retries=%d  %s\n", c.Bug, c.Tool, c.Status, c.Retries, detail)
+	}
+	return b.String()
+}

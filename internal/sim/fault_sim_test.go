@@ -1,0 +1,233 @@
+package sim_test
+
+// External test package: these tests drive the fault layer through the
+// conc primitives, which the sim package itself cannot import.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"goat/internal/conc"
+	"goat/internal/fault"
+	"goat/internal/sim"
+	"goat/internal/trace"
+)
+
+// faultProbe is a small program exercising every fault surface: channels
+// (slowdowns), timers (skew), a cancellable context (injected cancels),
+// and enough CU points for stalls to land on. The watcher goroutine leaks
+// unless its context is cancelled.
+func faultProbe(g *sim.G) {
+	ctx, cancel := conc.WithCancel(g)
+	_ = cancel
+	ch := conc.NewChan[int](g, 1)
+	g.Go("producer", func(p *sim.G) {
+		for i := 0; i < 5; i++ {
+			ch.Send(p, i)
+			conc.Sleep(p, 10*conc.Nanosecond)
+		}
+		ch.Close(p)
+	})
+	g.Go("watcher", func(w *sim.G) {
+		ctx.Done().Recv(w) // leaks unless the context is cancelled
+	})
+	for {
+		if _, ok := ch.Recv(g); !ok {
+			break
+		}
+		conc.Sleep(g, 7*conc.Nanosecond)
+	}
+}
+
+func probeFaults() fault.Options {
+	return fault.Options{
+		Stalls:    2,
+		Cancels:   1,
+		Slowdowns: 1,
+		TimerSkew: 0.5,
+		MeanGap:   6,
+	}
+}
+
+func encodeECT(t *testing.T, r *sim.Result) []byte {
+	t.Helper()
+	if r.Trace == nil {
+		t.Fatal("run produced no trace")
+	}
+	var buf bytes.Buffer
+	if err := r.Trace.Encode(&buf); err != nil {
+		t.Fatalf("encoding ECT: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestFaultPlanFullyDeterministic(t *testing.T) {
+	opts := sim.Options{Seed: 11, Delays: 2, Faults: probeFaults()}
+	a := sim.Run(opts, faultProbe)
+	b := sim.Run(opts, faultProbe)
+	if a.Outcome != b.Outcome {
+		t.Fatalf("outcomes diverged: %v vs %v", a.Outcome, b.Outcome)
+	}
+	if !reflect.DeepEqual(a.Faults, b.Faults) {
+		t.Fatalf("fault schedules diverged:\n%v\n%v", a.Faults, b.Faults)
+	}
+	if len(a.Faults) == 0 {
+		t.Fatal("no faults fired; probe or plan is miswired")
+	}
+	if !bytes.Equal(encodeECT(t, a), encodeECT(t, b)) {
+		t.Fatal("ECTs are not byte-identical for identical Options")
+	}
+	// A different seed must produce a different fault schedule (with
+	// overwhelming probability for this plan size).
+	c := sim.Run(sim.Options{Seed: 12, Delays: 2, Faults: probeFaults()}, faultProbe)
+	if reflect.DeepEqual(a.Faults, c.Faults) && bytes.Equal(encodeECT(t, a), encodeECT(t, c)) {
+		t.Fatal("different seeds reproduced the identical execution")
+	}
+}
+
+func TestFaultDeterminismUnderRecordReplay(t *testing.T) {
+	base := sim.Options{Seed: 23, Delays: 2, Faults: probeFaults()}
+
+	rec := base
+	rec.Record = true
+	recorded := sim.Run(rec, faultProbe)
+	if len(recorded.Schedule) == 0 {
+		t.Fatal("recording produced an empty schedule script")
+	}
+
+	rep := base
+	rep.Replay = recorded.Schedule
+	replayed := sim.Run(rep, faultProbe)
+	if replayed.ReplayDiverged {
+		t.Fatal("replay diverged although program, seed and faults are identical")
+	}
+	if !reflect.DeepEqual(recorded.Faults, replayed.Faults) {
+		t.Fatalf("fault schedule changed under replay:\n%v\n%v", recorded.Faults, replayed.Faults)
+	}
+	if !bytes.Equal(encodeECT(t, recorded), encodeECT(t, replayed)) {
+		t.Fatal("replayed ECT differs from the recorded execution")
+	}
+
+	// And the plain (non-recording) run matches the recorded one too:
+	// recording must be observation-only.
+	plain := sim.Run(base, faultProbe)
+	if !bytes.Equal(encodeECT(t, plain), encodeECT(t, recorded)) {
+		t.Fatal("enabling Record changed the execution")
+	}
+}
+
+func countEvents(tr *trace.Trace, typ trace.Type) int {
+	n := 0
+	for _, e := range tr.Events {
+		if e.Type == typ {
+			n++
+		}
+	}
+	return n
+}
+
+func TestStallFaultReleasesWithoutFalseDeadlock(t *testing.T) {
+	// Saturate the run with stalls: every goroutine repeatedly held. The
+	// program must still terminate OK — stalls are always released before
+	// the world can be classified as settled.
+	opts := sim.Options{Seed: 3, Faults: fault.Options{Stalls: 20, StallSteps: 50, MeanGap: 2}}
+	r := sim.Run(opts, func(g *sim.G) {
+		ch := conc.NewChan[int](g, 0)
+		g.Go("peer", func(p *sim.G) {
+			for i := 0; i < 10; i++ {
+				ch.Send(p, i)
+			}
+		})
+		for i := 0; i < 10; i++ {
+			conc.Sleep(g, 5*conc.Nanosecond)
+			ch.Recv(g)
+		}
+	})
+	if r.Outcome != sim.OutcomeOK {
+		t.Fatalf("outcome = %v, want OK; result: %v", r.Outcome, r)
+	}
+	if countEvents(r.Trace, trace.EvFaultStall) == 0 {
+		t.Fatal("no stall events recorded despite an aggressive plan")
+	}
+}
+
+func TestInjectedPanicClassifiedAsFaultCrash(t *testing.T) {
+	opts := sim.Options{Seed: 5, Faults: fault.Options{Panics: 1, MeanGap: 1}}
+	r := sim.Run(opts, faultProbe)
+	if r.Outcome != sim.OutcomeCrash {
+		t.Fatalf("outcome = %v, want CRASH", r.Outcome)
+	}
+	if !r.FaultCrashed() {
+		t.Fatalf("FaultCrashed = false; panic value %v (%T)", r.PanicVal, r.PanicVal)
+	}
+	if countEvents(r.Trace, trace.EvFaultPanic) != 1 {
+		t.Fatalf("want exactly one FaultPanic event, trace has %d", countEvents(r.Trace, trace.EvFaultPanic))
+	}
+}
+
+func TestInjectedCancelUnblocksContextWaiter(t *testing.T) {
+	// Without the injected cancel the watcher in faultProbe leaks (PDL);
+	// the cancel fault must close the context and let it exit.
+	opts := sim.Options{Seed: 7, Faults: fault.Options{Cancels: 1, MeanGap: 4}}
+	r := sim.Run(opts, faultProbe)
+	if countEvents(r.Trace, trace.EvFaultCancel) != 1 {
+		t.Fatalf("want exactly one FaultCancel event, got %d", countEvents(r.Trace, trace.EvFaultCancel))
+	}
+	if r.Outcome != sim.OutcomeOK {
+		t.Fatalf("outcome = %v, want OK after injected cancellation; %v", r.Outcome, r)
+	}
+	baseline := sim.Run(sim.Options{Seed: 7}, faultProbe)
+	if baseline.Outcome != sim.OutcomeLeak {
+		t.Fatalf("baseline outcome = %v, want PDL (the probe's watcher leaks without a cancel)", baseline.Outcome)
+	}
+}
+
+func TestTimerSkewRecorded(t *testing.T) {
+	opts := sim.Options{Seed: 9, Faults: fault.Options{TimerSkew: 0.5}}
+	r := sim.Run(opts, func(g *sim.G) {
+		conc.Sleep(g, 1000*conc.Nanosecond)
+	})
+	if r.Outcome != sim.OutcomeOK {
+		t.Fatalf("outcome = %v, want OK", r.Outcome)
+	}
+	if countEvents(r.Trace, trace.EvFaultTimerSkew) == 0 {
+		t.Fatal("no timer-skew event recorded")
+	}
+}
+
+// TestTimeoutClassification covers the OutcomeTimeout path: a kernel that
+// spins through CU points forever must be cut off within MaxSteps and
+// classified TO, with the goroutine snapshot intact.
+func TestTimeoutClassification(t *testing.T) {
+	r := sim.Run(sim.Options{Seed: 1, MaxSteps: 500}, func(g *sim.G) {
+		ch := conc.NewChan[int](g, 1)
+		g.Go("pong", func(p *sim.G) {
+			for {
+				if _, ok := ch.Recv(p); !ok {
+					return
+				}
+			}
+		})
+		for {
+			ch.Send(g, 1) // livelock: ping-pong forever
+		}
+	})
+	if r.Outcome != sim.OutcomeTimeout {
+		t.Fatalf("outcome = %v, want TO", r.Outcome)
+	}
+	if r.Steps > 500 {
+		t.Fatalf("run took %d steps, budget was 500", r.Steps)
+	}
+	if r.MainEnded {
+		t.Fatal("MainEnded = true for a hung main")
+	}
+	if len(r.Goroutines) != 2 {
+		t.Fatalf("goroutine snapshot has %d entries, want 2", len(r.Goroutines))
+	}
+	for _, g := range r.Goroutines {
+		if g.State == sim.StateDone {
+			t.Fatalf("g%d reported done in a timed-out run", g.ID)
+		}
+	}
+}

@@ -23,6 +23,8 @@
 //     or normal termination).
 package sim
 
+import "goat/internal/fault"
+
 // Pick selects the runnable-queue discipline.
 type Pick uint8
 
@@ -76,6 +78,14 @@ type Options struct {
 	// PRNG. A script from a structurally different program sets
 	// Result.ReplayDiverged.
 	Replay []int64
+
+	// Faults configures the deterministic fault-injection layer: the plan
+	// derived from (Seed, Faults) stalls goroutines, skews timers, cancels
+	// contexts, slows channel operations and injects panics at CU points,
+	// each recorded as an ECT event. The zero value disables injection.
+	// Fault decisions draw from the plan's own PRNG streams, never from
+	// the schedule decider, so Record/Replay scripts stay valid.
+	Faults fault.Options
 
 	// YieldAt switches the handler to *systematic* mode: a forced yield
 	// fires exactly at the listed global op indices (1-based count of

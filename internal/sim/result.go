@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"goat/internal/fault"
 	"goat/internal/trace"
 )
 
@@ -60,6 +61,18 @@ type Result struct {
 	// ReplayDiverged reports that a replayed script did not structurally
 	// match the execution (Options.Replay).
 	ReplayDiverged bool
+
+	// Faults lists the injected faults that actually fired, in firing
+	// order (Options.Faults). FaultsPending counts planted faults the
+	// execution ended before reaching.
+	Faults        []fault.Action
+	FaultsPending int
+}
+
+// FaultCrashed reports that the execution crashed on an injected panic
+// rather than a program bug.
+func (r *Result) FaultCrashed() bool {
+	return r.Outcome == OutcomeCrash && fault.IsInjected(r.PanicVal)
 }
 
 // String summarizes the result in one paragraph for reports.
@@ -78,6 +91,9 @@ func (r *Result) String() string {
 	}
 	if r.PanicVal != nil {
 		fmt.Fprintf(&b, " panic(g%d)=%v", r.PanicG, r.PanicVal)
+	}
+	if len(r.Faults) > 0 {
+		fmt.Fprintf(&b, " faults=%d", len(r.Faults))
 	}
 	return b.String()
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"goat/internal/fault"
 	"goat/internal/trace"
 )
 
@@ -50,6 +51,10 @@ type Scheduler struct {
 	panicG    trace.GoID
 
 	yieldAt map[int64]bool // systematic mode: op indices that force a yield
+
+	faults  *fault.Plan // nil unless Options.Faults is enabled
+	stalled []stalledG  // goroutines held unrunnable by stall faults
+	cancels []func(*G)  // injected-cancellation targets (conc contexts)
 }
 
 // newScheduler builds a scheduler ready to run a main function.
@@ -80,6 +85,7 @@ func newScheduler(opts Options) *Scheduler {
 	if !opts.NoTrace {
 		s.ect = trace.New(1024)
 	}
+	s.faults = fault.NewPlan(opts.Seed, opts.Faults)
 	return s
 }
 
@@ -260,9 +266,22 @@ const sliceOpBudget = 256
 // preempt with the natural-noise probability, and unconditionally after
 // the per-slice op budget.
 func (g *G) Handler(file string, line int) {
+	g.handler(trace.CatNone, file, line)
+}
+
+// HandlerCat is Handler with the CU's primitive category attached, so
+// category-targeted faults (channel-op slowdowns) can find their points.
+func (g *G) HandlerCat(cat trace.Category, file string, line int) {
+	g.handler(cat, file, line)
+}
+
+func (g *G) handler(cat trace.Category, file string, line int) {
 	s := g.s
 	s.ops++
 	s.sliceOps++
+	if s.faults != nil {
+		s.applyFaults(g, cat, file, line)
+	}
 	if s.yieldAt != nil {
 		// Systematic mode: yields fire exactly at the chosen op indices.
 		if s.yieldAt[int64(s.ops)] {
@@ -340,9 +359,16 @@ loop:
 			// finish naturally (the paper's watchdog grace period).
 			budget = s.steps + s.opts.drainSteps()
 		}
+		// Injected stalls whose hold expired rejoin the run queue first.
+		s.releaseStalled(false)
 		if len(s.runq) == 0 {
 			// Nothing runnable: advance virtual time to the next timer.
 			if s.fireTimers() {
+				continue
+			}
+			// Still nothing: force-release the earliest stalled goroutine
+			// so an injected stall is never misread as a deadlock.
+			if s.releaseStalled(true) {
 				continue
 			}
 			break // settled: classify below
@@ -425,6 +451,10 @@ func (s *Scheduler) result(outcome Outcome, mainG *G) *Result {
 		r.Schedule = d.log
 	case *scriptDecider:
 		r.ReplayDiverged = d.diverged
+	}
+	if s.faults != nil {
+		r.Faults = s.faults.Applied()
+		r.FaultsPending = s.faults.PendingCount()
 	}
 	return r
 }

@@ -27,8 +27,17 @@ func (h *timerHeap) Push(x any)   { *h = append(*h, x.(timer)) }
 func (h *timerHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
 
 // AddTimer schedules g to be woken at virtual time `at`. The goroutine must
-// park itself (Block with BlockSleep) immediately after registering.
+// park itself (Block with BlockSleep) immediately after registering. With
+// timer-skew faults enabled, the requested duration is stretched or shrunk
+// by the plan's deterministic skew factor and the skew recorded in the ECT.
 func (s *Scheduler) AddTimer(at int64, g *G) {
+	if s.faults != nil {
+		delta := at - s.now
+		if skewed := s.faults.SkewDelta(delta); skewed != delta {
+			s.Emit(trace.Event{G: g.id, Type: trace.EvFaultTimerSkew, Aux: skewed - delta})
+			at = s.now + skewed
+		}
+	}
 	s.timerSeq++
 	heap.Push(&s.timers, timer{at: at, seq: s.timerSeq, g: g})
 }

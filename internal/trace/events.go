@@ -80,6 +80,15 @@ const (
 	EvVarRead  // read of a Shared cell; Res = variable
 	EvVarWrite // write of a Shared cell; Res = variable
 
+	// Fault-injection events (the internal/fault layer). Every injected
+	// fault is recorded in the ECT so detectors and coverage analyses can
+	// distinguish environmental perturbation from program behavior.
+	EvFaultStall     // goroutine held unrunnable; Aux = dispatches held
+	EvFaultTimerSkew // timer duration skewed; Aux = skew delta (ns)
+	EvFaultCancel    // injected context cancellation; Aux = target index
+	EvFaultSlow      // channel-op slowdown; Aux = forced yields
+	EvFaultPanic     // injected panic about to unwind the goroutine
+
 	evMax
 )
 
@@ -98,6 +107,7 @@ const (
 	BlockSleep                 // blocked in a timed sleep
 	BlockSync                  // blocked on another sync primitive (Once, semaphore)
 	BlockGoatDone              // blocked in the goat watchdog handshake
+	BlockFault                 // held unrunnable by an injected stall fault
 )
 
 var blockReasonNames = map[BlockReason]string{
@@ -112,6 +122,7 @@ var blockReasonNames = map[BlockReason]string{
 	BlockSleep:     "sleep",
 	BlockSync:      "sync",
 	BlockGoatDone:  "goat-done",
+	BlockFault:     "fault-stall",
 }
 
 // String returns the human-readable block reason.
@@ -123,37 +134,42 @@ func (r BlockReason) String() string {
 }
 
 var typeNames = [evMax]string{
-	EvNone:          "None",
-	EvGoCreate:      "GoCreate",
-	EvGoStart:       "GoStart",
-	EvGoEnd:         "GoEnd",
-	EvGoSched:       "GoSched",
-	EvGoPreempt:     "GoPreempt",
-	EvGoBlock:       "GoBlock",
-	EvGoUnblock:     "GoUnblock",
-	EvGoPanic:       "GoPanic",
-	EvChanMake:      "ChanMake",
-	EvChanSend:      "ChanSend",
-	EvChanRecv:      "ChanRecv",
-	EvChanClose:     "ChanClose",
-	EvSelect:        "Select",
-	EvSelectCase:    "SelectCase",
-	EvMutexLock:     "MutexLock",
-	EvMutexUnlock:   "MutexUnlock",
-	EvRWLock:        "RWLock",
-	EvRWUnlock:      "RWUnlock",
-	EvRLock:         "RLock",
-	EvRUnlock:       "RUnlock",
-	EvWgAdd:         "WgAdd",
-	EvWgWait:        "WgWait",
-	EvCondWait:      "CondWait",
-	EvCondSignal:    "CondSignal",
-	EvCondBroadcast: "CondBroadcast",
-	EvOnceDo:        "OnceDo",
-	EvSleep:         "Sleep",
-	EvUserLog:       "UserLog",
-	EvVarRead:       "VarRead",
-	EvVarWrite:      "VarWrite",
+	EvNone:           "None",
+	EvGoCreate:       "GoCreate",
+	EvGoStart:        "GoStart",
+	EvGoEnd:          "GoEnd",
+	EvGoSched:        "GoSched",
+	EvGoPreempt:      "GoPreempt",
+	EvGoBlock:        "GoBlock",
+	EvGoUnblock:      "GoUnblock",
+	EvGoPanic:        "GoPanic",
+	EvChanMake:       "ChanMake",
+	EvChanSend:       "ChanSend",
+	EvChanRecv:       "ChanRecv",
+	EvChanClose:      "ChanClose",
+	EvSelect:         "Select",
+	EvSelectCase:     "SelectCase",
+	EvMutexLock:      "MutexLock",
+	EvMutexUnlock:    "MutexUnlock",
+	EvRWLock:         "RWLock",
+	EvRWUnlock:       "RWUnlock",
+	EvRLock:          "RLock",
+	EvRUnlock:        "RUnlock",
+	EvWgAdd:          "WgAdd",
+	EvWgWait:         "WgWait",
+	EvCondWait:       "CondWait",
+	EvCondSignal:     "CondSignal",
+	EvCondBroadcast:  "CondBroadcast",
+	EvOnceDo:         "OnceDo",
+	EvSleep:          "Sleep",
+	EvUserLog:        "UserLog",
+	EvVarRead:        "VarRead",
+	EvVarWrite:       "VarWrite",
+	EvFaultStall:     "FaultStall",
+	EvFaultTimerSkew: "FaultTimerSkew",
+	EvFaultCancel:    "FaultCancel",
+	EvFaultSlow:      "FaultSlow",
+	EvFaultPanic:     "FaultPanic",
 }
 
 // String returns the event type name.
@@ -180,6 +196,7 @@ const (
 	CatTimer              // sleeps and timers
 	CatUser               // user annotations
 	CatShared             // shared-variable accesses
+	CatFault              // injected faults
 )
 
 var categoryNames = map[Category]string{
@@ -191,6 +208,7 @@ var categoryNames = map[Category]string{
 	CatTimer:     "Timer",
 	CatUser:      "User",
 	CatShared:    "Shared",
+	CatFault:     "Fault",
 }
 
 // String returns the category name.
@@ -219,6 +237,8 @@ func CategoryOf(t Type) Category {
 		return CatUser
 	case EvVarRead, EvVarWrite:
 		return CatShared
+	case EvFaultStall, EvFaultTimerSkew, EvFaultCancel, EvFaultSlow, EvFaultPanic:
+		return CatFault
 	default:
 		return CatNone
 	}
