@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark-regression guard. A baseline file (BENCH_baseline.json) maps
+// benchmark names to ns/op; `goatbench -compare <bench-output>` parses a
+// `go test -bench` text report, compares every benchmark present in both
+// against the baseline, and exits non-zero when any regresses past the
+// tolerance. `-update-baseline` rewrites the baseline from the report
+// instead. The guard is advisory in CI (continue-on-error) — virtualised
+// runners make absolute ns/op noisy — but it catches order-of-magnitude
+// mistakes (an accidental O(n²), a lost fast path) before they land.
+
+type baseline struct {
+	// Tolerance is the allowed fractional slowdown before the guard
+	// fails, e.g. 0.25 = 25%. The -tolerance flag overrides it.
+	Tolerance float64 `json:"tolerance"`
+	// NsPerOp maps benchmark name (goos/goarch/-cpu suffix stripped) to
+	// the baseline ns/op.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+// parseBenchOutput extracts name → ns/op from `go test -bench` output.
+// Lines look like:
+//
+//	BenchmarkChannelPingPong-8   	   12345	     98765 ns/op
+//
+// The -N cpu suffix is stripped so baselines transfer across machines.
+func parseBenchOutput(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		var ns float64
+		found := false
+		for i := 2; i < len(fields); i++ {
+			if fields[i] == "ns/op" {
+				ns, err = strconv.ParseFloat(fields[i-1], 64)
+				if err == nil {
+					found = true
+				}
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		out[name] = ns
+	}
+	return out, sc.Err()
+}
+
+// runCompare implements -compare / -update-baseline. Returns the process
+// exit code.
+func runCompare(reportPath, baselinePath string, tolerance float64, update bool) int {
+	got, err := parseBenchOutput(reportPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goatbench: reading bench report: %v\n", err)
+		return 2
+	}
+	if len(got) == 0 {
+		fmt.Fprintf(os.Stderr, "goatbench: no benchmark results in %s\n", reportPath)
+		return 2
+	}
+
+	if update {
+		base := baseline{Tolerance: tolerance, NsPerOp: got}
+		data, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "goatbench: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(baselinePath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "goatbench: writing baseline: %v\n", err)
+			return 2
+		}
+		fmt.Printf("wrote %s with %d benchmark(s)\n", baselinePath, len(got))
+		return 0
+	}
+
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goatbench: reading baseline: %v\n", err)
+		return 2
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "goatbench: parsing baseline: %v\n", err)
+		return 2
+	}
+	if tolerance <= 0 {
+		tolerance = base.Tolerance
+	}
+	if tolerance <= 0 {
+		tolerance = 0.25
+	}
+
+	var names []string
+	for name := range base.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressed := 0
+	fmt.Printf("%-32s %14s %14s %9s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, name := range names {
+		want := base.NsPerOp[name]
+		now, ok := got[name]
+		if !ok {
+			fmt.Printf("%-32s %14.0f %14s %9s\n", name, want, "-", "missing")
+			continue
+		}
+		delta := (now - want) / want
+		mark := ""
+		if delta > tolerance {
+			mark = "  REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-32s %14.0f %14.0f %+8.1f%%%s\n", name, want, now, delta*100, mark)
+	}
+	if regressed > 0 {
+		fmt.Printf("\n%d benchmark(s) regressed more than %.0f%%\n", regressed, tolerance*100)
+		return 1
+	}
+	fmt.Printf("\nall benchmarks within %.0f%% of baseline\n", tolerance*100)
+	return 0
+}

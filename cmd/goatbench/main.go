@@ -9,6 +9,13 @@
 //	goatbench -exp fig5              # iteration-count distribution
 //	goatbench -exp fig6 -iters 100   # coverage growth case studies
 //	goatbench -exp all
+//
+// It also guards against performance regressions: pipe `go test -bench`
+// output into a file and compare it against the checked-in baseline
+// (see scripts/benchguard.sh):
+//
+//	goatbench -compare bench.txt                     # fail on >25% slowdown
+//	goatbench -compare bench.txt -update-baseline    # refresh the baseline
 package main
 
 import (
@@ -36,8 +43,17 @@ func main() {
 		faultSpec = flag.String("faults", "", `fault-injection spec for the table4 campaign, e.g. "stall=2,cancel=1"`)
 		budget    = flag.Duration("cellbudget", 0, "wall-clock watchdog per table4 cell (0 = default 30s)")
 		retries   = flag.Int("retries", 0, "fresh-seed retries for hung table4 cells (0 = default 1, negative = none)")
+
+		compare    = flag.String("compare", "", "path to `go test -bench` output to compare against the baseline")
+		benchfile  = flag.String("benchfile", "BENCH_baseline.json", "benchmark baseline file")
+		tolerance  = flag.Float64("tolerance", 0, "allowed fractional slowdown (0 = baseline's own, default 0.25)")
+		updateBase = flag.Bool("update-baseline", false, "rewrite the baseline from the -compare report")
 	)
 	flag.Parse()
+
+	if *compare != "" {
+		os.Exit(runCompare(*compare, *benchfile, *tolerance, *updateBase))
+	}
 
 	faults, err := fault.ParseSpec(*faultSpec)
 	if err != nil {

@@ -1,0 +1,90 @@
+// Command goatfuzz runs the differential kernel fuzzer: it generates
+// random concurrent kernels with constructed ground truth, runs each one
+// under GoAT (D = 0..dmax) and the three baseline detectors across a
+// seed sweep, cross-checks every verdict against the planted oracle and
+// the wait-for-graph ground truth, and auto-shrinks every disagreement
+// to a minimal reproducer.
+//
+//	goatfuzz -n 200 -seed 1             # differential smoke run
+//	goatfuzz -n 5000 -dmax 3 -sweep 5   # a deeper campaign
+//	goatfuzz -n 1000 -emit repro/       # write reproducer sources
+//
+// The exit status is 1 when the campaign found at least one
+// disagreement, so the command slots directly into CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"goat/internal/kernelgen"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 200, "number of kernels to generate")
+		seed     = flag.Int64("seed", 1, "campaign seed (decision strings and schedules)")
+		buggy    = flag.Float64("buggy", 0.5, "fraction of kernels with a planted bug")
+		dmax     = flag.Int("dmax", 3, "largest GoAT delay bound swept (D = 0..dmax)")
+		sweep    = flag.Int("sweep", 3, "schedule seeds per (kernel, delay bound)")
+		noshrink = flag.Bool("noshrink", false, "report findings without minimizing them")
+		maxFind  = flag.Int("maxfindings", 0, "stop after this many findings (0 = no limit)")
+		emit     = flag.String("emit", "", "directory to write reproducer sources into")
+	)
+	flag.Parse()
+	if *n <= 0 {
+		fmt.Fprintln(os.Stderr, "goatfuzz: -n must be positive")
+		os.Exit(2)
+	}
+	if *buggy < 0 || *buggy > 1 {
+		fmt.Fprintln(os.Stderr, "goatfuzz: -buggy must be in [0,1]")
+		os.Exit(2)
+	}
+
+	rep := kernelgen.RunDiff(kernelgen.DiffConfig{
+		N:           *n,
+		Seed:        *seed,
+		BuggyFrac:   *buggy,
+		DMax:        *dmax,
+		Sweep:       *sweep,
+		NoShrink:    *noshrink,
+		MaxFindings: *maxFind,
+	})
+	fmt.Println(rep)
+
+	if *emit != "" && len(rep.Findings) > 0 {
+		if err := emitFindings(*emit, rep.Findings); err != nil {
+			fmt.Fprintf(os.Stderr, "goatfuzz: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if len(rep.Findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// emitFindings writes each reproducer as a standalone Go source file plus
+// its decision string, the artifacts a promotion into the goker registry
+// starts from (see EXPERIMENTS.md, "Fuzzing the analyzers").
+func emitFindings(dir string, findings []*kernelgen.Finding) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, f := range findings {
+		k := f.ReproKernel()
+		src := f.Prog.GoSource(k.ID)
+		path := filepath.Join(dir, k.ID+".go")
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			return err
+		}
+		meta := fmt.Sprintf("id: %s\ntool: %s\nrule: %s\nseed: %d\ndelays: %d\ndecision: %x\ndetail: %s\n",
+			k.ID, f.Tool, f.Rule, f.Seed, f.Delays, f.Shrunk, f.Detail)
+		if err := os.WriteFile(filepath.Join(dir, k.ID+".finding"), []byte(meta), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}

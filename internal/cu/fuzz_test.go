@@ -1,0 +1,32 @@
+package cu
+
+import "testing"
+
+// FuzzCUExtract throws arbitrary source text at the static
+// concurrency-usage extractor. ExtractSource must either reject the
+// input with a parse error or return a well-formed CU list — it must
+// never panic, whatever go/ast shape the parser hands back.
+func FuzzCUExtract(f *testing.F) {
+	f.Add("package main\n\nfunc main() {\n\tch := make(chan int)\n\tgo func() { ch <- 1 }()\n\t<-ch\n}\n")
+	f.Add("package main\n\nimport \"sync\"\n\nfunc main() {\n\tvar mu sync.Mutex\n\tmu.Lock()\n\tdefer mu.Unlock()\n\tvar wg sync.WaitGroup\n\twg.Add(1)\n\tgo wg.Done()\n\twg.Wait()\n}\n")
+	f.Add("package main\n\nfunc main() {\n\tch := make(chan int, 2)\n\tselect {\n\tcase ch <- 1:\n\tcase <-ch:\n\tdefault:\n\t}\n\tclose(ch)\n}\n")
+	f.Add("package p\n\nvar x = make(chan struct{})\n")
+	f.Add("package p")
+	f.Add("")
+	f.Add("not go at all {{{")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		cus, err := ExtractSource("fuzz.go", src)
+		if err != nil {
+			return // parse errors are fine; panics are not
+		}
+		for _, c := range cus {
+			if c.Kind.String() == "" {
+				t.Fatalf("extracted CU with empty kind: %+v", c)
+			}
+			if c.Line < 0 {
+				t.Fatalf("extracted CU with negative line: %+v", c)
+			}
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package goker
+
+import (
+	"bytes"
+	"testing"
+
+	"goat/internal/sim"
+)
+
+// determinismOptions is the sweep configuration: a seed/delay pair with a
+// bounded step budget so even the rare/racy kernels finish quickly.
+func determinismOptions(seed int64) sim.Options {
+	return sim.Options{Seed: seed, Delays: 2, MaxSteps: 50000}
+}
+
+// TestEveryKernelIsDeterministic runs every registered kernel — the
+// pinned GoKer suite plus promoted fuzzer reproducers — twice under the
+// same seed and requires byte-identical encoded ECTs and equal outcomes.
+// The virtual runtime's whole value proposition is reproducibility; any
+// hidden host-level nondeterminism (map iteration, real time, real
+// channels) in a kernel or the scheduler shows up here first.
+func TestEveryKernelIsDeterministic(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.ID, func(t *testing.T) {
+			t.Parallel()
+			r1 := Run(k, determinismOptions(7))
+			r2 := Run(k, determinismOptions(7))
+			if r1.Outcome != r2.Outcome {
+				t.Fatalf("outcome differs across identical runs: %v vs %v", r1.Outcome, r2.Outcome)
+			}
+			var b1, b2 bytes.Buffer
+			if err := r1.Trace.Encode(&b1); err != nil {
+				t.Fatalf("encoding first trace: %v", err)
+			}
+			if err := r2.Trace.Encode(&b2); err != nil {
+				t.Fatalf("encoding second trace: %v", err)
+			}
+			if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+				t.Fatalf("encoded ECTs differ across identical runs (%d vs %d bytes)", b1.Len(), b2.Len())
+			}
+		})
+	}
+}
+
+// TestEveryKernelReplays records each kernel's decision script and
+// replays it: the replay must reproduce the outcome without structural
+// divergence, the property the paper's debugging workflow (record one
+// failing schedule, replay it under the inspector) rests on.
+func TestEveryKernelReplays(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.ID, func(t *testing.T) {
+			t.Parallel()
+			opts := determinismOptions(11)
+			opts.Record = true
+			rec := Run(k, opts)
+
+			replayOpts := determinismOptions(11)
+			replayOpts.Replay = rec.Schedule
+			rep := Run(k, replayOpts)
+			if rep.ReplayDiverged {
+				t.Fatalf("replay diverged from recorded schedule (outcome %v, recorded %v)", rep.Outcome, rec.Outcome)
+			}
+			if rep.Outcome != rec.Outcome {
+				t.Fatalf("replay outcome %v, recorded %v", rep.Outcome, rec.Outcome)
+			}
+		})
+	}
+}

@@ -1,0 +1,42 @@
+// Promoted reproducers from the differential kernel fuzzer
+// (internal/kernelgen, cmd/goatfuzz). Each kernel here began as a random
+// generated program whose shrunk decision string pinned down a detector
+// disagreement; the promotion workflow (EXPERIMENTS.md, "Fuzzing the
+// analyzers") translates the emitted reproducer source onto the virtual
+// runtime and registers it with Generated set, so the pinned 68-kernel
+// GoKer set is unaffected while the corpus grows.
+package goker
+
+import (
+	"goat/internal/conc"
+	"goat/internal/sim"
+)
+
+func init() {
+	register(Kernel{
+		ID: "fuzz_send_no_recv_min", Project: "fuzz", Cause: CommunicationDeadlock, Expect: "PDL",
+		Generated: true,
+		Description: "minimal fuzzer reproducer (decision string 25ba): a goroutine sends on an " +
+			"unbuffered channel nobody receives from; found by the differential campaign's " +
+			"lying-detector acceptance run and shrunk from 96 to 2 decision bytes.",
+		Main: fuzzSendNoRecvMin,
+	})
+}
+
+// fuzzSendNoRecvMin is the virtual-runtime translation of the emitted
+// reproducer source:
+//
+//	func main() {
+//		ch0 := make(chan int)
+//		var wg0 sync.WaitGroup
+//		go func() { ch0 <- 0 }()
+//		wg0.Wait()
+//	}
+func fuzzSendNoRecvMin(g *sim.G) {
+	ch0 := conc.NewChan[int](g, 0)
+	wg0 := conc.NewWaitGroup(g)
+	g.Go("bug0", func(c *sim.G) {
+		ch0.Send(c, 0)
+	})
+	wg0.Wait(g)
+}

@@ -1,6 +1,7 @@
 package goker
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -10,17 +11,25 @@ import (
 )
 
 func TestSuiteSize(t *testing.T) {
-	if n := len(All()); n != 68 {
+	if n := len(GoKer()); n != 68 {
 		t.Fatalf("suite has %d kernels, want 68 (the GoKer blocking set)", n)
 	}
 }
 
 func TestNineProjects(t *testing.T) {
-	projects := Projects()
-	if len(projects) != 9 {
+	set := map[string]bool{}
+	for _, k := range GoKer() {
+		set[k.Project] = true
+	}
+	var projects []string
+	for p := range set {
+		projects = append(projects, p)
+	}
+	sort.Strings(projects)
+	want := []string{"cockroach", "etcd", "grpc", "hugo", "istio", "kubernetes", "moby", "serving", "syncthing"}
+	if len(projects) != len(want) {
 		t.Fatalf("projects = %v, want the paper's 9", projects)
 	}
-	want := []string{"cockroach", "etcd", "grpc", "hugo", "istio", "kubernetes", "moby", "serving", "syncthing"}
 	for i, p := range want {
 		if projects[i] != p {
 			t.Fatalf("projects = %v, want %v", projects, want)

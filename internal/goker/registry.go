@@ -60,6 +60,10 @@ type Kernel struct {
 	// Rare marks kernels whose buggy interleaving needs specific
 	// preemptions (they may take many executions to manifest at D=0).
 	Rare bool
+	// Generated marks kernels produced by the kernel fuzzer rather than
+	// ported from GoKer; GoKer() excludes them so the 68-kernel benchmark
+	// stays pinned while the fuzz corpus grows.
+	Generated bool
 	// Description summarizes the original bug's mechanism.
 	Description string
 	// Main is the kernel entry point, run as the program's main goroutine.
@@ -74,24 +78,51 @@ var (
 // register adds a kernel to the suite; duplicate or malformed kernels are
 // programming errors.
 func register(k Kernel) {
+	if err := Register(k); err != nil {
+		panic("goker: " + err.Error())
+	}
+}
+
+// Register adds a kernel to the registry at runtime. It is how the
+// differential fuzzer promotes a shrunk reproducer into the suite: the
+// registered kernel resolves through ByID and runs under `goat -bug`.
+// Kernels registered this way should set Generated so the pinned GoKer
+// benchmark set is unaffected.
+func Register(k Kernel) error {
 	if k.ID == "" || k.Project == "" || k.Main == nil {
-		panic(fmt.Sprintf("goker: malformed kernel %+v", k))
+		return fmt.Errorf("malformed kernel %+v", k)
 	}
 	switch k.Expect {
 	case "PDL", "GDL", "CRASH":
 	default:
-		panic(fmt.Sprintf("goker: kernel %s has bad Expect %q", k.ID, k.Expect))
+		return fmt.Errorf("kernel %s has bad Expect %q", k.ID, k.Expect)
 	}
 	if _, dup := byID[k.ID]; dup {
-		panic(fmt.Sprintf("goker: duplicate kernel %s", k.ID))
+		return fmt.Errorf("duplicate kernel %s", k.ID)
 	}
 	byID[k.ID] = len(kernels)
 	kernels = append(kernels, k)
+	return nil
 }
 
-// All returns the suite sorted by ID.
+// All returns the suite sorted by ID, including runtime-registered
+// generated kernels.
 func All() []Kernel {
 	out := append([]Kernel(nil), kernels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// GoKer returns only the hand-ported GoKer benchmark kernels, sorted by
+// ID — the pinned 68-kernel evaluation set, regardless of how many
+// generated kernels have been registered.
+func GoKer() []Kernel {
+	var out []Kernel
+	for _, k := range kernels {
+		if !k.Generated {
+			out = append(out, k)
+		}
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }

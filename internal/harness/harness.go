@@ -37,15 +37,22 @@ type Spec struct {
 	NeedTrace bool
 }
 
-// DefaultTools returns the paper's Table IV column lineup: the three
-// baselines plus GoAT at D = 0..4.
-func DefaultTools() []Spec {
-	specs := []Spec{
+// Baselines returns the three baseline detector columns (builtin runtime
+// detector, lock-order LockDL, end-of-main goleak), all observing native
+// (D=0) schedules.
+func Baselines() []Spec {
+	return []Spec{
 		{Name: "builtin", Detector: detect.Builtin{}},
 		{Name: "lockdl", Detector: detect.LockDL{}, NeedTrace: true},
 		{Name: "goleak", Detector: detect.Goleak{}},
 	}
-	for d := 0; d <= 4; d++ {
+}
+
+// DiffTools returns the differential-fuzzing column lineup: the three
+// baselines plus GoAT at D = 0..dmax.
+func DiffTools(dmax int) []Spec {
+	specs := Baselines()
+	for d := 0; d <= dmax; d++ {
 		specs = append(specs, Spec{
 			Name:      fmt.Sprintf("goat-D%d", d),
 			Detector:  detect.Goat{},
@@ -55,6 +62,10 @@ func DefaultTools() []Spec {
 	}
 	return specs
 }
+
+// DefaultTools returns the paper's Table IV column lineup: the three
+// baselines plus GoAT at D = 0..4.
+func DefaultTools() []Spec { return DiffTools(4) }
 
 // Config bounds one evaluation campaign.
 type Config struct {
@@ -103,7 +114,9 @@ func (c Config) tools() []Spec {
 
 func (c Config) kernels() []goker.Kernel {
 	if c.Kernels == nil {
-		return goker.All()
+		// The paper's evaluation set is the pinned 68-kernel GoKer suite;
+		// runtime-registered fuzz reproducers are campaigned explicitly.
+		return goker.GoKer()
 	}
 	return c.Kernels
 }

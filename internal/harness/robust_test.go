@@ -75,7 +75,7 @@ func panicKernel(id string) goker.Kernel {
 // mark exactly those cells failed, and still render Table IV and the
 // figures.
 func TestCampaignSurvivesHangAndPanic(t *testing.T) {
-	kernels := append([]goker.Kernel{}, goker.All()...)
+	kernels := append([]goker.Kernel{}, goker.GoKer()...)
 	if len(kernels) != 68 {
 		t.Fatalf("suite has %d kernels, want 68", len(kernels))
 	}

@@ -1,0 +1,215 @@
+package kernelgen
+
+import (
+	"fmt"
+
+	"goat/internal/goker"
+)
+
+// BugKind enumerates the planted-bug templates. Each template is a
+// miniature of a GoKer bug class, isolated in dedicated goroutines and
+// resources appended to an otherwise safe program.
+type BugKind uint8
+
+const (
+	// BugDoubleLock: one goroutine locks the same mutex twice.
+	// Deterministic resource deadlock (self-cycle in the wait-for graph).
+	BugDoubleLock BugKind = iota
+	// BugABBA: two goroutines acquire two mutexes in opposite order.
+	// Racy resource deadlock — it bites only when the scheduler preempts
+	// between the acquisitions, but the lock-order cycle is visible in
+	// every trace.
+	BugABBA
+	// BugSendNoRecv: a send on an unbuffered channel nobody receives
+	// from. Deterministic communication deadlock.
+	BugSendNoRecv
+	// BugRecvNoSend: a receive from a channel nobody sends on or closes.
+	// Deterministic communication deadlock.
+	BugRecvNoSend
+	// BugMissingClose: the producer omits the close, so the consumer's
+	// drain loop blocks after the last message. Deterministic
+	// communication deadlock (the hugo_5379 shape).
+	BugMissingClose
+	// BugLockedSend: a send on an unbuffered channel under a mutex the
+	// receiver needs before receiving. Deterministic mixed deadlock (the
+	// istio_16224 shape) — either interleaving wedges both goroutines.
+	BugLockedSend
+	// BugWgForgotDone: one worker of a dedicated waitgroup never calls
+	// Done, so the waiter parks forever. Deterministic communication
+	// deadlock (waitgroup misuse).
+	BugWgForgotDone
+	// BugOnceCycle: a Once body waits for a signal only the second Once
+	// caller could send (the hugo_3251 shape). Deterministic — at least
+	// one goroutine leaks under every schedule, though which one is
+	// schedule-dependent.
+	BugOnceCycle
+
+	numBugKinds
+)
+
+var bugKindNames = [...]string{
+	"double-lock", "abba", "send-no-recv", "recv-no-send",
+	"missing-close", "locked-send", "wg-forgot-done", "once-cycle",
+}
+
+// String returns the template name.
+func (b BugKind) String() string {
+	if int(b) < len(bugKindNames) {
+		return bugKindNames[b]
+	}
+	return fmt.Sprintf("BugKind(%d)", uint8(b))
+}
+
+// Cause returns the template's root-cause class in the paper's taxonomy.
+func (b BugKind) Cause() goker.Cause {
+	switch b {
+	case BugDoubleLock, BugABBA:
+		return goker.ResourceDeadlock
+	case BugLockedSend:
+		return goker.MixedDeadlock
+	default:
+		return goker.CommunicationDeadlock
+	}
+}
+
+// Deterministic reports whether the template manifests on every schedule.
+func (b BugKind) Deterministic() bool { return b != BugABBA }
+
+// Oracle is the constructed ground truth carried by every generated
+// program: what the program is guaranteed to do, known at generation
+// time rather than discovered by running it.
+type Oracle struct {
+	// Buggy distinguishes planted-bug kernels from safe kernels
+	// (deadlock-free under every schedule by construction).
+	Buggy bool
+	// Kind and Cause classify the planted bug (valid when Buggy).
+	Kind  BugKind
+	Cause goker.Cause
+	// Deterministic means the bug manifests on every schedule; racy bugs
+	// (ABBA) manifest only under specific preemptions.
+	Deterministic bool
+	// WgCounted means the planted goroutines are joined by main's
+	// waitgroup: when the bug bites, main blocks too and the symptom is a
+	// global deadlock; otherwise main returns and the victims leak.
+	WgCounted bool
+}
+
+// Expect returns the dominant symptom tag when the bug manifests, in the
+// goker Expect vocabulary.
+func (o Oracle) Expect() string {
+	if o.WgCounted {
+		return "GDL"
+	}
+	return "PDL"
+}
+
+// String summarizes the oracle.
+func (o Oracle) String() string {
+	if !o.Buggy {
+		return "safe (terminates under every schedule)"
+	}
+	det := "deterministic"
+	if !o.Deterministic {
+		det = "racy"
+	}
+	return fmt.Sprintf("%s %s bug (%s cause, expect %s)", det, o.Kind, o.Cause, o.Expect())
+}
+
+// plant appends the bug template's goroutines and resources to a safe
+// program and returns the planted GDecl indices; the caller (Generate)
+// splices their spawns into main. Planted goroutines are named "bugN"
+// and use only dedicated resources, so in a buggy kernel exactly the
+// planted goroutines (and, when they are wg-counted, main) can end up
+// blocked.
+func plant(p *Prog, kind BugKind, counted bool) []int {
+	p.Oracle = Oracle{
+		Buggy:         true,
+		Kind:          kind,
+		Cause:         kind.Cause(),
+		Deterministic: kind.Deterministic(),
+		WgCounted:     counted,
+	}
+	p.BugMutex = -1
+
+	newChan := func(capacity, k int, noClose bool) int {
+		p.Chans = append(p.Chans, ChanSpec{Cap: capacity, K: k, NoClose: noClose, Bug: true})
+		return len(p.Chans) - 1
+	}
+	newMutex := func() int {
+		p.NMutex++
+		return p.NMutex - 1
+	}
+	var planted []int
+	newG := func(ops ...Op) int {
+		idx := len(p.Gs)
+		p.Gs = append(p.Gs, GDecl{
+			Name:    fmt.Sprintf("bug%d", len(planted)),
+			Counted: counted,
+			Ops:     ops,
+		})
+		planted = append(planted, idx)
+		return idx
+	}
+
+	switch kind {
+	case BugDoubleLock:
+		m := newMutex()
+		p.BugMutex = m
+		newG(Op{Kind: OpLock, A: m}, Op{Kind: OpLock, A: m})
+	case BugABBA:
+		a, b := newMutex(), newMutex()
+		p.BugMutex = a
+		newG(
+			Op{Kind: OpLock, A: a},
+			Op{Kind: OpLock, A: b},
+			Op{Kind: OpUnlock, A: b}, Op{Kind: OpUnlock, A: a},
+		)
+		newG(
+			Op{Kind: OpLock, A: b},
+			Op{Kind: OpLock, A: a},
+			Op{Kind: OpUnlock, A: a}, Op{Kind: OpUnlock, A: b},
+		)
+	case BugSendNoRecv:
+		c := newChan(0, 1, false)
+		newG(Op{Kind: OpSendOne, A: c})
+	case BugRecvNoSend:
+		c := newChan(0, 1, false)
+		newG(Op{Kind: OpRecvOne, A: c})
+	case BugMissingClose:
+		c := newChan(2, 2, true)
+		newG(Op{Kind: OpProduce, A: c})
+		newG(Op{Kind: OpDrainLoop, A: c})
+	case BugLockedSend:
+		m := newMutex()
+		p.BugMutex = m
+		c := newChan(0, 1, false)
+		newG(
+			Op{Kind: OpLock, A: m},
+			Op{Kind: OpSendOne, A: c},
+			Op{Kind: OpUnlock, A: m},
+		)
+		newG(
+			Op{Kind: OpLock, A: m},
+			Op{Kind: OpRecvOne, A: c},
+			Op{Kind: OpUnlock, A: m},
+		)
+	case BugWgForgotDone:
+		// Generate prepends main's wgs[1].Add(2) so it happens-before
+		// either planted Done could run.
+		if p.NWg < 2 {
+			p.NWg = 2
+		}
+		newG(Op{Kind: OpWgDone, A: 1})
+		newG(Op{Kind: OpYield}) // BUG: forgot wgs[1].Done
+		newG(Op{Kind: OpWgWait, A: 1})
+	case BugOnceCycle:
+		// A dedicated Once: a shared one could capture safe workers in the
+		// cycle, blocking goroutines the oracle promises terminate.
+		oi := p.NOnce
+		p.NOnce++
+		c := newChan(0, 1, false)
+		newG(Op{Kind: OpOnceRecv, A: c, B: oi})
+		newG(Op{Kind: OpOnce, A: oi}, Op{Kind: OpSendOne, A: c})
+	}
+	return planted
+}

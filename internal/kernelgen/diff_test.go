@@ -1,0 +1,162 @@
+package kernelgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"goat/internal/detect"
+	"goat/internal/goker"
+	"goat/internal/harness"
+	"goat/internal/sim"
+	"goat/internal/trace"
+)
+
+// TestCleanCampaignNoFindings: with the honest detector lineup, a
+// campaign over hundreds of generated kernels must complete with zero
+// findings — every detector verdict consistent with every oracle — while
+// feeding the global coverage model.
+func TestCleanCampaignNoFindings(t *testing.T) {
+	rep := RunDiff(DiffConfig{N: 220, Seed: 11, DMax: 3})
+	if len(rep.Findings) != 0 {
+		t.Fatalf("clean campaign produced findings:\n%s", rep)
+	}
+	if rep.Runs == 0 || rep.Kernels != 220 {
+		t.Fatalf("campaign did not run: %s", rep)
+	}
+	if rep.Covered == 0 || rep.Total == 0 {
+		t.Fatalf("campaign accumulated no coverage: %s", rep)
+	}
+}
+
+// lyingGoat wraps the real GoAT detector but lies about one Cause: it
+// suppresses detections of communication deadlocks (leaked goroutines
+// parked on channel operations), the planted misclassification the
+// acceptance criteria require the differential driver to catch.
+type lyingGoat struct{ inner detect.Goat }
+
+func (l lyingGoat) Name() string { return "goat" }
+
+func (l lyingGoat) Detect(r *sim.Result) detect.Detection {
+	d := l.inner.Detect(r)
+	if r.Outcome != sim.OutcomeLeak {
+		return d
+	}
+	for _, g := range r.Leaked {
+		if g.Reason != trace.BlockSend && g.Reason != trace.BlockRecv {
+			return d
+		}
+	}
+	d.Found = false
+	d.Verdict = "OK"
+	d.Detail = "nothing to report (lying about communication deadlocks)"
+	return d
+}
+
+func lyingTools(dmax int) []harness.Spec {
+	tools := harness.DiffTools(dmax)
+	for i := range tools {
+		if strings.HasPrefix(tools[i].Name, "goat-") {
+			tools[i].Detector = lyingGoat{}
+		}
+	}
+	return tools
+}
+
+// TestLyingDetectorCaughtAndShrunk is the acceptance test: a detector
+// stubbed to lie about one Cause, a fixed-seed campaign over >= 200
+// generated kernels, and the driver must find the disagreement and
+// shrink it to a reproducer with at most 6 goroutines — well under 30s.
+func TestLyingDetectorCaughtAndShrunk(t *testing.T) {
+	start := time.Now()
+	rep := RunDiff(DiffConfig{
+		N:     200,
+		Seed:  1,
+		DMax:  2,
+		Tools: lyingTools(2),
+	})
+	if len(rep.Findings) == 0 {
+		t.Fatalf("driver missed the lying detector:\n%s", rep)
+	}
+	var hit *Finding
+	for _, f := range rep.Findings {
+		if strings.HasPrefix(f.Tool, "goat-") && f.Rule == "goat-found" {
+			hit = f
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no goat-found finding against the lying detector:\n%s", rep)
+	}
+	if n := hit.Prog.NumGoroutines(); n > 6 {
+		t.Errorf("shrunk reproducer has %d goroutines, want <= 6:\n%s", n, hit)
+	}
+	if len(hit.Shrunk) >= len(hit.Decision) && len(hit.Decision) > 4 {
+		t.Errorf("shrinking made no progress: %d -> %d bytes", len(hit.Decision), len(hit.Shrunk))
+	}
+	if !hit.Prog.Oracle.Buggy || hit.Prog.Oracle.Cause != goker.CommunicationDeadlock {
+		t.Errorf("reproducer oracle %+v, want a communication bug (the lied-about cause)", hit.Prog.Oracle)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("campaign + shrink took %v, want < 30s", elapsed)
+	}
+}
+
+// TestReproducerRoundTrips: a shrunk finding must package as a goker
+// kernel that registers, resolves by ID, runs, and still makes the
+// honest and lying detectors disagree — the full promotion path behind
+// `goat -bug <id>`.
+func TestReproducerRoundTrips(t *testing.T) {
+	rep := RunDiff(DiffConfig{
+		N: 200, Seed: 1, DMax: 2,
+		Tools:       lyingTools(2),
+		MaxFindings: 1,
+	})
+	if len(rep.Findings) == 0 {
+		t.Fatal("no finding to promote")
+	}
+	f := rep.Findings[0]
+	k := f.ReproKernel()
+	if err := goker.Register(k); err != nil {
+		t.Fatalf("reproducer does not register: %v", err)
+	}
+	got, ok := goker.ByID(k.ID)
+	if !ok || !got.Generated || got.Project != "fuzz" {
+		t.Fatalf("ByID(%s) = %+v, %v", k.ID, got, ok)
+	}
+	// The pinned GoKer set must be unaffected by the registration.
+	if n := len(goker.GoKer()); n != 68 {
+		t.Fatalf("GoKer set grew to %d after registering a fuzz kernel", n)
+	}
+	r := goker.Run(got, sim.Options{Seed: f.Seed, Delays: f.Delays})
+	honest := (detect.Goat{}).Detect(r)
+	liar := lyingGoat{}.Detect(r)
+	if honest.Found == liar.Found {
+		t.Fatalf("registered reproducer no longer splits the detectors: honest=%+v liar=%+v (run %s)",
+			honest, liar, r)
+	}
+}
+
+// TestShrinkConvergesToTinyReproducer: shrinking a hand-made finding
+// against the real rules must reach a near-minimal decision string.
+func TestShrinkConvergesToTinyReproducer(t *testing.T) {
+	tools := lyingTools(1)
+	// A large random buggy kernel pinned to send-no-recv, uncounted.
+	dec := forceBug(rand.New(rand.NewSource(99)), BugSendNoRecv, false)
+	p := Generate(dec)
+	v := examine(p, tools, 1, 2, new(int), nil)
+	if v == nil {
+		t.Fatal("seed kernel did not trigger the lying detector")
+	}
+	shrunk := Shrink(dec, func(cand []byte) bool {
+		return reproduces(Generate(cand), tools, v, 1, 2)
+	})
+	sp := Generate(shrunk)
+	if n := sp.NumGoroutines(); n > 2 {
+		t.Errorf("shrunk to %d goroutines, want the 2-goroutine minimum (%s)", n, sp)
+	}
+	if len(shrunk) > 8 {
+		t.Errorf("shrunk decision still %d bytes (%x)", len(shrunk), shrunk)
+	}
+}

@@ -1,0 +1,334 @@
+package kernelgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// DecisionLen is the decision-string length RandomDecision draws; long
+// enough that every structural question gets a real answer for the
+// largest programs the grammar admits.
+const DecisionLen = 96
+
+// decoder turns the decision string into a stream of structural answers.
+// Reads past the end return zero, so truncating a decision string is the
+// same as zero-filling its tail and *every* byte string — including the
+// empty one — decodes to a valid program. That totality is what makes
+// delta-debugging over the string sound: any chunk the shrinker removes
+// still yields a runnable kernel.
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *decoder) next() byte {
+	if d.pos >= len(d.buf) {
+		d.pos++
+		return 0
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b
+}
+
+// intn answers a 0..n-1 question with one byte (always consuming it, so
+// positions stay aligned regardless of the answer domain).
+func (d *decoder) intn(n int) int {
+	b := d.next()
+	if n <= 1 {
+		return 0
+	}
+	return int(b) % n
+}
+
+func (d *decoder) flag() bool { return d.next()&1 == 1 }
+
+// Generate decodes a decision string into a program whose oracle is
+// constructed alongside it.
+//
+// The safe core is a pipeline: goroutines are ranked (main produces at
+// rank 0 and consumes at rank +inf; worker i has rank i), channels flow
+// strictly from lower to higher rank with a single producer and a single
+// consumer, consumers drain their in-channels in ascending producer
+// rank before sending anything, producers send to their out-channels in
+// ascending consumer rank and then close, main performs all its sends
+// before its drains, spawn ops lead every op list, and lock sections are
+// globally ordered, well nested and channel-free. Under those
+// disciplines every goroutine terminates on every schedule, by
+// induction on (rank, op position) — see the package comment.
+//
+// When the decision string asks for a buggy kernel, plant appends one
+// bug template in dedicated goroutines and resources; main spawns them
+// after the safe workers, so the safe core's guarantees are unchanged
+// and exactly the planted goroutines (plus main, when they are counted)
+// can block.
+func Generate(dec []byte) *Prog {
+	d := &decoder{buf: dec}
+	p := &Prog{BugMutex: -1, NWg: 1}
+
+	buggy := d.flag()
+	kind := BugKind(d.intn(int(numBugKinds)))
+	counted := d.flag()
+
+	nWorkers := d.intn(5)
+	p.NMutex = d.intn(3)
+	p.NRW = d.intn(2)
+	if d.flag() {
+		p.NOnce = 1
+	}
+	p.HasCtx = d.flag()
+	p.HasShared = d.flag()
+	decor := -1
+	if d.flag() {
+		// The decor channel has no producer or consumer: it only ever sees
+		// non-blocking ops, so it widens CU coverage without touching the
+		// termination argument.
+		p.Chans = append(p.Chans, ChanSpec{Cap: 1, Producer: -1, Consumer: -1, Decor: true})
+		decor = 0
+	}
+
+	p.Gs = append(p.Gs, GDecl{Name: "main"})
+	parents := make([]int, nWorkers+1)
+	for w := 1; w <= nWorkers; w++ {
+		p.Gs = append(p.Gs, GDecl{Name: fmt.Sprintf("w%d", w), Counted: true})
+		parents[w] = d.intn(w) // spawn tree edges point strictly downward
+	}
+
+	nChans := 0
+	if nWorkers > 0 {
+		nChans = d.intn(2*nWorkers + 1)
+	}
+	for c := 0; c < nChans; c++ {
+		mode := d.intn(3)
+		sel := int(d.next())
+		capk := int(d.next())
+		style := DrainStyle(d.intn(3))
+		if style == DrainSelect && !p.HasCtx {
+			style = DrainLoop
+		}
+		spec := ChanSpec{Cap: capk % 4, K: 1 + (capk/4)%3, Style: style}
+		switch {
+		case mode == 0: // main -> worker
+			spec.Producer = 0
+			spec.Consumer = 1 + sel%nWorkers
+		case mode == 1 && nWorkers >= 2: // worker -> higher-ranked worker
+			lo := 1 + sel%(nWorkers-1)
+			spec.Producer = lo
+			spec.Consumer = lo + 1 + (sel/7)%(nWorkers-lo)
+		default: // worker -> main
+			spec.Producer = 1 + sel%nWorkers
+			spec.Consumer = 0
+		}
+		p.Chans = append(p.Chans, spec)
+	}
+
+	// Decor bodies, decoded while the resource counts still describe only
+	// the safe core (plant may append bug mutexes afterwards).
+	bodies := make([][]Op, nWorkers+1)
+	for w := 0; w <= nWorkers; w++ {
+		n := d.intn(4)
+		for i := 0; i < n; i++ {
+			bodies[w] = append(bodies[w], p.bodySection(d, decor)...)
+		}
+	}
+
+	for w := 1; w <= nWorkers; w++ {
+		ops := spawnOps(parents, nWorkers, w)
+		ops = append(ops, p.drainOps(w)...)
+		ops = append(ops, bodies[w]...)
+		ops = append(ops, p.produceOps(w)...)
+		p.Gs[w].Ops = ops
+	}
+
+	var planted []int
+	if buggy {
+		planted = plant(p, kind, counted)
+	}
+
+	var main []Op
+	if buggy && kind == BugWgForgotDone {
+		// The bug waitgroup's Add must happen-before either planted Done.
+		main = append(main, Op{Kind: OpWgAdd, A: 1, B: 2})
+	}
+	nCounted := 0
+	for _, g := range p.Gs[1:] {
+		if g.Counted {
+			nCounted++
+		}
+	}
+	if nCounted > 0 {
+		main = append(main, Op{Kind: OpWgAdd, A: 0, B: nCounted})
+	}
+	main = append(main, spawnOps(parents, nWorkers, 0)...)
+	for _, gi := range planted {
+		main = append(main, Op{Kind: OpSpawn, A: gi})
+	}
+	main = append(main, p.produceOps(0)...)
+	main = append(main, bodies[0]...)
+	main = append(main, p.drainOps(0)...)
+	main = append(main, Op{Kind: OpWgWait, A: 0})
+	if p.HasCtx {
+		main = append(main, Op{Kind: OpCancel})
+	}
+	p.Gs[0].Ops = main
+	return p
+}
+
+// spawnOps returns the spawn ops for goroutine w's children in ascending
+// child index.
+func spawnOps(parents []int, nWorkers, w int) []Op {
+	var ops []Op
+	for c := 1; c <= nWorkers; c++ {
+		if parents[c] == w {
+			ops = append(ops, Op{Kind: OpSpawn, A: c})
+		}
+	}
+	return ops
+}
+
+// drainOps returns goroutine w's drains in ascending producer rank
+// (ties broken by channel index) — main, rank 0 as a producer, first.
+func (p *Prog) drainOps(w int) []Op {
+	var idx []int
+	for ci, c := range p.Chans {
+		if !c.Decor && !c.Bug && c.Consumer == w {
+			idx = append(idx, ci)
+		}
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		a, b := p.Chans[idx[i]], p.Chans[idx[j]]
+		if a.Producer != b.Producer {
+			return a.Producer < b.Producer
+		}
+		return idx[i] < idx[j]
+	})
+	var ops []Op
+	for _, ci := range idx {
+		kind := OpDrainLoop
+		switch p.Chans[ci].Style {
+		case DrainRange:
+			kind = OpDrainRange
+		case DrainSelect:
+			kind = OpDrainSelect
+		}
+		ops = append(ops, Op{Kind: kind, A: ci})
+	}
+	return ops
+}
+
+// produceOps returns goroutine w's produces in ascending consumer rank
+// (ties broken by channel index) — main, rank +inf as a consumer, last.
+func (p *Prog) produceOps(w int) []Op {
+	rank := func(consumer int) int {
+		if consumer == 0 {
+			return int(^uint(0) >> 1)
+		}
+		return consumer
+	}
+	var idx []int
+	for ci, c := range p.Chans {
+		if !c.Decor && !c.Bug && c.Producer == w {
+			idx = append(idx, ci)
+		}
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		a, b := p.Chans[idx[i]], p.Chans[idx[j]]
+		if rank(a.Consumer) != rank(b.Consumer) {
+			return rank(a.Consumer) < rank(b.Consumer)
+		}
+		return idx[i] < idx[j]
+	})
+	var ops []Op
+	for _, ci := range idx {
+		ops = append(ops, Op{Kind: OpProduce, A: ci})
+	}
+	return ops
+}
+
+// bodySection decodes one decor section: a globally ordered, well-nested,
+// channel-free lock section or a non-blocking op. Every branch is total —
+// when the asked-for resource does not exist the section degrades to a
+// yield, so any decision string stays valid.
+func (p *Prog) bodySection(d *decoder, decor int) []Op {
+	kind := d.intn(8)
+	arg := int(d.next())
+	yield := []Op{{Kind: OpYield}}
+	inner := Op{Kind: OpYield}
+	if p.HasShared {
+		inner = Op{Kind: OpSharedUpdate}
+	}
+	switch kind {
+	case 0:
+		if p.NMutex == 0 {
+			return yield
+		}
+		m := arg % p.NMutex
+		if arg&0x80 != 0 && m+1 < p.NMutex {
+			return []Op{
+				{Kind: OpLock, A: m}, {Kind: OpLock, A: m + 1},
+				inner,
+				{Kind: OpUnlock, A: m + 1}, {Kind: OpUnlock, A: m},
+			}
+		}
+		return []Op{{Kind: OpLock, A: m}, inner, {Kind: OpUnlock, A: m}}
+	case 1:
+		if p.NRW == 0 {
+			return yield
+		}
+		r := arg % p.NRW
+		return []Op{{Kind: OpWLock, A: r}, inner, {Kind: OpWUnlock, A: r}}
+	case 2:
+		if p.NRW == 0 {
+			return yield
+		}
+		r := arg % p.NRW
+		return []Op{{Kind: OpRLock, A: r}, inner, {Kind: OpRUnlock, A: r}}
+	case 3:
+		if p.NOnce == 0 {
+			return yield
+		}
+		return []Op{{Kind: OpOnce, A: 0}}
+	case 4:
+		return []Op{{Kind: OpSleep, A: 1 + arg%3}}
+	case 5:
+		return yield
+	case 6:
+		if !p.HasShared {
+			return yield
+		}
+		switch arg % 3 {
+		case 0:
+			return []Op{{Kind: OpSharedLoad}}
+		case 1:
+			return []Op{{Kind: OpSharedStore, A: arg}}
+		default:
+			return []Op{{Kind: OpSharedUpdate}}
+		}
+	default:
+		if decor < 0 {
+			return yield
+		}
+		switch arg % 3 {
+		case 0:
+			return []Op{{Kind: OpTrySend, A: decor, B: arg}}
+		case 1:
+			return []Op{{Kind: OpTryRecv, A: decor}}
+		default:
+			return []Op{{Kind: OpSelectDefault, A: decor, B: decor}}
+		}
+	}
+}
+
+// RandomDecision draws one decision string from rng. The buggy flag is
+// forced rather than sampled so a campaign can hold its safe/buggy mix
+// steady across seeds.
+func RandomDecision(rng *rand.Rand, buggy bool) []byte {
+	dec := make([]byte, DecisionLen)
+	rng.Read(dec)
+	dec[0] &^= 1
+	if buggy {
+		dec[0] |= 1
+	}
+	return dec
+}

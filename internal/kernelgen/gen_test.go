@@ -1,0 +1,177 @@
+package kernelgen
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"goat/internal/sim"
+)
+
+// TestGenerateIsPureAndTotal: the decision-string mapping must be a pure
+// function (same bytes, same program) and total (any bytes, including
+// none, decode to a runnable program).
+func TestGenerateIsPureAndTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		n := rng.Intn(2 * DecisionLen)
+		dec := make([]byte, n)
+		rng.Read(dec)
+		a, b := Generate(dec), Generate(dec)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("decision string %x decoded to two different programs", dec)
+		}
+		r := sim.Run(sim.Options{Seed: 1, Delays: 1}, a.Main())
+		if err := CheckGroundTruth(a, r); err != nil {
+			t.Fatalf("garbage decision %x (prog %s): %v\n%s", dec, a, err, r)
+		}
+	}
+	// The empty string is the ultimate shrink target.
+	p := Generate(nil)
+	if p.Oracle.Buggy {
+		t.Fatalf("empty decision decoded to a buggy program: %s", p)
+	}
+	r := sim.Run(sim.Options{Seed: 1}, p.Main())
+	if err := CheckGroundTruth(p, r); err != nil {
+		t.Fatalf("empty decision: %v", err)
+	}
+}
+
+// TestSafeKernelsAlwaysTerminate is the generator's core guarantee: the
+// pipeline discipline makes safe kernels deadlock-free under every
+// schedule, so a sweep over seeds and delay bounds must be all-OK.
+func TestSafeKernelsAlwaysTerminate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 150; i++ {
+		dec := RandomDecision(rng, false)
+		p := Generate(dec)
+		if p.Oracle.Buggy {
+			t.Fatalf("RandomDecision(buggy=false) produced %s", p)
+		}
+		for _, d := range []int{0, 2, 4} {
+			for seed := int64(0); seed < 3; seed++ {
+				r := sim.Run(sim.Options{Seed: seed, Delays: d}, p.Main())
+				if err := CheckGroundTruth(p, r); err != nil {
+					t.Fatalf("safe kernel %d (decision %x) seed=%d D=%d: %v\n%s",
+						i, dec, seed, d, err, r)
+				}
+			}
+		}
+	}
+}
+
+// forceBug returns a random decision string pinned to one bug template.
+// The layout bytes it rewrites are the first three structural questions:
+// buggy flag, bug kind, wg-counted flag.
+func forceBug(rng *rand.Rand, kind BugKind, counted bool) []byte {
+	dec := RandomDecision(rng, true)
+	dec[1] = byte(kind)
+	dec[2] = 0
+	if counted {
+		dec[2] = 1
+	}
+	return dec
+}
+
+// TestDeterministicBugsAlwaysManifest: every deterministic template must
+// produce exactly the oracled symptom on every schedule, with only the
+// planted goroutines (and, when counted, main) stuck.
+func TestDeterministicBugsAlwaysManifest(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for kind := BugKind(0); kind < numBugKinds; kind++ {
+		if !kind.Deterministic() {
+			continue
+		}
+		for _, counted := range []bool{false, true} {
+			want := sim.OutcomeLeak
+			if counted {
+				want = sim.OutcomeGlobalDeadlock
+			}
+			for i := 0; i < 5; i++ {
+				dec := forceBug(rng, kind, counted)
+				p := Generate(dec)
+				if !p.Oracle.Buggy || p.Oracle.Kind != kind || p.Oracle.WgCounted != counted {
+					t.Fatalf("forceBug(%s, %v) decoded oracle %+v", kind, counted, p.Oracle)
+				}
+				for _, d := range []int{0, 2} {
+					for seed := int64(0); seed < 3; seed++ {
+						r := sim.Run(sim.Options{Seed: seed, Delays: d}, p.Main())
+						if r.Outcome != want {
+							t.Fatalf("%s counted=%v (decision %x) seed=%d D=%d: outcome %s, want %s\n%s",
+								kind, counted, dec, seed, d, r.Outcome, want, r)
+						}
+						if err := CheckGroundTruth(p, r); err != nil {
+							t.Fatalf("%s counted=%v seed=%d D=%d: %v", kind, counted, seed, d, err)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestABBAIsRacy: the one racy template must manifest under some schedule
+// and stay healthy under others, and every run — healthy or wedged —
+// must satisfy the ground-truth check.
+func TestABBAIsRacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dec := forceBug(rng, BugABBA, true)
+	p := Generate(dec)
+	healthy, wedged := 0, 0
+	for _, d := range []int{0, 1, 2, 3} {
+		for seed := int64(0); seed < 60; seed++ {
+			r := sim.Run(sim.Options{Seed: seed, Delays: d}, p.Main())
+			if err := CheckGroundTruth(p, r); err != nil {
+				t.Fatalf("seed=%d D=%d: %v\n%s", seed, d, err, r)
+			}
+			switch r.Outcome {
+			case sim.OutcomeOK:
+				healthy++
+			case sim.OutcomeGlobalDeadlock:
+				wedged++
+			}
+		}
+	}
+	if healthy == 0 || wedged == 0 {
+		t.Fatalf("ABBA kernel not racy: healthy=%d wedged=%d", healthy, wedged)
+	}
+}
+
+// TestGeneratedTracesValid: generated kernels must emit structurally
+// valid ECTs like any hand-written kernel.
+func TestGeneratedTracesValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 30; i++ {
+		p := Generate(RandomDecision(rng, i%2 == 0))
+		r := sim.Run(sim.Options{Seed: int64(i), Delays: 1}, p.Main())
+		if r.Trace == nil {
+			t.Fatal("no trace")
+		}
+		if err := r.Trace.Validate(); err != nil {
+			t.Fatalf("kernel %d: invalid trace: %v", i, err)
+		}
+	}
+}
+
+// FuzzGenerated lets Go's native fuzzer search the decision space for a
+// program that violates its own constructed oracle — a direct attack on
+// the generator's safety argument.
+func FuzzGenerated(f *testing.F) {
+	rng := rand.New(rand.NewSource(5))
+	f.Add([]byte{})
+	f.Add(RandomDecision(rng, false))
+	f.Add(RandomDecision(rng, true))
+	for kind := BugKind(0); kind < numBugKinds; kind++ {
+		f.Add(forceBug(rng, kind, false))
+		f.Add(forceBug(rng, kind, true))
+	}
+	f.Fuzz(func(t *testing.T, dec []byte) {
+		p := Generate(dec)
+		for _, seed := range []int64{1, 42} {
+			r := sim.Run(sim.Options{Seed: seed, Delays: 2}, p.Main())
+			if err := CheckGroundTruth(p, r); err != nil {
+				t.Fatalf("decision %x (prog %s): %v\n%s", dec, p, err, r)
+			}
+		}
+	})
+}

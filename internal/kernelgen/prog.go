@@ -1,0 +1,337 @@
+// Package kernelgen is a seeded generator of random concurrent kernels
+// with constructed ground truth, and the differential fuzz driver that
+// turns GoAT's own analysis pipeline into its test subject.
+//
+// Every generated program is decoded from a plain byte string (the
+// "decision string"): each byte answers one structural question — how
+// many goroutines, which channels connect them, which bug to plant. The
+// mapping is total (any byte string, including the empty one, decodes to
+// a valid program) and pure (the same bytes always decode to the same
+// program), which is what makes the generator fuzzer-friendly and lets
+// disagreements auto-shrink by delta-debugging the decision string, the
+// way Go's native fuzzing minimizes corpus entries.
+//
+// Generated programs come in two flavors, each with an oracle constructed
+// alongside the program rather than discovered afterwards:
+//
+//   - Safe kernels terminate under *every* schedule, by construction:
+//     goroutines form a pipeline ordered by rank (main produces at rank 0
+//     and consumes at rank ∞), channels only flow from lower to higher
+//     rank, every consumer drains its in-channels in ascending producer
+//     rank before sending, every producer sends in ascending consumer
+//     rank and then closes, and lock sections are globally ordered,
+//     well nested and channel-free. Termination follows by induction on
+//     (rank, program position).
+//
+//   - Buggy kernels are safe kernels plus one planted bug of a known
+//     cause (resource / communication / mixed), isolated in dedicated
+//     goroutines and resources so the safe part still terminates and
+//     exactly the planted goroutines leak.
+package kernelgen
+
+import (
+	"fmt"
+
+	"goat/internal/conc"
+	"goat/internal/goker"
+	"goat/internal/sim"
+)
+
+// OpKind enumerates the interpreter's operation vocabulary.
+type OpKind uint8
+
+const (
+	// OpSpawn starts worker A (its GDecl index) as a child goroutine.
+	OpSpawn OpKind = iota
+	// OpProduce sends channel A's K messages and closes it (unless the
+	// channel is marked NoClose — the missing-close bug).
+	OpProduce
+	// OpDrainLoop receives from channel A until it is closed.
+	OpDrainLoop
+	// OpDrainRange ranges over channel A until it is closed.
+	OpDrainRange
+	// OpDrainSelect drains channel A via a select that also watches the
+	// context's done channel.
+	OpDrainSelect
+	// OpSendOne performs a single send on channel A (bug building block).
+	OpSendOne
+	// OpRecvOne performs a single receive from channel A.
+	OpRecvOne
+	// OpTrySend / OpTryRecv are non-blocking channel decor.
+	OpTrySend
+	OpTryRecv
+	// OpSelectDefault polls channels A and B with a default clause.
+	OpSelectDefault
+	// OpLock / OpUnlock operate on mutex A.
+	OpLock
+	OpUnlock
+	// OpWLock / OpWUnlock / OpRLock / OpRUnlock operate on rwmutex A.
+	OpWLock
+	OpWUnlock
+	OpRLock
+	OpRUnlock
+	// OpOnce runs once A with a trivial body.
+	OpOnce
+	// OpOnceRecv runs once B with a body that receives from channel A
+	// (the once-cycle bug building block).
+	OpOnceRecv
+	// OpWgAdd adds B to waitgroup A; OpWgDone / OpWgWait operate on A.
+	OpWgAdd
+	OpWgDone
+	OpWgWait
+	// OpSleep sleeps A units of virtual time.
+	OpSleep
+	// OpYield yields the processor.
+	OpYield
+	// OpSharedLoad / OpSharedStore / OpSharedUpdate touch the shared cell.
+	OpSharedLoad
+	OpSharedStore
+	OpSharedUpdate
+	// OpCancel cancels the program context (main, after the join).
+	OpCancel
+)
+
+// Op is one interpreted operation; A and B are operand indices or small
+// payloads whose meaning depends on Kind.
+type Op struct {
+	Kind OpKind
+	A    int
+	B    int
+}
+
+// DrainStyle selects how a consumer drains one in-channel.
+type DrainStyle uint8
+
+const (
+	// DrainLoop receives until the channel closes.
+	DrainLoop DrainStyle = iota
+	// DrainRange ranges over the channel.
+	DrainRange
+	// DrainSelect drains via a select that also watches the context.
+	DrainSelect
+)
+
+// ChanSpec declares one channel of the generated program.
+type ChanSpec struct {
+	Cap      int        // buffer capacity
+	K        int        // messages the producer sends
+	Producer int        // GDecl index of the single producer
+	Consumer int        // GDecl index of the single consumer
+	Style    DrainStyle // how the consumer drains it
+	NoClose  bool       // producer omits the close (missing-close bug)
+	Bug      bool       // belongs to the planted bug, not the safe pipeline
+	Decor    bool       // decoration channel for non-blocking ops only
+}
+
+// GDecl is one goroutine of the generated program; index 0 is main.
+type GDecl struct {
+	Name    string
+	Counted bool // joined by main through waitgroup 0
+	Ops     []Op
+}
+
+// Prog is the generated-program IR: resources, goroutines and the
+// constructed oracle.
+type Prog struct {
+	Chans     []ChanSpec
+	NMutex    int // safe mutexes, globally ordered
+	NRW       int
+	NWg       int // wg 0 = main's join group; wg 1 = bug waitgroup
+	NOnce     int // once 0 = safe decor; a planted once-cycle gets its own
+	HasCtx    bool
+	HasShared bool
+	Gs        []GDecl
+	Oracle    Oracle
+
+	// BugMutex / BugChans index the resources dedicated to the planted
+	// bug (-1 / nil when safe) — the wait-for-graph check scopes on them.
+	BugMutex int
+}
+
+// NumGoroutines returns the static goroutine count including main.
+func (p *Prog) NumGoroutines() int { return len(p.Gs) }
+
+// NumOps returns the total operation count across all goroutines.
+func (p *Prog) NumOps() int {
+	n := 0
+	for _, g := range p.Gs {
+		n += len(g.Ops)
+	}
+	return n
+}
+
+// String summarizes the program's shape for reports.
+func (p *Prog) String() string {
+	o := p.Oracle
+	shape := fmt.Sprintf("%d goroutine(s), %d op(s), %d chan(s), %d mutex(es)",
+		p.NumGoroutines(), p.NumOps(), len(p.Chans), p.NMutex)
+	if !o.Buggy {
+		return "safe kernel: " + shape
+	}
+	return fmt.Sprintf("buggy kernel (%s, %s, expect %s): %s", o.Kind, o.Cause, o.Expect(), shape)
+}
+
+// env holds one execution's live resources.
+type env struct {
+	chans  []*conc.Chan[int]
+	mus    []*conc.Mutex
+	rws    []*conc.RWMutex
+	wgs    []*conc.WaitGroup
+	onces  []*conc.Once
+	ctx    *conc.Context
+	cancel conc.CancelFunc
+	shared *conc.Shared[int]
+}
+
+// Main returns the kernel entry point: a closure interpreting the
+// program on the virtual runtime. The closure is reusable across runs —
+// every invocation builds a fresh environment.
+func (p *Prog) Main() func(*sim.G) {
+	return func(g *sim.G) {
+		e := &env{}
+		for _, c := range p.Chans {
+			e.chans = append(e.chans, conc.NewChan[int](g, c.Cap))
+		}
+		for i := 0; i < p.NMutex; i++ {
+			e.mus = append(e.mus, conc.NewMutex(g))
+		}
+		for i := 0; i < p.NRW; i++ {
+			e.rws = append(e.rws, conc.NewRWMutex(g))
+		}
+		for i := 0; i < p.NWg; i++ {
+			e.wgs = append(e.wgs, conc.NewWaitGroup(g))
+		}
+		for i := 0; i < p.NOnce; i++ {
+			e.onces = append(e.onces, conc.NewOnce(g))
+		}
+		if p.HasCtx {
+			e.ctx, e.cancel = conc.WithCancel(g)
+		}
+		if p.HasShared {
+			e.shared = conc.NewShared(g, "cell", 0)
+		}
+		p.run(g, e, 0)
+	}
+}
+
+// run interprets goroutine gi's op list.
+func (p *Prog) run(g *sim.G, e *env, gi int) {
+	for _, op := range p.Gs[gi].Ops {
+		p.exec(g, e, op)
+	}
+	if gi != 0 && p.Gs[gi].Counted {
+		e.wgs[0].Done(g)
+	}
+}
+
+func (p *Prog) exec(g *sim.G, e *env, op Op) {
+	switch op.Kind {
+	case OpSpawn:
+		child := op.A
+		g.Go(p.Gs[child].Name, func(c *sim.G) { p.run(c, e, child) })
+	case OpProduce:
+		spec := p.Chans[op.A]
+		ch := e.chans[op.A]
+		for i := 0; i < spec.K; i++ {
+			ch.Send(g, i)
+		}
+		if !spec.NoClose {
+			ch.Close(g)
+		}
+	case OpDrainLoop:
+		ch := e.chans[op.A]
+		for {
+			if _, ok := ch.Recv(g); !ok {
+				break
+			}
+		}
+	case OpDrainRange:
+		e.chans[op.A].Range(g, func(int) bool { return true })
+	case OpDrainSelect:
+		ch := e.chans[op.A]
+		for {
+			idx, _, ok := conc.Select(g, []conc.Case{
+				conc.CaseRecv(ch),
+				conc.CaseRecv(e.ctx.Done()),
+			}, false)
+			if idx != 0 || !ok {
+				break
+			}
+		}
+	case OpSendOne:
+		e.chans[op.A].Send(g, op.B)
+	case OpRecvOne:
+		e.chans[op.A].Recv(g)
+	case OpTrySend:
+		e.chans[op.A].TrySend(g, op.B)
+	case OpTryRecv:
+		e.chans[op.A].TryRecv(g)
+	case OpSelectDefault:
+		conc.Select(g, []conc.Case{
+			conc.CaseRecv(e.chans[op.A]),
+			conc.CaseRecv(e.chans[op.B]),
+		}, true)
+	case OpLock:
+		e.mus[op.A].Lock(g)
+	case OpUnlock:
+		e.mus[op.A].Unlock(g)
+	case OpWLock:
+		e.rws[op.A].Lock(g)
+	case OpWUnlock:
+		e.rws[op.A].Unlock(g)
+	case OpRLock:
+		e.rws[op.A].RLock(g)
+	case OpRUnlock:
+		e.rws[op.A].RUnlock(g)
+	case OpOnce:
+		e.onces[op.A].Do(g, func() {})
+	case OpOnceRecv:
+		ch := e.chans[op.A]
+		e.onces[op.B].Do(g, func() { ch.Recv(g) })
+	case OpWgAdd:
+		e.wgs[op.A].Add(g, op.B)
+	case OpWgDone:
+		e.wgs[op.A].Done(g)
+	case OpWgWait:
+		e.wgs[op.A].Wait(g)
+	case OpSleep:
+		conc.Sleep(g, conc.Duration(op.A))
+	case OpYield:
+		g.Yield()
+	case OpSharedLoad:
+		e.shared.Load(g)
+	case OpSharedStore:
+		e.shared.Store(g, op.A)
+	case OpSharedUpdate:
+		e.shared.Update(g, func(v int) int { return v + 1 })
+	case OpCancel:
+		e.cancel(g)
+	default:
+		panic(fmt.Sprintf("kernelgen: unknown op kind %d", op.Kind))
+	}
+}
+
+// Kernel packages the program as a registerable goker kernel: the bridge
+// that lets a shrunk differential reproducer join the bug suite and run
+// under `goat -bug <id>`.
+func (p *Prog) Kernel(id string) goker.Kernel {
+	o := p.Oracle
+	desc := fmt.Sprintf("generated kernel (%s)", p)
+	if o.Buggy {
+		desc = fmt.Sprintf("generated kernel with a planted %s bug (%s cause): %s", o.Kind, o.Cause, p)
+	}
+	expect := "PDL"
+	if o.Buggy {
+		expect = o.Expect()
+	}
+	return goker.Kernel{
+		ID:          id,
+		Project:     "fuzz",
+		Cause:       o.Cause,
+		Expect:      expect,
+		Rare:        o.Buggy && !o.Deterministic,
+		Generated:   true,
+		Description: desc,
+		Main:        p.Main(),
+	}
+}

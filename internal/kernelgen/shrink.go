@@ -1,0 +1,90 @@
+package kernelgen
+
+// shrinkProbeBudget caps how many candidate evaluations one Shrink call
+// may spend; each probe is a handful of sub-millisecond virtual-runtime
+// executions, so the budget keeps worst-case shrinking well under the
+// 30-second acceptance bound while being far more than typical findings
+// need.
+const shrinkProbeBudget = 2000
+
+// Shrink minimizes a decision string by delta debugging: it returns the
+// smallest string it can find for which bad still holds, the way Go's
+// native fuzzer minimizes corpus entries. Because the decoder is total
+// and reads past the end as zeros, every transformation below — chunk
+// removal, truncation, byte zeroing — yields a valid program, so bad is
+// the only oracle the shrinker needs.
+func Shrink(dec []byte, bad func([]byte) bool) []byte {
+	probes := 0
+	check := func(cand []byte) bool {
+		if probes >= shrinkProbeBudget {
+			return false
+		}
+		probes++
+		return bad(cand)
+	}
+
+	cur := stripZeros(append([]byte(nil), dec...))
+	if !check(cur) {
+		// The finding does not reproduce on its own decision string
+		// (flaky beyond the sweep): report it unshrunk.
+		return append([]byte(nil), dec...)
+	}
+
+	for improved := true; improved && probes < shrinkProbeBudget; {
+		improved = false
+
+		// Truncation: cut exponentially shrinking tails. With a zero-fill
+		// decoder this is the highest-leverage move — it deletes whole
+		// trailing subtrees of decisions at once.
+		for n := len(cur) / 2; n >= 1; n /= 2 {
+			for len(cur) >= n {
+				cand := cur[:len(cur)-n]
+				if !check(cand) {
+					break
+				}
+				cur = cand
+				improved = true
+			}
+		}
+
+		// ddmin: remove interior chunks, halving the granularity.
+		for size := len(cur) / 2; size >= 1; size /= 2 {
+			for start := 0; start+size <= len(cur); {
+				cand := make([]byte, 0, len(cur)-size)
+				cand = append(cand, cur[:start]...)
+				cand = append(cand, cur[start+size:]...)
+				if check(cand) {
+					cur = cand
+					improved = true
+				} else {
+					start += size
+				}
+			}
+		}
+
+		// Zeroing: drive every byte toward the decoder's smallest answer.
+		for i := 0; i < len(cur); i++ {
+			if cur[i] == 0 {
+				continue
+			}
+			cand := append([]byte(nil), cur...)
+			cand[i] = 0
+			if check(cand) {
+				cur = cand
+				improved = true
+			}
+		}
+
+		cur = stripZeros(cur)
+	}
+	return cur
+}
+
+// stripZeros drops a trailing run of zero bytes — decode-equivalent by
+// the decoder's past-the-end semantics, so no probe is needed.
+func stripZeros(dec []byte) []byte {
+	for len(dec) > 0 && dec[len(dec)-1] == 0 {
+		dec = dec[:len(dec)-1]
+	}
+	return dec
+}

@@ -1,0 +1,214 @@
+package kernelgen
+
+import (
+	"fmt"
+	"strings"
+
+	"goat/internal/sim"
+	"goat/internal/trace"
+)
+
+// CheckGroundTruth validates one execution of a generated program against
+// its constructed oracle, independently of every detector under test.
+// It is the differential driver's second source of truth: the oracle says
+// what the program must do, this check says the virtual runtime actually
+// did it — outcome class, which goroutines ended blocked, their block
+// reasons, and (for lock bugs) a wait-for-graph reconstruction from the
+// trace showing the blocked goroutines really form a circular wait.
+func CheckGroundTruth(p *Prog, r *sim.Result) error {
+	o := p.Oracle
+	// Generated programs never crash and never livelock: every loop is
+	// bounded, so an execution either terminates or reaches a stable
+	// blocked state.
+	if r.Outcome == sim.OutcomeCrash {
+		return fmt.Errorf("generated kernel crashed: %v", r.PanicVal)
+	}
+	if r.Outcome == sim.OutcomeTimeout {
+		return fmt.Errorf("generated kernel exhausted the step budget (livelock?)")
+	}
+
+	if !o.Buggy {
+		if r.Outcome != sim.OutcomeOK {
+			return fmt.Errorf("safe kernel finished %s: %s", r.Outcome, r)
+		}
+		return checkAllDone(r)
+	}
+
+	want := sim.OutcomeLeak
+	if o.WgCounted {
+		want = sim.OutcomeGlobalDeadlock
+	}
+	switch r.Outcome {
+	case want:
+		return p.checkBlockedShape(r)
+	case sim.OutcomeOK:
+		if o.Deterministic {
+			return fmt.Errorf("deterministic %s bug did not manifest (outcome OK)", o.Kind)
+		}
+		return checkAllDone(r) // racy bug, healthy schedule
+	default:
+		return fmt.Errorf("%s bug manifested as %s, oracle expects %s", o.Kind, r.Outcome, want)
+	}
+}
+
+// checkAllDone verifies a healthy run left nothing behind.
+func checkAllDone(r *sim.Result) error {
+	if len(r.Leaked) > 0 {
+		return fmt.Errorf("OK outcome with %d leaked goroutine(s)", len(r.Leaked))
+	}
+	for _, g := range r.Goroutines {
+		if !g.System && g.State != sim.StateDone {
+			return fmt.Errorf("g%d(%s) ended %s in an OK run", g.ID, g.Name, g.State)
+		}
+	}
+	return nil
+}
+
+// allowedReasons returns the block reasons the planted goroutines may
+// legitimately end in when the bug manifests.
+func (b BugKind) allowedReasons() map[trace.BlockReason]bool {
+	switch b {
+	case BugDoubleLock, BugABBA:
+		return map[trace.BlockReason]bool{trace.BlockMutex: true}
+	case BugSendNoRecv:
+		return map[trace.BlockReason]bool{trace.BlockSend: true}
+	case BugRecvNoSend, BugMissingClose:
+		return map[trace.BlockReason]bool{trace.BlockRecv: true}
+	case BugLockedSend:
+		return map[trace.BlockReason]bool{
+			trace.BlockMutex: true, trace.BlockSend: true, trace.BlockRecv: true,
+		}
+	case BugWgForgotDone:
+		return map[trace.BlockReason]bool{trace.BlockWaitGroup: true}
+	default: // BugOnceCycle
+		return map[trace.BlockReason]bool{
+			trace.BlockRecv: true, trace.BlockSend: true, trace.BlockSync: true,
+		}
+	}
+}
+
+// checkBlockedShape verifies a manifested run blocked exactly where the
+// planted bug says it may: only planted goroutines (plus main, when they
+// are wg-counted) are stuck, with template-consistent reasons, and lock
+// bugs show a genuine circular wait in the reconstructed wait-for graph.
+func (p *Prog) checkBlockedShape(r *sim.Result) error {
+	o := p.Oracle
+	reasons := o.Kind.allowedReasons()
+	planted := 0
+	for _, g := range r.Goroutines {
+		if g.System || g.State == sim.StateDone {
+			continue
+		}
+		isMain := g.ID == 1
+		isPlanted := strings.HasPrefix(g.Name, "bug")
+		if !isMain && !isPlanted {
+			return fmt.Errorf("safe goroutine g%d(%s) ended %s/%s in a buggy run",
+				g.ID, g.Name, g.State, g.Reason)
+		}
+		if g.State != sim.StateBlocked {
+			return fmt.Errorf("g%d(%s) ended %s, want blocked", g.ID, g.Name, g.State)
+		}
+		if isMain {
+			if !o.WgCounted {
+				return fmt.Errorf("main blocked (%s) but the planted goroutines are not wg-counted", g.Reason)
+			}
+			if g.Reason != trace.BlockWaitGroup {
+				return fmt.Errorf("main blocked on %s, want the join waitgroup", g.Reason)
+			}
+			continue
+		}
+		if !reasons[g.Reason] {
+			return fmt.Errorf("planted g%d(%s) blocked on %s, inconsistent with a %s bug",
+				g.ID, g.Name, g.Reason, o.Kind)
+		}
+		planted++
+	}
+	if planted == 0 {
+		return fmt.Errorf("outcome %s without any blocked planted goroutine", r.Outcome)
+	}
+	if o.WgCounted != !r.MainEnded {
+		return fmt.Errorf("MainEnded=%v inconsistent with WgCounted=%v", r.MainEnded, o.WgCounted)
+	}
+
+	if r.Trace == nil {
+		return nil // tracing disabled: the snapshot checks above are all we have
+	}
+	switch o.Kind {
+	case BugDoubleLock, BugABBA:
+		if !mutexWaitCycle(r.Trace) {
+			return fmt.Errorf("%s manifested without a wait-for cycle on mutexes", o.Kind)
+		}
+	case BugLockedSend:
+		// Mixed cycle: whoever is stuck on the mutex must be waiting on a
+		// holder that is itself blocked (on the channel), forever.
+		holder, waits := mutexWFG(r.Trace)
+		state := map[trace.GoID]sim.State{}
+		for _, g := range r.Goroutines {
+			state[g.ID] = g.State
+		}
+		for g, res := range waits {
+			h, held := holder[res]
+			if !held {
+				return fmt.Errorf("g%d waits on mutex r%d that nobody holds", g, res)
+			}
+			if state[h] == sim.StateDone {
+				return fmt.Errorf("g%d waits on mutex r%d whose holder g%d finished", g, res, h)
+			}
+		}
+	}
+	return nil
+}
+
+// mutexWFG reconstructs the final mutex wait-for state from the trace:
+// who holds each mutex, and which goroutines are still parked acquiring
+// one. Handoff unlocks are handled naturally — the new owner emits its
+// (blocked) EvMutexLock after resuming, which clears its pending wait.
+func mutexWFG(tr *trace.Trace) (holder map[trace.ResID]trace.GoID, waits map[trace.GoID]trace.ResID) {
+	holder = map[trace.ResID]trace.GoID{}
+	waits = map[trace.GoID]trace.ResID{}
+	for _, e := range tr.Events {
+		switch e.Type {
+		case trace.EvMutexLock, trace.EvRWLock:
+			holder[e.Res] = e.G
+			delete(waits, e.G)
+		case trace.EvMutexUnlock, trace.EvRWUnlock:
+			delete(holder, e.Res)
+		case trace.EvGoBlock:
+			if e.BlockReason() == trace.BlockMutex {
+				waits[e.G] = e.Res
+			}
+		case trace.EvGoEnd, trace.EvGoPanic:
+			delete(waits, e.G)
+		}
+	}
+	return holder, waits
+}
+
+// mutexWaitCycle reports whether the final wait-for graph contains a
+// circular wait among goroutines parked on mutexes: g → holder(waits(g)),
+// following only goroutines that are themselves still waiting. A
+// double-lock is the one-node cycle (a goroutine waiting on the mutex it
+// already holds).
+func mutexWaitCycle(tr *trace.Trace) bool {
+	holder, waits := mutexWFG(tr)
+	for start := range waits {
+		seen := map[trace.GoID]bool{}
+		g := start
+		for {
+			if seen[g] {
+				return true
+			}
+			seen[g] = true
+			res, waiting := waits[g]
+			if !waiting {
+				break
+			}
+			h, held := holder[res]
+			if !held {
+				break
+			}
+			g = h
+		}
+	}
+	return false
+}

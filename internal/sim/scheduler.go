@@ -112,6 +112,12 @@ func (s *Scheduler) Now() int64 { return s.now }
 // Emit appends an event to the ECT, stamping it with the next logical
 // timestamp. It is a no-op when tracing is disabled.
 func (s *Scheduler) Emit(e trace.Event) {
+	if s.stopping {
+		// stopWorld unwinding: defers in user code still run (unlocks,
+		// once completions) but the world is already classified — their
+		// side-effects must not leak into the recorded ECT.
+		return
+	}
 	s.clock++
 	if s.ect == nil {
 		return
@@ -230,6 +236,12 @@ func (g *G) Block(reason trace.BlockReason, res trace.ResID, file string, line i
 // attributed to g (the unblocking action's goroutine). The note is
 // delivered to the sleeper's Block return value.
 func (g *G) Ready(target *G, res trace.ResID, note any) {
+	if g.s.stopping {
+		// Wakeups fired by unwinding defers during stopWorld must not
+		// repaint settled goroutine states: the Result snapshots the world
+		// as it was classified, and stopWorld resumes everyone itself.
+		return
+	}
 	if target.state != StateBlocked {
 		panic(fmt.Sprintf("sim: Ready(%v) but state is %v", target, target.state))
 	}

@@ -101,7 +101,14 @@ func Decode(r io.Reader) (*Trace, error) {
 	if count > 1<<30 {
 		return nil, fmt.Errorf("trace: implausible event count %d", count)
 	}
-	t := New(int(count))
+	// Cap the preallocation: count is attacker-controlled in the sense
+	// that a corrupt header must not force a gigantic up-front slice —
+	// Append grows as real events actually arrive.
+	prealloc := int(count)
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	t := New(prealloc)
 	for i := uint64(0); i < count; i++ {
 		var e Event
 		if e.Ts, err = binary.ReadVarint(br); err != nil {
