@@ -12,10 +12,12 @@ import (
 	"goat/internal/conc"
 	"goat/internal/cover"
 	"goat/internal/detect"
+	"goat/internal/engine"
 	"goat/internal/goker"
 	"goat/internal/gtree"
 	"goat/internal/harness"
 	"goat/internal/sim"
+	"goat/internal/trace"
 )
 
 // benchBudget keeps bench iterations affordable; goatbench uses the
@@ -179,6 +181,50 @@ func BenchmarkSelectTwoReady(b *testing.B) {
 		})
 	}
 }
+
+// benchCampaignCell runs a Table IV-style campaign cell (one rare kernel
+// under the GoAT detector for a fixed execution budget) through the
+// engine, either buffered (ECT per run + post-hoc detection) or streaming
+// (trace-free, online detector). Reported with -benchmem so the guard
+// pins both ns/op and allocs/op: pooled streaming must not cost more than
+// buffering on either axis.
+func benchCampaignCell(b *testing.B, buffered bool) {
+	k, ok := goker.ByID("kubernetes_6632")
+	if !ok {
+		b.Fatal("kernel missing")
+	}
+	pool := trace.NewPool()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := engine.Run(engine.Config{
+			Prog: k.Main,
+			Plan: func(i int, _ *engine.Feedback) sim.Options {
+				return sim.Options{Seed: 1 + int64(i)}
+			},
+			Runs:               30,
+			Detector:           detect.Goat{},
+			DetectorNeedsTrace: true,
+			Buffered:           buffered,
+			Pool:               pool,
+			StopOnFound:        true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Runs == 0 {
+			b.Fatal("no runs executed")
+		}
+	}
+}
+
+// BenchmarkCampaignCellBuffered is the classic pipeline: every execution
+// buffers its ECT (recycled through a pool) and GoAT analyzes it post-hoc.
+func BenchmarkCampaignCellBuffered(b *testing.B) { benchCampaignCell(b, true) }
+
+// BenchmarkCampaignCellStreaming is the streaming pipeline: executions
+// run trace-free with the online GoAT detector attached as an event sink.
+func BenchmarkCampaignCellStreaming(b *testing.B) { benchCampaignCell(b, false) }
 
 // BenchmarkDetectGoat measures detection cost over a leaking trace.
 func BenchmarkDetectGoat(b *testing.B) {

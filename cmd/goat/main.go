@@ -15,10 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"goat/internal/cover"
 	"goat/internal/cu"
 	"goat/internal/detect"
+	"goat/internal/engine"
 	"goat/internal/fault"
 	"goat/internal/goker"
 	"goat/internal/gtree"
@@ -39,6 +41,7 @@ func main() {
 		d         = flag.Int("d", 0, "number of delays (yield bound D)")
 		freq      = flag.Int("freq", 1, "frequency of executions")
 		covFlag   = flag.Bool("cov", false, "include coverage report in evaluation")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "with -bug: run up to this many executions concurrently (per-run reporting modes run sequentially)")
 		seed      = flag.Int64("seed", 0, "base RNG seed")
 		tool      = flag.String("tool", "goat", "detector: goat|builtin|lockdl|goleak")
 		raceOn    = flag.Bool("race", false, "enable the happens-before data race checker")
@@ -62,7 +65,7 @@ func main() {
 			fatal(err)
 		}
 	case *bug != "":
-		if err := runBug(*bug, *tool, *d, *freq, *seed, *covFlag, *raceOn, *traceOut, *htmlOut, faults); err != nil {
+		if err := runBug(*bug, *tool, *d, *freq, *parallel, *seed, *covFlag, *raceOn, *traceOut, *htmlOut, faults); err != nil {
 			fatal(err)
 		}
 	case *path != "":
@@ -134,7 +137,7 @@ func detectorFor(name string) (detect.Detector, error) {
 	}
 }
 
-func runBug(id, tool string, d, freq int, seed int64, covFlag, raceOn bool, traceOut, htmlOut string, faults fault.Options) error {
+func runBug(id, tool string, d, freq, parallel int, seed int64, covFlag, raceOn bool, traceOut, htmlOut string, faults fault.Options) error {
 	k, ok := goker.ByID(id)
 	if !ok {
 		return fmt.Errorf("unknown bug %q (try -list)", id)
@@ -149,49 +152,71 @@ func runBug(id, tool string, d, freq int, seed int64, covFlag, raceOn bool, trac
 	}
 
 	model := cover.NewModel(nil)
-	for trial := 0; trial < freq; trial++ {
-		r := goker.Run(k, sim.Options{Seed: seed + int64(trial), Delays: d, Faults: faults})
-		if faults.Enabled() && len(r.Faults) > 0 {
-			fmt.Printf("run %3d: %d fault(s) injected\n", trial+1, len(r.Faults))
-		}
-		if raceOn && r.Trace != nil {
-			for _, rc := range race.Check(r.Trace) {
-				fmt.Printf("run %3d: %s\n", trial+1, rc)
+	cfg := engine.Config{
+		Prog: k.Main,
+		Plan: func(i int, _ *engine.Feedback) sim.Options {
+			return sim.Options{Seed: seed + int64(i), Delays: d, Faults: faults}
+		},
+		Runs:        freq,
+		Detector:    det,
+		NeedTrace:   true, // the detection report prints the goroutine tree
+		StopOnFound: true,
+	}
+	if covFlag || raceOn || faults.Enabled() {
+		// Per-run reporting needs the executions observed in order, so
+		// these modes run sequentially regardless of -parallel.
+		cfg.OnRun = func(fb *engine.Feedback) (bool, error) {
+			r, trial := fb.Result, fb.Index
+			if faults.Enabled() && len(r.Faults) > 0 {
+				fmt.Printf("run %3d: %d fault(s) injected\n", trial+1, len(r.Faults))
 			}
-		}
-		if covFlag && r.Trace != nil {
-			if tree, err := gtree.Build(r.Trace); err == nil {
-				st := model.AddRun(tree)
-				fmt.Printf("run %3d: outcome=%-5s coverage %5.1f%% (%d/%d)\n",
-					trial+1, r.Outcome, st.Percent, st.Covered, st.Total)
-			}
-		}
-		if det2 := det.Detect(r); det2.Found {
-			fmt.Printf("\nbug exposed on execution %d (seed %d, D=%d)\n\n", trial+1, r.Seed, d)
-			fmt.Println(report.Detection(r, det2))
-			if covFlag {
-				fmt.Println("coverage table:")
-				fmt.Println(report.CoverageTable(nil, model))
-			}
-			if traceOut != "" && r.Trace != nil {
-				if err := writeTrace(traceOut, r.Trace); err != nil {
-					return err
+			if raceOn && r.Trace != nil {
+				for _, rc := range race.Check(r.Trace) {
+					fmt.Printf("run %3d: %s\n", trial+1, rc)
 				}
-				fmt.Printf("ECT written to %s (%d events); inspect with cmd/goattrace\n", traceOut, r.Trace.Len())
 			}
-			if htmlOut != "" && r.Trace != nil {
-				tree, err := gtree.Build(r.Trace)
-				if err != nil {
-					return err
+			if covFlag && r.Trace != nil {
+				if tree, err := gtree.Build(r.Trace); err == nil {
+					st := model.AddRun(tree)
+					fmt.Printf("run %3d: outcome=%-5s coverage %5.1f%% (%d/%d)\n",
+						trial+1, r.Outcome, st.Percent, st.Covered, st.Total)
 				}
-				page := report.HTMLTimeline(tree, fmt.Sprintf("%s — %s (seed %d, D=%d)", k.ID, det2.Verdict, r.Seed, d))
-				if err := os.WriteFile(htmlOut, []byte(page), 0o644); err != nil {
-					return err
-				}
-				fmt.Printf("HTML timeline written to %s\n", htmlOut)
 			}
-			return nil
+			return false, nil
 		}
+	} else {
+		cfg.Parallel = parallel
+	}
+	rep, err := engine.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if f := rep.Found; f != nil {
+		r, det2 := f.Result, *f.Detection
+		fmt.Printf("\nbug exposed on execution %d (seed %d, D=%d)\n\n", f.Index+1, r.Seed, d)
+		fmt.Println(report.Detection(r, det2))
+		if covFlag {
+			fmt.Println("coverage table:")
+			fmt.Println(report.CoverageTable(nil, model))
+		}
+		if traceOut != "" && r.Trace != nil {
+			if err := writeTrace(traceOut, r.Trace); err != nil {
+				return err
+			}
+			fmt.Printf("ECT written to %s (%d events); inspect with cmd/goattrace\n", traceOut, r.Trace.Len())
+		}
+		if htmlOut != "" && r.Trace != nil {
+			tree, err := gtree.Build(r.Trace)
+			if err != nil {
+				return err
+			}
+			page := report.HTMLTimeline(tree, fmt.Sprintf("%s — %s (seed %d, D=%d)", k.ID, det2.Verdict, r.Seed, d))
+			if err := os.WriteFile(htmlOut, []byte(page), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("HTML timeline written to %s\n", htmlOut)
+		}
+		return nil
 	}
 	fmt.Printf("\nbug not exposed in %d execution(s) with %s at D=%d\n", freq, tool, d)
 	if covFlag {

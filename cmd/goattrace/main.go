@@ -54,7 +54,8 @@ func main() {
 		})
 	case *stats != "":
 		withTrace(*stats, func(t *trace.Trace) error {
-			fmt.Printf("%d events, %d goroutines\n\n", t.Len(), len(t.Goroutines()))
+			gs := t.Goroutines()
+			fmt.Printf("%d events, %d goroutines\n\n", t.Len(), len(gs))
 			counts := t.CountByType()
 			for ty := trace.Type(1); ; ty++ {
 				if !ty.Valid() {
@@ -63,6 +64,22 @@ func main() {
 				if counts[ty] > 0 {
 					fmt.Printf("%-14s %6d\n", ty, counts[ty])
 				}
+			}
+			// Per-goroutine tallies in sorted-ID order: ByGoroutine is a
+			// bare map, so ranging over it directly would flake.
+			byG := t.ByGoroutine()
+			fmt.Println()
+			for _, g := range gs {
+				events := byG[g]
+				line := fmt.Sprintf("g%-5d %6d event(s)", g, len(events))
+				if len(events) > 0 {
+					last := events[len(events)-1]
+					line += fmt.Sprintf("  last=%s", last.Type)
+					if last.Type == trace.EvGoBlock {
+						line += fmt.Sprintf(" (%s @%s:%d)", last.BlockReason(), last.File, last.Line)
+					}
+				}
+				fmt.Println(line)
 			}
 			return nil
 		})

@@ -237,93 +237,23 @@ type RunStats struct {
 
 // AddRun folds one execution's goroutine tree into the model and returns
 // the post-run statistics. Only application-level goroutines contribute.
+// It is the post-hoc entry point: the tree's events are replayed in
+// timestamp order — the live emit order — through the streaming RunSink,
+// which campaigns attach directly to the run instead.
 func (m *Model) AddRun(t *gtree.Tree) RunStats {
-	m.runs++
-	before := m.CoveredCount()
-
 	// Global event order matters for lock-contention attribution: flatten
 	// the app nodes' events and sort by timestamp.
-	nodeOf := map[trace.GoID]string{}
 	var events []trace.Event
 	for _, n := range t.AppNodes() {
-		nodeOf[n.ID] = n.Key()
 		events = append(events, n.Events...)
 	}
 	sort.Slice(events, func(i, j int) bool { return events[i].Ts < events[j].Ts })
 
-	// holder tracks, per lock resource, the CU and node of the last
-	// goroutine that acquired it — the target of AspectBlocking.
-	type holderInfo struct {
-		node string
-		cu   cu.CU
-	}
-	holder := map[trace.ResID]holderInfo{}
-
+	s := m.StreamRun()
 	for _, e := range events {
-		node, ok := nodeOf[e.G]
-		if !ok {
-			continue
-		}
-		switch e.Type {
-		case trace.EvGoBlock:
-			// Contention on a lock covers the holder's "blocking" aspect.
-			reason := e.BlockReason()
-			if reason == trace.BlockMutex || reason == trace.BlockRMutex {
-				if h, ok := holder[e.Res]; ok {
-					m.mark(h.node, h.cu, NoCase, "", AspectBlocking)
-				}
-			}
-			continue
-		case trace.EvGoStart, trace.EvGoEnd, trace.EvGoSched, trace.EvGoPreempt,
-			trace.EvGoUnblock, trace.EvGoPanic, trace.EvChanMake, trace.EvUserLog:
-			continue
-		}
-		kind := kindForEvent(e)
-		if kind == cu.KindNone {
-			continue
-		}
-		c := cu.CU{File: e.File, Line: e.Line, Kind: kind}
-		switch e.Type {
-		case trace.EvGoCreate:
-			if e.Aux == 1 {
-				continue // system goroutine creation is not an app CU
-			}
-			m.mark(node, c, NoCase, "", AspectExec)
-		case trace.EvSelect:
-			if e.Aux == int64(DefaultCase) {
-				m.mark(node, c, NoCase, "default", AspectNOP)
-			}
-			// Chosen-case coverage comes from the EvSelectCase event.
-		case trace.EvSelectCase:
-			m.mark(node, c, int(e.Aux), e.Str, aspectOf(e))
-		case trace.EvMutexLock, trace.EvRWLock, trace.EvRLock:
-			m.instantiate(node, c)
-			if e.Blocked {
-				m.mark(node, c, NoCase, "", AspectBlocked)
-			}
-			holder[e.Res] = holderInfo{node: node, cu: c}
-		case trace.EvMutexUnlock, trace.EvRWUnlock, trace.EvRUnlock:
-			m.mark(node, c, NoCase, "", aspectOfUnblock(e))
-			if e.Peer == 0 {
-				delete(holder, e.Res)
-			}
-		case trace.EvChanClose, trace.EvCondSignal, trace.EvCondBroadcast, trace.EvWgAdd:
-			m.mark(node, c, NoCase, "", aspectOfUnblock(e))
-		case trace.EvSleep:
-			m.instantiate(node, c) // no aspects: presence only
-		default:
-			m.mark(node, c, NoCase, "", aspectOf(e))
-		}
+		s.Event(e)
 	}
-
-	covered := m.CoveredCount()
-	return RunStats{
-		Run:        m.runs,
-		Total:      m.Total(),
-		Covered:    covered,
-		Percent:    m.Percent(),
-		NewCovered: covered - before,
-	}
+	return s.Finish()
 }
 
 // aspectOfUnblock classifies Req4 actions: unblocking or NOP.

@@ -12,7 +12,6 @@ package detect
 import (
 	"fmt"
 
-	"goat/internal/gtree"
 	"goat/internal/sim"
 )
 
@@ -43,54 +42,38 @@ type Detector interface {
 	Detect(r *sim.Result) Detection
 }
 
-// Goat is the full GoAT detector: it rebuilds the goroutine tree from the
-// ECT and runs Procedure 1 (DeadlockCheck). It sees everything the trace
-// records, so it detects partial deadlocks, global deadlocks, hangs and
-// crashes.
+// Goat is the full GoAT detector: it runs Procedure 1 (DeadlockCheck)
+// over the goroutine tree's final-event states. It sees everything the
+// trace records, so it detects partial deadlocks, global deadlocks,
+// hangs and crashes. Detect is the post-hoc entry point — it replays the
+// buffered ECT through the streaming core (GoatStream), which campaigns
+// attach directly to the run to skip the trace buffering entirely.
 type Goat struct{}
 
 // Name implements Detector.
 func (Goat) Name() string { return "goat" }
 
 // Detect implements Detector.
-func (Goat) Detect(r *sim.Result) Detection {
-	d := Detection{Tool: "goat"}
-	if r.Outcome == sim.OutcomeCrash {
-		if r.FaultCrashed() {
-			return injectedCrash(d, r)
-		}
-		return found(d, "CRASH", fmt.Sprintf("panic in g%d: %v", r.PanicG, r.PanicVal))
-	}
-	if r.Outcome == sim.OutcomeTimeout {
-		detail := "no progress before the watchdog budget expired"
-		if len(r.Faults) > 0 {
-			detail += fmt.Sprintf(" (%d fault(s) injected)", len(r.Faults))
-		}
-		return found(d, "TO/GDL", detail)
-	}
+func (g Goat) Detect(r *sim.Result) Detection {
 	if r.Trace == nil {
-		// Traceless run: fall back to the runtime's own classification.
+		d := Detection{Tool: "goat"}
+		switch r.Outcome {
+		case sim.OutcomeCrash, sim.OutcomeTimeout:
+			return g.NewStream().Finish(r) // outcome-only verdicts need no events
+		}
+		// Traceless settled run: fall back to the runtime's own
+		// classification.
 		if r.Outcome.Buggy() {
 			return found(d, r.Outcome.String(), "virtual-runtime classification (tracing disabled)")
 		}
 		d.Verdict = "OK"
 		return d
 	}
-	tree, err := gtree.Build(r.Trace)
-	if err != nil {
-		return found(d, "ERROR", err.Error())
+	s := g.NewStream()
+	for _, e := range r.Trace.Events {
+		s.Event(e)
 	}
-	verdict, leaked := tree.DeadlockCheck()
-	switch verdict {
-	case gtree.GlobalDeadlock:
-		return found(d, "GDL", "main goroutine never reached its end state")
-	case gtree.PartialDeadlock:
-		return found(d, fmt.Sprintf("PDL-%d", len(leaked)),
-			fmt.Sprintf("%d goroutine(s) leaked", len(leaked)))
-	default:
-		d.Verdict = "OK"
-		return d
-	}
+	return s.Finish(r)
 }
 
 // Builtin emulates the Go runtime's embedded detector: it throws only when

@@ -20,28 +20,17 @@ type LockDL struct{}
 // Name implements Detector.
 func (LockDL) Name() string { return "lockdl" }
 
-// Detect implements Detector.
-func (LockDL) Detect(r *sim.Result) Detection {
-	d := Detection{Tool: "lockdl"}
-	if r.Outcome == sim.OutcomeCrash {
-		if r.FaultCrashed() {
-			return injectedCrash(d, r)
-		}
-		return found(d, "CRASH", fmt.Sprint(r.PanicVal))
-	}
+// Detect implements Detector. It is the post-hoc entry point: the
+// buffered trace (when present) is replayed through the streaming core
+// (LockDLStream), which campaigns attach directly to the run instead.
+func (l LockDL) Detect(r *sim.Result) Detection {
+	s := l.NewStream()
 	if r.Trace != nil {
-		if warn := analyzeLockOrder(r.Trace); warn != "" {
-			return found(d, "DL", warn)
+		for _, e := range r.Trace.Events {
+			s.Event(e)
 		}
 	}
-	// The tool's application timeout catches programs that stop making
-	// progress entirely.
-	switch r.Outcome {
-	case sim.OutcomeGlobalDeadlock, sim.OutcomeTimeout:
-		return found(d, "TO/GDL", "application timeout expired")
-	}
-	d.Verdict = "OK"
-	return d
+	return s.Finish(r)
 }
 
 // lockGraph is the accumulated lock-order digraph: an edge a→b means some
@@ -115,56 +104,7 @@ func (g *lockGraph) cycle() string {
 	return ""
 }
 
-// analyzeLockOrder replays the trace's mutex events and returns a warning
-// string, or "" when the lock discipline looks clean.
-func analyzeLockOrder(tr *trace.Trace) string {
-	g := &lockGraph{}
-	held := map[trace.GoID]map[trace.ResID]bool{}
-	// pending tracks blocked acquisitions: the lock-order edge must be
-	// recorded at the attempt, not only at the (possibly never-happening)
-	// acquisition — this is how LockDL warns before the deadlock bites.
-	for _, e := range tr.Events {
-		switch e.Type {
-		case trace.EvGoBlock:
-			reason := e.BlockReason()
-			if reason != trace.BlockMutex && reason != trace.BlockRMutex {
-				continue
-			}
-			for h := range held[e.G] {
-				if h == e.Res {
-					return fmt.Sprintf("double lock of r%d in g%d at %s:%d", e.Res, e.G, e.File, e.Line)
-				}
-				g.add(h, e.Res)
-			}
-		case trace.EvMutexLock, trace.EvRWLock, trace.EvRLock:
-			hs := held[e.G]
-			if hs == nil {
-				hs = map[trace.ResID]bool{}
-				held[e.G] = hs
-			}
-			if !e.Blocked { // uncontended acquire still orders after held locks
-				for h := range hs {
-					if h == e.Res {
-						return fmt.Sprintf("double lock of r%d in g%d at %s:%d", e.Res, e.G, e.File, e.Line)
-					}
-					g.add(h, e.Res)
-				}
-			}
-			hs[e.Res] = true
-		case trace.EvMutexUnlock, trace.EvRWUnlock, trace.EvRUnlock:
-			if held[e.G][e.Res] {
-				delete(held[e.G], e.Res)
-				continue
-			}
-			// Cross-goroutine unlock: release whoever holds it.
-			for gid, hs := range held {
-				if hs[e.Res] {
-					delete(hs, e.Res)
-					_ = gid
-					break
-				}
-			}
-		}
-	}
-	return g.cycle()
-}
+// The event-by-event lock-order analysis lives in LockDLStream (see
+// stream.go): blocked acquisitions record their lock-order edges at the
+// attempt, not only at the (possibly never-happening) acquisition — this
+// is how LockDL warns before the deadlock bites.

@@ -1,0 +1,323 @@
+// Package engine is the unified campaign pipeline: one run-until-decided
+// loop shared by the evaluation harness (Table IV cells), the guided
+// explorer, the differential kernel fuzzer, and the goat CLI, which all
+// previously carried their own copies of it.
+//
+// A campaign executes a program repeatedly under planned scheduling
+// options, classifies every run with a detector, optionally folds each
+// run into a coverage model, and stops on the first detection, a caller
+// decision, or the budget. The engine owns the streaming wiring: when the
+// detector and the coverage model have online forms, runs execute
+// trace-free with the analyses attached as event sinks; the buffered mode
+// (Config.Buffered) keeps the classic ECT-then-post-hoc pipeline for
+// callers that need the full trace per run.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"goat/internal/cover"
+	"goat/internal/detect"
+	"goat/internal/gtree"
+	"goat/internal/sim"
+	"goat/internal/trace"
+)
+
+// Feedback is the complete record of one campaign run, handed to OnRun
+// and to Plan (as the previous run's outcome).
+type Feedback struct {
+	// Index is the 0-based run index.
+	Index int
+	// Options are the scheduling options the run executed under. The
+	// engine's internal wiring (ECT buffer, sink chain) is scrubbed from
+	// the copy: those fields alias per-run machinery that is recycled.
+	Options sim.Options
+	// Result is the run's classified execution result. When a trace Pool
+	// is configured, Result.Trace is only valid until OnRun returns — the
+	// buffer is recycled afterwards (except for the detecting run's).
+	Result *sim.Result
+	// Detection is the detector's verdict (nil without a Detector).
+	Detection *detect.Detection
+	// Stats is the post-run coverage statistics (nil without a Coverage
+	// model).
+	Stats *cover.RunStats
+}
+
+// Config describes one campaign.
+type Config struct {
+	// Prog is the program under test (required).
+	Prog func(*sim.G)
+	// Plan returns the scheduling options of run i; prev is the previous
+	// run's feedback (nil for run 0, and always nil in parallel mode —
+	// parallel plans must depend on the index only). The engine overrides
+	// the trace and sink fields. Required.
+	Plan func(i int, prev *Feedback) sim.Options
+	// Runs is the execution budget (required, > 0).
+	Runs int
+
+	// Detector classifies each run (optional). In streaming mode a
+	// detector implementing detect.Streaming observes the run live; other
+	// detectors are invoked post-hoc.
+	Detector detect.Detector
+	// DetectorNeedsTrace marks post-hoc detectors that consume Result.Trace,
+	// so buffering is kept when the detector has no streaming form.
+	DetectorNeedsTrace bool
+	// Coverage, when set, accumulates every run into the model (streamed
+	// in streaming mode, via gtree.Build + AddRun in buffered mode — a
+	// build failure aborts the campaign with its error).
+	Coverage *cover.Model
+
+	// NeedTrace forces each run to buffer its ECT regardless of the
+	// analyses' needs (for reports and trace artifacts).
+	NeedTrace bool
+	// Buffered opts out of streaming: runs buffer their ECT as needed and
+	// every analysis happens post-hoc on it.
+	Buffered bool
+	// EarlyStop lets streaming detectors halt a run the moment their
+	// verdict is decided (sim.OutcomeStopped). Off, every run is observed
+	// to its natural end, keeping verdicts byte-identical to the post-hoc
+	// pipeline; on, a run that would have ended in a crash or timeout
+	// after the verdict was already decided is classified by the verdict
+	// instead.
+	EarlyStop bool
+	// Pool recycles ECT buffers across the campaign's runs (only used
+	// when runs buffer a trace).
+	Pool *trace.Pool
+	// Sinks are extra event sinks attached to every run.
+	Sinks []trace.Sink
+
+	// StopOnFound ends the campaign at the first detection.
+	StopOnFound bool
+	// Parallel runs up to this many executions concurrently (0/1 =
+	// sequential). Only campaigns without OnRun and Coverage parallelize —
+	// otherwise the engine silently runs sequentially. The first detection
+	// is by minimal run index, so the reported cell is identical to the
+	// sequential campaign's.
+	Parallel int
+	// OnRun observes every completed run in order. Returning stop ends
+	// the campaign successfully; returning an error aborts it.
+	OnRun func(fb *Feedback) (stop bool, err error)
+}
+
+// Report is the campaign summary.
+type Report struct {
+	// Runs is how many executions were performed. In parallel mode this
+	// can exceed Found.Index+1: runs past the detection that were already
+	// in flight still count.
+	Runs int
+	// Found is the first (minimal-index) detecting run, nil if none.
+	Found *Feedback
+}
+
+// Run executes the campaign.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Prog == nil || cfg.Plan == nil {
+		return nil, fmt.Errorf("engine: Prog and Plan are required")
+	}
+	if cfg.Runs <= 0 {
+		return nil, fmt.Errorf("engine: Runs must be positive, got %d", cfg.Runs)
+	}
+	if cfg.Parallel > 1 && cfg.OnRun == nil && cfg.Coverage == nil {
+		return runParallel(&cfg)
+	}
+	rep := &Report{}
+	var prev *Feedback
+	var sc scratch
+	for i := 0; i < cfg.Runs; i++ {
+		fb, err := runOne(&cfg, i, prev, &sc)
+		rep.Runs = i + 1
+		if err != nil {
+			return rep, err
+		}
+		found := fb.Detection != nil && fb.Detection.Found
+		if found && rep.Found == nil {
+			rep.Found = fb
+		}
+		var stop bool
+		if cfg.OnRun != nil {
+			if stop, err = cfg.OnRun(fb); err != nil {
+				return rep, err
+			}
+		}
+		recycle(&cfg, fb, fb == rep.Found)
+		if stop || (cfg.StopOnFound && found) {
+			return rep, nil
+		}
+		prev = fb
+	}
+	return rep, nil
+}
+
+// scratch is the per-run machinery one sequential loop or one parallel
+// worker reuses across its runs: the sink-chain backing slice and, when
+// the detector's stream is detect.Resettable, the stream itself. Nothing
+// in it escapes a run — the Feedback keeps a scrubbed Options copy.
+type scratch struct {
+	sinks  []trace.Sink
+	stream detect.Resettable
+}
+
+// runOne executes one campaign run: wire the analyses (streamed or
+// buffered), run the program, finish the analyses.
+func runOne(cfg *Config, i int, prev *Feedback, sc *scratch) (*Feedback, error) {
+	opts := cfg.Plan(i, prev)
+
+	streaming := !cfg.Buffered
+	var stream detect.Stream
+	if streaming && cfg.Detector != nil {
+		if sc.stream != nil {
+			sc.stream.Reset() // early-stop configuration survives Reset
+			stream = sc.stream
+		} else if s, ok := cfg.Detector.(detect.Streaming); ok {
+			stream = s.NewStream()
+			if cfg.EarlyStop {
+				if es, ok := stream.(detect.EarlyStopper); ok {
+					es.EnableEarlyStop()
+				}
+			}
+			if r, ok := stream.(detect.Resettable); ok {
+				sc.stream = r
+			}
+		}
+	}
+	var covSink *cover.RunSink
+	if streaming && cfg.Coverage != nil {
+		covSink = cfg.Coverage.StreamRun()
+	}
+
+	// Buffer the ECT only when something still consumes it post-hoc.
+	wantTrace := cfg.NeedTrace ||
+		(cfg.Detector != nil && cfg.DetectorNeedsTrace && stream == nil) ||
+		(cfg.Coverage != nil && covSink == nil)
+	opts.NoTrace = !wantTrace
+	if wantTrace && cfg.Pool != nil && opts.ECT == nil {
+		opts.ECT = cfg.Pool.Get()
+	}
+	if stream != nil || covSink != nil || len(cfg.Sinks) > 0 {
+		sinks := append(sc.sinks[:0], cfg.Sinks...)
+		if stream != nil {
+			sinks = append(sinks, stream)
+		}
+		if covSink != nil {
+			sinks = append(sinks, covSink)
+		}
+		sc.sinks = sinks
+		opts.Sinks = sinks
+	}
+
+	r := sim.Run(opts, cfg.Prog)
+	fb := &Feedback{Index: i, Options: opts, Result: r}
+	fb.Options.Sinks = nil // engine wiring: the scratch is reused next run
+	fb.Options.ECT = nil   // engine wiring: the pool may recycle the buffer
+
+	if covSink != nil {
+		st := covSink.Finish()
+		fb.Stats = &st
+	} else if cfg.Coverage != nil {
+		tree, err := gtree.Build(r.Trace)
+		if err != nil {
+			return fb, err
+		}
+		st := cfg.Coverage.AddRun(tree)
+		fb.Stats = &st
+	}
+
+	if stream != nil {
+		d := stream.Finish(r)
+		fb.Detection = &d
+	} else if cfg.Detector != nil {
+		d := cfg.Detector.Detect(r)
+		fb.Detection = &d
+	}
+	return fb, nil
+}
+
+// recycle returns a run's trace buffer to the pool unless the run is
+// kept (the campaign's detecting run, whose trace the caller may still
+// read). The recycled Result's Trace is nilled so no alias survives.
+func recycle(cfg *Config, fb *Feedback, keep bool) {
+	if cfg.Pool == nil || keep || fb == nil || fb.Result == nil || fb.Result.Trace == nil {
+		return
+	}
+	cfg.Pool.Put(fb.Result.Trace)
+	fb.Result.Trace = nil
+}
+
+// runParallel is the concurrent campaign: workers claim run indices in
+// order, and the first detection by minimal index wins, so the reported
+// cell matches the sequential campaign's. With StopOnFound, workers stop
+// claiming indices past the best detection but runs already in flight
+// complete (one of them may detect at a lower index).
+func runParallel(cfg *Config) (*Report, error) {
+	workers := cfg.Parallel
+	if workers > cfg.Runs {
+		workers = cfg.Runs
+	}
+	var (
+		mu       sync.Mutex
+		next     int
+		ran      int
+		found    *Feedback
+		firstErr error
+	)
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= cfg.Runs {
+			return -1
+		}
+		if cfg.StopOnFound && found != nil && next > found.Index {
+			return -1
+		}
+		i := next
+		next++
+		ran++
+		return i
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				// A panicking kernel must not take down the whole
+				// campaign's process; sequential callers that want the
+				// panic re-raised run with Parallel <= 1.
+				if r := recover(); r != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("engine: parallel run panicked: %v", r)
+					}
+					mu.Unlock()
+				}
+			}()
+			var sc scratch
+			for {
+				i := claim()
+				if i < 0 {
+					return
+				}
+				fb, err := runOne(cfg, i, nil, &sc)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if fb.Detection != nil && fb.Detection.Found &&
+					(found == nil || fb.Index < found.Index) {
+					recycle(cfg, found, false) // dethroned detection
+					found = fb
+				} else {
+					recycle(cfg, fb, false)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	rep := &Report{Runs: ran, Found: found}
+	if firstErr != nil {
+		return rep, firstErr
+	}
+	return rep, nil
+}

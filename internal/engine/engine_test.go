@@ -1,0 +1,193 @@
+package engine_test
+
+import (
+	"testing"
+
+	"goat/internal/conc"
+	"goat/internal/cover"
+	"goat/internal/detect"
+	"goat/internal/engine"
+	"goat/internal/goker"
+	"goat/internal/sim"
+	"goat/internal/trace"
+)
+
+// cellConfig is a Table IV-style campaign cell: one rare kernel under the
+// GoAT detector with a delay bound, stopping at first detection.
+func cellConfig(t *testing.T, buffered bool) engine.Config {
+	t.Helper()
+	k, ok := goker.ByID("kubernetes_6632")
+	if !ok {
+		t.Fatal("kernel kubernetes_6632 not registered")
+	}
+	return engine.Config{
+		Prog: k.Main,
+		Plan: func(i int, _ *engine.Feedback) sim.Options {
+			return sim.Options{Seed: 1 + int64(i), Delays: 2}
+		},
+		Runs:               200,
+		Detector:           detect.Goat{},
+		DetectorNeedsTrace: true,
+		Buffered:           buffered,
+		Pool:               trace.NewPool(),
+		StopOnFound:        true,
+	}
+}
+
+func TestStreamingCellMatchesBuffered(t *testing.T) {
+	buf, err := engine.Run(cellConfig(t, true))
+	if err != nil {
+		t.Fatalf("buffered: %v", err)
+	}
+	str, err := engine.Run(cellConfig(t, false))
+	if err != nil {
+		t.Fatalf("streaming: %v", err)
+	}
+	if buf.Found == nil || str.Found == nil {
+		t.Fatalf("found: buffered %v, streaming %v", buf.Found, str.Found)
+	}
+	if buf.Found.Index != str.Found.Index {
+		t.Errorf("detection index: buffered %d, streaming %d", buf.Found.Index, str.Found.Index)
+	}
+	if *buf.Found.Detection != *str.Found.Detection {
+		t.Errorf("detection: buffered %+v, streaming %+v", *buf.Found.Detection, *str.Found.Detection)
+	}
+	if str.Found.Result.Trace != nil {
+		t.Error("streaming cell buffered a trace")
+	}
+	if buf.Found.Result.Trace == nil {
+		t.Error("buffered cell's detecting run lost its trace to the pool")
+	}
+}
+
+func TestParallelCellMatchesSequential(t *testing.T) {
+	seq, err := engine.Run(cellConfig(t, false))
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	cfg := cellConfig(t, false)
+	cfg.Parallel = 8
+	par, err := engine.Run(cfg)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if seq.Found == nil || par.Found == nil {
+		t.Fatalf("found: sequential %v, parallel %v", seq.Found, par.Found)
+	}
+	if seq.Found.Index != par.Found.Index || *seq.Found.Detection != *par.Found.Detection {
+		t.Fatalf("parallel cell diverged: seq (%d, %+v) vs par (%d, %+v)",
+			seq.Found.Index, *seq.Found.Detection, par.Found.Index, *par.Found.Detection)
+	}
+	if par.Runs < seq.Runs {
+		t.Errorf("parallel ran %d < sequential's %d executions", par.Runs, seq.Runs)
+	}
+}
+
+// abbaProg takes two locks in both orders (planting a lock-order cycle
+// early) and then spins, so a full observation is much longer than an
+// early-stopped one.
+func abbaProg(spin int) func(*sim.G) {
+	return func(g *sim.G) {
+		a := conc.NewMutex(g)
+		b := conc.NewMutex(g)
+		a.Lock(g)
+		b.Lock(g)
+		b.Unlock(g)
+		a.Unlock(g)
+		b.Lock(g)
+		a.Lock(g)
+		a.Unlock(g)
+		b.Unlock(g)
+		for i := 0; i < spin; i++ {
+			g.Yield()
+		}
+	}
+}
+
+func TestEarlyStopShortensDecidedRun(t *testing.T) {
+	run := func(early bool) *engine.Report {
+		rep, err := engine.Run(engine.Config{
+			Prog: abbaProg(500),
+			Plan: func(i int, _ *engine.Feedback) sim.Options {
+				return sim.Options{Seed: 1}
+			},
+			Runs:               1,
+			Detector:           detect.LockDL{},
+			DetectorNeedsTrace: true,
+			EarlyStop:          early,
+			StopOnFound:        true,
+		})
+		if err != nil {
+			t.Fatalf("early=%v: %v", early, err)
+		}
+		if rep.Found == nil {
+			t.Fatalf("early=%v: cycle not detected", early)
+		}
+		return rep
+	}
+	full := run(false)
+	fast := run(true)
+	for _, rep := range []*engine.Report{full, fast} {
+		if rep.Found.Detection.Verdict != "DL" {
+			t.Fatalf("verdict %+v, want DL", rep.Found.Detection)
+		}
+	}
+	if fast.Found.Detection.Detail != full.Found.Detection.Detail {
+		t.Errorf("early-stop changed the warning: %q vs %q",
+			fast.Found.Detection.Detail, full.Found.Detection.Detail)
+	}
+	r := fast.Found.Result
+	if r.Outcome != sim.OutcomeStopped || !r.EarlyStopped {
+		t.Errorf("early-stopped run classified %v (EarlyStopped=%v), want STOP", r.Outcome, r.EarlyStopped)
+	}
+	if r.Steps >= full.Found.Result.Steps {
+		t.Errorf("early stop did not shorten the run: %d vs %d steps", r.Steps, full.Found.Result.Steps)
+	}
+}
+
+func TestOnRunObservesRunsInOrderWithCoverage(t *testing.T) {
+	model := cover.NewModel(nil)
+	var seen []int
+	rep, err := engine.Run(engine.Config{
+		Prog: abbaProg(0),
+		Plan: func(i int, _ *engine.Feedback) sim.Options {
+			return sim.Options{Seed: int64(i)}
+		},
+		Runs:     5,
+		Coverage: model,
+		OnRun: func(fb *engine.Feedback) (bool, error) {
+			seen = append(seen, fb.Index)
+			if fb.Stats == nil {
+				t.Fatal("coverage stats missing")
+			}
+			if fb.Stats.Covered == 0 {
+				t.Fatal("run covered nothing")
+			}
+			return fb.Index == 2, nil // caller-decided stop
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs != 3 {
+		t.Fatalf("rep.Runs = %d, want 3", rep.Runs)
+	}
+	if len(seen) != 3 || seen[0] != 0 || seen[2] != 2 {
+		t.Fatalf("observed indices %v", seen)
+	}
+	if model.Runs() != 3 {
+		t.Fatalf("model accumulated %d runs, want 3", model.Runs())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := engine.Run(engine.Config{}); err == nil {
+		t.Fatal("empty config must error")
+	}
+	if _, err := engine.Run(engine.Config{
+		Prog: func(*sim.G) {},
+		Plan: func(int, *engine.Feedback) sim.Options { return sim.Options{} },
+	}); err == nil {
+		t.Fatal("zero Runs must error")
+	}
+}

@@ -11,12 +11,14 @@
 package explore
 
 import (
+	"errors"
 	"fmt"
 
 	"goat/internal/cover"
 	"goat/internal/detect"
-	"goat/internal/gtree"
+	"goat/internal/engine"
 	"goat/internal/sim"
+	"goat/internal/trace"
 )
 
 // Strategy chooses the options of the next iteration.
@@ -211,40 +213,76 @@ func (o *Outcome) FinalPercent() float64 {
 // the iteration budget. The paper's termination rule: "iterations
 // terminate either by detecting a bug or reaching a percentage
 // threshold".
+//
+// The campaign runs on the streaming engine: each iteration executes
+// trace-free with the GoAT detector and the coverage model attached as
+// event sinks, so no ECT is ever buffered.
 func Run(prog func(*sim.G), strat Strategy, cfg Config) (*Outcome, error) {
 	model := cover.NewModel(nil)
 	out := &Outcome{Strategy: strat.Name(), Model: model}
-	goat := detect.Goat{}
 	stopOnBug := cfg.StopOnBug || cfg.TargetPercent == 0
 
-	var prev *Feedback
-	for i := 0; i < cfg.maxIters(); i++ {
-		opts := strat.Next(i, prev)
-		r := sim.Run(opts, prog)
-		tree, err := gtree.Build(r.Trace)
-		if err != nil {
-			return nil, fmt.Errorf("explore: iteration %d: %w", i, err)
-		}
-		st := model.AddRun(tree)
-		out.Iterations = append(out.Iterations, Iteration{
-			Index:   i + 1,
-			Delays:  opts.Delays,
-			Seed:    opts.Seed,
-			Outcome: r.Outcome,
-			Percent: st.Percent,
-		})
-		prev = &Feedback{Options: opts, Outcome: r.Outcome, NewCovered: st.NewCovered, Percent: st.Percent}
-
-		if d := goat.Detect(r); d.Found && out.BugAt == 0 {
-			out.BugAt = i + 1
-			out.Detection = d
-			if stopOnBug {
-				return out, nil
+	_, err := engine.Run(engine.Config{
+		Prog: prog,
+		Plan: func(i int, prev *engine.Feedback) sim.Options {
+			return strat.Next(i, stratFeedback(prev))
+		},
+		Runs:     cfg.maxIters(),
+		Detector: detect.Goat{},
+		Coverage: model,
+		OnRun: func(fb *engine.Feedback) (bool, error) {
+			d := *fb.Detection
+			if d.Verdict == "ERROR" {
+				// A malformed or empty event stream is a campaign error,
+				// not a bug (it used to surface as a gtree.Build failure).
+				return false, fmt.Errorf("explore: iteration %d: %w", fb.Index, streamErr(d.Detail))
 			}
-		}
-		if cfg.TargetPercent > 0 && st.Percent >= cfg.TargetPercent {
-			return out, nil
-		}
+			st := fb.Stats
+			out.Iterations = append(out.Iterations, Iteration{
+				Index:   fb.Index + 1,
+				Delays:  fb.Options.Delays,
+				Seed:    fb.Options.Seed,
+				Outcome: fb.Result.Outcome,
+				Percent: st.Percent,
+			})
+			if d.Found && out.BugAt == 0 {
+				out.BugAt = fb.Index + 1
+				out.Detection = d
+				if stopOnBug {
+					return true, nil
+				}
+			}
+			if cfg.TargetPercent > 0 && st.Percent >= cfg.TargetPercent {
+				return true, nil
+			}
+			return false, nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// stratFeedback converts the engine's run record into the strategy-facing
+// feedback (nil-safe for the first iteration).
+func stratFeedback(fb *engine.Feedback) *Feedback {
+	if fb == nil {
+		return nil
+	}
+	f := &Feedback{Options: fb.Options, Outcome: fb.Result.Outcome}
+	if fb.Stats != nil {
+		f.NewCovered = fb.Stats.NewCovered
+		f.Percent = fb.Stats.Percent
+	}
+	return f
+}
+
+// streamErr reconstructs the sentinel error from a streamed ERROR verdict
+// so callers can still match it with errors.Is.
+func streamErr(detail string) error {
+	if detail == trace.ErrEmpty.Error() {
+		return trace.ErrEmpty
+	}
+	return errors.New(detail)
 }

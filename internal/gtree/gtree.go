@@ -66,36 +66,78 @@ type Tree struct {
 }
 
 // Build constructs the goroutine tree from an ECT. The main goroutine is
-// GoID 1 and becomes the root.
+// GoID 1 and becomes the root. It is the post-hoc entry point: the
+// buffered trace is replayed through the streaming Builder.
 func Build(tr *trace.Trace) (*Tree, error) {
 	if tr == nil || tr.Len() == 0 {
 		return nil, trace.ErrEmpty
 	}
-	t := &Tree{Nodes: map[trace.GoID]*Node{}}
-	root := &Node{ID: 1, Name: "main", key: "main"}
-	t.Root = root
-	t.Nodes[1] = root
+	b := NewBuilder()
 	for _, e := range tr.Events {
-		n, ok := t.Nodes[e.G]
-		if !ok {
-			return nil, fmt.Errorf("gtree: event by unknown goroutine g%d at ts %d", e.G, e.Ts)
-		}
-		n.Events = append(n.Events, e)
-		if e.Type == trace.EvGoCreate {
-			child := &Node{
-				ID:         e.Peer,
-				Name:       e.Str,
-				Parent:     n,
-				CreateFile: e.File,
-				CreateLine: e.Line,
-				System:     e.Aux == 1,
-			}
-			child.key = fmt.Sprintf("%s/%s:%d", n.key, e.File, e.Line)
-			n.Children = append(n.Children, child)
-			t.Nodes[e.Peer] = child
-		}
+		b.Event(e)
 	}
-	return t, nil
+	return b.Tree()
+}
+
+// Builder constructs the goroutine tree online, one event at a time — a
+// trace.Sink that can be attached directly to an execution so the tree
+// exists the moment the run ends, without buffering the ECT. A stream
+// replayed from a buffered trace and a stream observed live produce
+// identical trees.
+type Builder struct {
+	t      *Tree
+	events int
+	err    error
+}
+
+// NewBuilder returns a builder holding the implicit main-goroutine root.
+func NewBuilder() *Builder {
+	root := &Node{ID: 1, Name: "main", key: "main"}
+	return &Builder{t: &Tree{Root: root, Nodes: map[trace.GoID]*Node{1: root}}}
+}
+
+// Event implements trace.Sink: it folds one event into the tree. After a
+// malformed event (by an unknown goroutine) the builder latches the error
+// and ignores the rest of the stream, mirroring where Build stops.
+func (b *Builder) Event(e trace.Event) {
+	if b.err != nil {
+		return
+	}
+	b.events++
+	n, ok := b.t.Nodes[e.G]
+	if !ok {
+		b.err = fmt.Errorf("gtree: event by unknown goroutine g%d at ts %d", e.G, e.Ts)
+		return
+	}
+	n.Events = append(n.Events, e)
+	if e.Type == trace.EvGoCreate {
+		child := &Node{
+			ID:         e.Peer,
+			Name:       e.Str,
+			Parent:     n,
+			CreateFile: e.File,
+			CreateLine: e.Line,
+			System:     e.Aux == 1,
+		}
+		child.key = fmt.Sprintf("%s/%s:%d", n.key, e.File, e.Line)
+		n.Children = append(n.Children, child)
+		b.t.Nodes[e.Peer] = child
+	}
+}
+
+// Close implements trace.Sink.
+func (b *Builder) Close() {}
+
+// Tree finalizes the build. It errors on a malformed stream and on an
+// empty one (trace.ErrEmpty), exactly like Build.
+func (b *Builder) Tree() (*Tree, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.events == 0 {
+		return nil, trace.ErrEmpty
+	}
+	return b.t, nil
 }
 
 // AppNodes returns the application-level goroutines in BFS order from the

@@ -18,10 +18,12 @@ import (
 
 	"goat/internal/cover"
 	"goat/internal/detect"
+	"goat/internal/engine"
 	"goat/internal/fault"
 	"goat/internal/goker"
 	"goat/internal/gtree"
 	"goat/internal/sim"
+	"goat/internal/trace"
 )
 
 // Spec is one tool configuration (a Table IV column).
@@ -85,6 +87,20 @@ type Config struct {
 	// Faults enables deterministic fault injection for every execution of
 	// the campaign (robustness benchmarking). The zero value disables it.
 	Faults fault.Options
+
+	// Buffered opts out of the streaming pipeline: every execution buffers
+	// its ECT and detectors run post-hoc on it (the pre-engine behavior).
+	// The default streams the online detectors over trace-free runs; both
+	// modes produce identical cells.
+	Buffered bool
+
+	// EarlyStop lets streaming detectors halt an execution the moment
+	// their verdict is decided. Off by default: an early-stopped run is
+	// classified by the deciding verdict, which can differ from the
+	// settle-time classification (e.g. a lock-order cycle detected before
+	// a crash), so campaigns that must match the post-hoc pipeline
+	// byte-for-byte leave this off.
+	EarlyStop bool
 
 	// CellBudget bounds the wall-clock time one (bug, tool) cell may take
 	// before the watchdog abandons it — the analogue of the paper's
@@ -201,25 +217,42 @@ func (c Cell) String() string {
 // budget, returning the cell. This is the raw, unguarded campaign loop;
 // RunTableIV wraps it in the quarantine/watchdog machinery via RunCell.
 func MinExecs(k goker.Kernel, spec Spec, maxExecs int, baseSeed int64) Cell {
-	return minExecs(k, spec, maxExecs, baseSeed, fault.Options{})
+	return minExecs(k, spec, maxExecs, baseSeed, fault.Options{}, false, false)
 }
 
-func minExecs(k goker.Kernel, spec Spec, maxExecs int, baseSeed int64, faults fault.Options) Cell {
+func minExecs(k goker.Kernel, spec Spec, maxExecs int, baseSeed int64, faults fault.Options, buffered, earlyStop bool) Cell {
 	cell := Cell{Bug: k.ID, Tool: spec.Name}
-	for trial := 0; trial < maxExecs; trial++ {
-		opts := sim.Options{
-			Seed:    baseSeed + int64(trial),
-			Delays:  spec.Delays,
-			NoTrace: !spec.NeedTrace,
-			Faults:  faults,
-		}
-		r := goker.Run(k, opts)
-		if d := spec.Detector.Detect(r); d.Found {
-			cell.Found = true
-			cell.MinExecs = trial + 1
-			cell.Verdict = d.Verdict
-			return cell
-		}
+	if maxExecs <= 0 {
+		cell.MinExecs = maxExecs
+		return cell
+	}
+	rep, err := engine.Run(engine.Config{
+		Prog: k.Main,
+		Plan: func(i int, _ *engine.Feedback) sim.Options {
+			return sim.Options{
+				Seed:   baseSeed + int64(i),
+				Delays: spec.Delays,
+				Faults: faults,
+			}
+		},
+		Runs:               maxExecs,
+		Detector:           spec.Detector,
+		DetectorNeedsTrace: spec.NeedTrace,
+		Buffered:           buffered,
+		EarlyStop:          earlyStop,
+		Pool:               trace.NewPool(),
+		StopOnFound:        true,
+	})
+	if err != nil {
+		// The cell's engine configuration is static and valid; an error
+		// here is a programming bug, surfaced through the cell quarantine.
+		panic(err)
+	}
+	if rep.Found != nil {
+		cell.Found = true
+		cell.MinExecs = rep.Found.Index + 1
+		cell.Verdict = rep.Found.Detection.Verdict
+		return cell
 	}
 	cell.MinExecs = maxExecs
 	return cell
@@ -258,7 +291,7 @@ func guardedMinExecs(k goker.Kernel, spec Spec, cfg Config, seed int64) Cell {
 				done <- Cell{Bug: k.ID, Tool: spec.Name, Status: CellErr, Err: fmt.Sprint(r)}
 			}
 		}()
-		done <- minExecs(k, spec, cfg.maxExecs(), seed, cfg.Faults)
+		done <- minExecs(k, spec, cfg.maxExecs(), seed, cfg.Faults, cfg.Buffered, cfg.EarlyStop)
 	}()
 	watchdog := time.NewTimer(cfg.cellBudget())
 	defer watchdog.Stop()

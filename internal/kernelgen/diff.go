@@ -6,10 +6,12 @@ import (
 	"strings"
 
 	"goat/internal/cover"
+	"goat/internal/engine"
 	"goat/internal/goker"
 	"goat/internal/gtree"
 	"goat/internal/harness"
 	"goat/internal/sim"
+	"goat/internal/trace"
 )
 
 // DiffConfig bounds one differential campaign.
@@ -176,24 +178,53 @@ type violation struct {
 // examine sweeps one kernel across (seed, delay) pairs, feeding every
 // tool whose Spec matches the run's delay bound, and returns the first
 // violation (nil if all verdicts agree with the oracle).
+//
+// The sweep runs on the campaign engine in buffered mode: every tool and
+// the ground-truth oracle inspect the same full ECT per run, so runs
+// cannot stream trace-free, but the pool still recycles the trace buffer
+// across the whole grid.
 func examine(p *Prog, tools []harness.Spec, baseSeed int64, sweep int, runs *int, model *cover.Model) *violation {
 	delays := map[int]bool{}
 	for _, spec := range tools {
 		delays[spec.Delays] = true
 	}
+	// The (seed, delay) grid, in the sweep's canonical order.
+	type point struct {
+		seed int64
+		d    int
+	}
+	var grid []point
 	for s := 0; s < sweep; s++ {
-		seed := baseSeed + int64(s)
 		for d := 0; d <= maxDelay(delays); d++ {
-			if !delays[d] {
-				continue
+			if delays[d] {
+				grid = append(grid, point{seed: baseSeed + int64(s), d: d})
 			}
-			r := sim.Run(sim.Options{Seed: seed, Delays: d}, p.Main())
+		}
+	}
+	if len(grid) == 0 {
+		return nil
+	}
+
+	var hit *violation
+	_, err := engine.Run(engine.Config{
+		Prog: p.Main(),
+		Plan: func(i int, _ *engine.Feedback) sim.Options {
+			return sim.Options{Seed: grid[i].seed, Delays: grid[i].d}
+		},
+		Runs:      len(grid),
+		Buffered:  true,
+		NeedTrace: true,
+		Pool:      trace.NewPool(),
+		OnRun: func(fb *engine.Feedback) (bool, error) {
+			r := fb.Result
+			seed, d := grid[fb.Index].seed, grid[fb.Index].d
 			*runs++
 			if err := CheckGroundTruth(p, r); err != nil {
-				return &violation{
+				hit = &violation{
 					tool: "ground-truth", rule: "wait-for-graph",
 					detail: err.Error(), seed: seed, delays: d,
 				}
+				return true, nil
 			}
 			if model != nil && r.Trace != nil {
 				if tree, err := gtree.Build(r.Trace); err == nil {
@@ -206,12 +237,18 @@ func examine(p *Prog, tools []harness.Spec, baseSeed int64, sweep int, runs *int
 				}
 				if v := checkVerdict(spec, p.Oracle, r); v != nil {
 					v.seed, v.delays = seed, d
-					return v
+					hit = v
+					return true, nil
 				}
 			}
-		}
+			return false, nil
+		},
+	})
+	if err != nil {
+		// The grid is static and OnRun never errors; defensive only.
+		panic(err)
 	}
-	return nil
+	return hit
 }
 
 func maxDelay(delays map[int]bool) int {

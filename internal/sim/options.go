@@ -23,7 +23,10 @@
 //     or normal termination).
 package sim
 
-import "goat/internal/fault"
+import (
+	"goat/internal/fault"
+	"goat/internal/trace"
+)
 
 // Pick selects the runnable-queue discipline.
 type Pick uint8
@@ -40,6 +43,24 @@ const (
 type Options struct {
 	// Seed feeds every random decision (dispatch, select choice, yields).
 	Seed int64
+
+	// Sinks are streaming consumers of the execution's event stream: each
+	// emitted event is stamped with its logical timestamp and delivered to
+	// every sink, in order, exactly as it would be appended to the ECT.
+	// Combined with NoTrace this runs the pipeline trace-free (online
+	// detectors and coverage only, no event buffering); with tracing on,
+	// the buffered ECT and the sink streams are byte-identical views of
+	// the same execution. A sink implementing trace.Stopper may request an
+	// early stop: the scheduler halts the world at the next dispatch
+	// boundary and the run is classified OutcomeStopped. Sinks never draw
+	// scheduling decisions, so Record/Replay scripts are unaffected.
+	Sinks []trace.Sink
+
+	// ECT, when non-nil, is used (after Reset) as the execution's trace
+	// buffer instead of allocating a fresh one — the pooled-buffer mode
+	// campaigns use to recycle event storage across executions (see
+	// trace.Pool). Ignored when NoTrace is set.
+	ECT *trace.Trace
 
 	// Delays is the paper's bound D: the maximum number of forced yields
 	// injected at CU points during the execution. 0 disables injection.

@@ -39,7 +39,11 @@ type Scheduler struct {
 	timers   timerHeap
 	timerSeq int64
 
-	ect *trace.Trace
+	ect      *trace.Trace
+	sinks    []trace.Sink
+	stoppers []trace.Stopper
+	stopArr  [4]trace.Stopper // inline backing for stoppers (alloc-free)
+	stopReq  bool             // a sink requested an early stop
 
 	nextGID trace.GoID
 	nextRes trace.ResID
@@ -83,7 +87,19 @@ func newScheduler(opts Options) *Scheduler {
 		}
 	}
 	if !opts.NoTrace {
-		s.ect = trace.New(1024)
+		if opts.ECT != nil {
+			opts.ECT.Reset()
+			s.ect = opts.ECT
+		} else {
+			s.ect = trace.New(1024)
+		}
+	}
+	s.sinks = opts.Sinks
+	s.stoppers = s.stopArr[:0]
+	for _, snk := range s.sinks {
+		if st, ok := snk.(trace.Stopper); ok {
+			s.stoppers = append(s.stoppers, st)
+		}
 	}
 	s.faults = fault.NewPlan(opts.Seed, opts.Faults)
 	return s
@@ -109,21 +125,42 @@ func (s *Scheduler) NewResID() trace.ResID {
 // Now returns the current virtual time in nanoseconds.
 func (s *Scheduler) Now() int64 { return s.now }
 
-// Emit appends an event to the ECT, stamping it with the next logical
-// timestamp. It is a no-op when tracing is disabled.
+// Emit stamps an event with the next logical timestamp and hands it to
+// the configured sink chain: the buffered ECT (unless tracing is
+// disabled) and every streaming sink, which all observe the identical
+// event sequence. After delivery any early-stop sinks are polled, so an
+// online detector halts the world at the next dispatch boundary once its
+// verdict is decided.
 func (s *Scheduler) Emit(e trace.Event) {
 	if s.stopping {
 		// stopWorld unwinding: defers in user code still run (unlocks,
 		// once completions) but the world is already classified — their
-		// side-effects must not leak into the recorded ECT.
+		// side-effects must not leak into the recorded ECT or the sinks.
 		return
 	}
 	s.clock++
-	if s.ect == nil {
+	if s.ect == nil && len(s.sinks) == 0 {
 		return
 	}
 	e.Ts = s.clock
-	s.ect.Append(e)
+	if s.ect != nil {
+		s.ect.Append(e)
+	}
+	for _, snk := range s.sinks {
+		snk.Event(e)
+	}
+}
+
+// pollStoppers asks the early-stop sinks whether the world should halt.
+// It runs at dispatch boundaries, not per event: a goroutine's current
+// slice finishes undisturbed, and the stop lands before the next one.
+func (s *Scheduler) pollStoppers() {
+	for _, st := range s.stoppers {
+		if st.StopRequested() {
+			s.stopReq = true
+			return
+		}
+	}
 }
 
 func (s *Scheduler) newG(name string, parent trace.GoID, system bool, file string, line int) *G {
@@ -365,6 +402,13 @@ loop:
 			outcome = OutcomeCrash
 			break
 		}
+		s.pollStoppers()
+		if s.stopReq {
+			// A streaming sink decided its verdict: halt the world here
+			// instead of running the schedule out.
+			outcome = OutcomeStopped
+			break
+		}
 		if mainG.state == StateDone && !s.mainEnded {
 			s.mainEnded = true
 			// Main returned: surviving goroutines get a bounded drain to
@@ -404,6 +448,9 @@ loop:
 		outcome = OutcomeCrash
 	}
 	s.stopWorld()
+	for _, snk := range s.sinks {
+		snk.Close()
+	}
 	return s.result(outcome, mainG)
 }
 
@@ -449,6 +496,8 @@ func (s *Scheduler) result(outcome Outcome, mainG *G) *Result {
 		MainEnded: mainG.state == StateDone,
 		PanicVal:  s.panicVal,
 		PanicG:    s.panicG,
+
+		EarlyStopped: outcome == OutcomeStopped,
 	}
 	for _, id := range s.order {
 		g := s.gs[id]

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"goat/internal/trace"
+)
+
+func streamProg(g *G) {
+	g.Go("child", func(c *G) {
+		c.Yield()
+	})
+	g.Yield()
+	g.Yield()
+}
+
+func TestSinkObservesBufferedStream(t *testing.T) {
+	ref := Run(quiet(), streamProg)
+	sink := trace.New(0)
+	opts := quiet()
+	opts.NoTrace = true
+	opts.Sinks = []trace.Sink{sink}
+	r := Run(opts, streamProg)
+	if r.Trace != nil {
+		t.Fatal("NoTrace run still buffered a trace")
+	}
+	if !reflect.DeepEqual(sink.Events, ref.Trace.Events) {
+		t.Fatalf("sink stream differs from buffered trace:\n%v\nvs\n%v", sink.Events, ref.Trace.Events)
+	}
+}
+
+// stopAfterSink requests an early stop once it has seen n events.
+type stopAfterSink struct {
+	after  int
+	events int
+	closed bool
+}
+
+func (s *stopAfterSink) Event(trace.Event)   { s.events++ }
+func (s *stopAfterSink) Close()              { s.closed = true }
+func (s *stopAfterSink) StopRequested() bool { return s.events >= s.after }
+
+func TestEarlyStopHaltsTheWorld(t *testing.T) {
+	spin := func(g *G) {
+		for i := 0; i < 200; i++ {
+			g.Yield()
+		}
+	}
+	full := Run(quiet(), spin)
+	if full.Outcome != OutcomeOK {
+		t.Fatalf("reference outcome %v", full.Outcome)
+	}
+
+	sink := &stopAfterSink{after: 5}
+	opts := quiet()
+	opts.Sinks = []trace.Sink{sink}
+	r := Run(opts, spin)
+	if r.Outcome != OutcomeStopped || !r.EarlyStopped {
+		t.Fatalf("outcome %v earlyStopped %v, want STOP", r.Outcome, r.EarlyStopped)
+	}
+	if r.Outcome.String() != "STOP" {
+		t.Fatalf("outcome string %q", r.Outcome)
+	}
+	if r.Steps >= full.Steps {
+		t.Fatalf("early stop did not shorten the run: %d vs %d steps", r.Steps, full.Steps)
+	}
+	if !sink.closed {
+		t.Fatal("sink not closed after the stop")
+	}
+	// The partial stream is still a prefix of the full one.
+	if r.Trace.Len() >= full.Trace.Len() {
+		t.Fatalf("stopped trace has %d events, full %d", r.Trace.Len(), full.Trace.Len())
+	}
+	if !reflect.DeepEqual(r.Trace.Events, full.Trace.Events[:r.Trace.Len()]) {
+		t.Fatal("stopped trace is not a prefix of the full trace")
+	}
+}
+
+func TestPooledECTReuse(t *testing.T) {
+	pool := trace.NewPool()
+	opts := quiet()
+	opts.ECT = pool.Get()
+	r1 := Run(opts, streamProg)
+	if r1.Trace != opts.ECT {
+		t.Fatal("run did not record into the provided buffer")
+	}
+	ref := append([]trace.Event{}, r1.Trace.Events...)
+	pool.Put(r1.Trace)
+
+	reused := pool.Get()
+	if reused != opts.ECT {
+		t.Fatal("pool did not recycle the buffer")
+	}
+	opts2 := quiet()
+	opts2.ECT = reused
+	r2 := Run(opts2, streamProg)
+	if r2.Trace != reused {
+		t.Fatal("second run did not record into the recycled buffer")
+	}
+	if !reflect.DeepEqual(r2.Trace.Events, ref) {
+		t.Fatal("recycled-buffer run differs from the first run")
+	}
+}
+
+func TestPooledECTIgnoredWhenNoTrace(t *testing.T) {
+	pool := trace.NewPool()
+	opts := quiet()
+	opts.NoTrace = true
+	opts.ECT = pool.Get()
+	r := Run(opts, streamProg)
+	if r.Trace != nil {
+		t.Fatal("NoTrace must win over a provided ECT buffer")
+	}
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+func ev(ts int64) Event {
+	return Event{Ts: ts, G: 1, Type: EvGoSched}
+}
+
+func TestTraceIsASink(t *testing.T) {
+	var _ Sink = New(0)
+	tr := New(0)
+	tr.Event(ev(1))
+	tr.Event(ev(2))
+	tr.Close()
+	if tr.Len() != 2 || tr.Events[1].Ts != 2 {
+		t.Fatalf("trace sink recorded %v", tr.Events)
+	}
+	tr.Reset()
+	if tr.Len() != 0 || cap(tr.Events) < 2 {
+		t.Fatalf("Reset must truncate in place (len %d, cap %d)", tr.Len(), cap(tr.Events))
+	}
+}
+
+type recordingSink struct {
+	events []Event
+	closed int
+	stop   bool
+}
+
+func (s *recordingSink) Event(e Event)       { s.events = append(s.events, e) }
+func (s *recordingSink) Close()              { s.closed++ }
+func (s *recordingSink) StopRequested() bool { return s.stop }
+
+func TestMultiSinkFansOut(t *testing.T) {
+	a, b := &recordingSink{}, &recordingSink{}
+	m := NewMultiSink(a, b)
+	m.Event(ev(1))
+	m.Event(ev(2))
+	m.Close()
+	for i, s := range []*recordingSink{a, b} {
+		if len(s.events) != 2 || s.closed != 1 {
+			t.Fatalf("member %d: %d event(s), %d close(s)", i, len(s.events), s.closed)
+		}
+	}
+	if m.StopRequested() {
+		t.Fatal("no member requested a stop")
+	}
+	b.stop = true
+	if !m.StopRequested() {
+		t.Fatal("member stop request not propagated")
+	}
+}
+
+func TestPoolRecyclesBuffers(t *testing.T) {
+	p := NewPool()
+	first := p.Get()
+	for ts := int64(1); ts <= 100; ts++ {
+		first.Event(ev(ts))
+	}
+	p.Put(first)
+	got := p.Get()
+	if got != first {
+		t.Fatal("Get after Put must return the recycled buffer")
+	}
+	if got.Len() != 0 || cap(got.Events) < 100 {
+		t.Fatalf("recycled buffer: len %d, cap %d", got.Len(), cap(got.Events))
+	}
+	// An exhausted pool hands out fresh traces.
+	if other := p.Get(); other == first {
+		t.Fatal("pool handed the same buffer out twice")
+	}
+	p.Put(nil) // must be a no-op
+}
+
+func TestRingSinkPartialFill(t *testing.T) {
+	r := NewRingSink(4)
+	r.Event(ev(1))
+	r.Event(ev(2))
+	if r.Len() != 2 || r.Dropped() != 0 {
+		t.Fatalf("len %d dropped %d", r.Len(), r.Dropped())
+	}
+	snap := r.Snapshot()
+	if want := []Event{ev(1), ev(2)}; !reflect.DeepEqual(snap.Events, want) {
+		t.Fatalf("snapshot %v, want %v", snap.Events, want)
+	}
+}
+
+func TestRingSinkWrapsAndKeepsNewest(t *testing.T) {
+	r := NewRingSink(4)
+	for ts := int64(1); ts <= 10; ts++ {
+		r.Event(ev(ts))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len %d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped %d, want 6", r.Dropped())
+	}
+	snap := r.Snapshot()
+	want := []Event{ev(7), ev(8), ev(9), ev(10)}
+	if !reflect.DeepEqual(snap.Events, want) {
+		t.Fatalf("snapshot %v, want %v", snap.Events, want)
+	}
+	// The snapshot is a copy: the recorder keeps running.
+	r.Event(ev(11))
+	if snap.Len() != 4 || r.Snapshot().Events[3] != ev(11) {
+		t.Fatal("snapshot aliased the live ring")
+	}
+}
+
+func TestRingSinkMinimumCapacity(t *testing.T) {
+	r := NewRingSink(0)
+	r.Event(ev(1))
+	r.Event(ev(2))
+	if r.Len() != 1 || r.Snapshot().Events[0] != ev(2) {
+		t.Fatalf("ring of capacity 1: %v", r.Snapshot().Events)
+	}
+}

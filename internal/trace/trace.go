@@ -84,7 +84,9 @@ func (t *Trace) Goroutines() []GoID {
 }
 
 // ByGoroutine returns the per-goroutine projections of the trace, preserving
-// the total order within each goroutine.
+// the total order within each goroutine. The result is a bare map: ranging
+// over it is nondeterministic, so renderers must iterate in Goroutines()
+// order instead.
 func (t *Trace) ByGoroutine() map[GoID][]Event {
 	m := map[GoID][]Event{}
 	for _, e := range t.Events {

@@ -7,16 +7,19 @@
 #   scripts/benchguard.sh -update    # re-run and rewrite the baseline
 #
 # The guarded set is the stable microbenchmarks plus the small table
-# pipelines — not the full campaign benchmarks, whose multi-second
-# runtimes would drown the signal in runner noise.
+# pipelines and the streaming-vs-buffered campaign cell — not the full
+# campaign benchmarks, whose multi-second runtimes would drown the signal
+# in runner noise. -benchmem is on so the guard also pins allocs/op,
+# which is deterministic and catches a stray per-event allocation even on
+# noisy runners.
 set -eu
 cd "$(dirname "$0")/.."
 
-BENCHES='^(BenchmarkTable1|BenchmarkTable3|BenchmarkSchedulerSpawnJoin|BenchmarkChannelPingPong|BenchmarkSelectTwoReady|BenchmarkDetectGoat)$'
+BENCHES='^(BenchmarkTable1|BenchmarkTable3|BenchmarkSchedulerSpawnJoin|BenchmarkChannelPingPong|BenchmarkSelectTwoReady|BenchmarkDetectGoat|BenchmarkCampaignCellBuffered|BenchmarkCampaignCellStreaming)$'
 OUT="$(mktemp)"
 trap 'rm -f "$OUT"' EXIT
 
-go test -run='^$' -bench="$BENCHES" -benchtime=0.2s -count=1 . | tee "$OUT"
+go test -run='^$' -bench="$BENCHES" -benchtime=0.2s -benchmem -count=1 . | tee "$OUT"
 
 if [ "${1:-}" = "-update" ]; then
     go run ./cmd/goatbench -compare "$OUT" -update-baseline
