@@ -16,7 +16,9 @@ import (
 	"goat/internal/goker"
 	"goat/internal/gtree"
 	"goat/internal/harness"
+	"goat/internal/hb"
 	"goat/internal/sim"
+	"goat/internal/systematic"
 	"goat/internal/trace"
 )
 
@@ -260,4 +262,85 @@ func BenchmarkMetricSaturation(b *testing.B) {
 	}
 	b.ReportMetric(float64(reqUnits), "req-units")
 	b.ReportMetric(float64(pairUnits), "syncpair-units")
+}
+
+// systematicBenchKernels is a fixed mix of kernels whose bugs need the
+// yield search (plus two that fall to the base schedule), so the
+// explorer benchmarks exercise both the sweep and the random phase.
+var systematicBenchKernels = []string{
+	"moby_28462", "serving_2137", "moby_30408",
+	"etcd_7443", "cockroach_10214", "kubernetes_11298",
+}
+
+func benchSystematic(b *testing.B, pruned bool) {
+	var kernels []goker.Kernel
+	for _, id := range systematicBenchKernels {
+		k, ok := goker.ByID(id)
+		if !ok {
+			b.Fatalf("kernel %s missing", id)
+		}
+		kernels = append(kernels, k)
+	}
+	execs, found := 0, 0
+	for i := 0; i < b.N; i++ {
+		execs, found = 0, 0
+		for _, k := range kernels {
+			cfg := systematic.Config{Seed: 1, MaxRuns: 400}
+			if pruned {
+				f, st := systematic.ExplorePruned(k.Main, cfg)
+				execs += st.Runs
+				if f != nil {
+					found++
+				}
+			} else {
+				f := systematic.Explore(k.Main, cfg)
+				if f != nil {
+					execs += f.Runs
+					found++
+				} else {
+					execs += cfg.MaxRuns
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(execs), "executions")
+	b.ReportMetric(float64(found), "bugs-found")
+}
+
+// BenchmarkSystematicExplore is the exhaustive delay-bounded search over
+// the fixed kernel mix.
+func BenchmarkSystematicExplore(b *testing.B) { benchSystematic(b, false) }
+
+// BenchmarkSystematicExplorePruned is the same search with happens-before
+// schedule pruning: identical findings, fewer executions (the
+// "executions" metric is the claim).
+func BenchmarkSystematicExplorePruned(b *testing.B) { benchSystematic(b, true) }
+
+// BenchmarkHBEngine measures the streaming happens-before engine's
+// throughput over a buffered leaking trace.
+func BenchmarkHBEngine(b *testing.B) {
+	k, _ := goker.ByID("etcd_7443")
+	r := goker.Run(k, sim.Options{Seed: 1, Delays: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g := hb.FromTrace(r.Trace, hb.Full); g.Events == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+// BenchmarkPredictMine measures mining one passing D=0 trace for
+// predicted hazards (the cmd/goat -predict path).
+func BenchmarkPredictMine(b *testing.B) {
+	k, _ := goker.ByID("cockroach_10214")
+	r := goker.Run(k, sim.Options{Seed: 1})
+	if r.Outcome != sim.OutcomeOK {
+		b.Fatal("expected a passing execution")
+	}
+	var n int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n = len(detect.Predict(r.Trace))
+	}
+	b.ReportMetric(float64(n), "hazards")
 }

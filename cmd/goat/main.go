@@ -49,10 +49,12 @@ func main() {
 		minimize  = flag.Bool("minimize", false, "with -bug: systematic search + minimal yield placement")
 		htmlOut   = flag.String("htmlout", "", "with -bug: write an HTML timeline of the detecting run")
 		faultSpec = flag.String("faults", "", `with -bug: fault-injection spec, e.g. "stall=2,cancel=1,skew=0.3,slow=2,panic=1"`)
+		predict   = flag.Bool("predict", false, "with -bug: mine one passing execution for predicted blocking hazards")
+		prune     = flag.Bool("prune", false, "with -minimize: happens-before schedule pruning (skip equivalent yield placements)")
 	)
 	flag.Parse()
 
-	faults, err := validateFlags(*bug, *tool, *minimize, *traceOut, *htmlOut, *faultSpec)
+	faults, err := validateFlags(*bug, *tool, *minimize, *traceOut, *htmlOut, *faultSpec, *predict, *prune)
 	if err != nil {
 		fatal(err)
 	}
@@ -60,8 +62,12 @@ func main() {
 	switch {
 	case *list:
 		listKernels()
+	case *bug != "" && *predict:
+		if err := predictBug(*bug, *seed, *d); err != nil {
+			fatal(err)
+		}
 	case *bug != "" && *minimize:
-		if err := minimizeBug(*bug, *seed, *d, *freq); err != nil {
+		if err := minimizeBug(*bug, *seed, *d, *freq, *prune); err != nil {
 			fatal(err)
 		}
 	case *bug != "":
@@ -85,7 +91,7 @@ func fatal(err error) {
 
 // validateFlags rejects meaningless flag combinations up front with a
 // one-line error instead of silently ignoring them.
-func validateFlags(bug, tool string, minimize bool, traceOut, htmlOut, faultSpec string) (fault.Options, error) {
+func validateFlags(bug, tool string, minimize bool, traceOut, htmlOut, faultSpec string, predict, prune bool) (fault.Options, error) {
 	if bug == "" {
 		switch {
 		case minimize:
@@ -96,7 +102,15 @@ func validateFlags(bug, tool string, minimize bool, traceOut, htmlOut, faultSpec
 			return fault.Options{}, fmt.Errorf("-htmlout requires -bug")
 		case faultSpec != "":
 			return fault.Options{}, fmt.Errorf("-faults requires -bug")
+		case predict:
+			return fault.Options{}, fmt.Errorf("-predict requires -bug")
 		}
+	}
+	if prune && !minimize {
+		return fault.Options{}, fmt.Errorf("-prune requires -minimize")
+	}
+	if predict && (minimize || faultSpec != "") {
+		return fault.Options{}, fmt.Errorf("-predict cannot be combined with -minimize or -faults")
 	}
 	if _, err := detectorFor(tool); err != nil {
 		return fault.Options{}, fmt.Errorf("%v (want goat|builtin|lockdl|goleak)", err)
@@ -225,19 +239,59 @@ func runBug(id, tool string, d, freq, parallel int, seed int64, covFlag, raceOn 
 	return nil
 }
 
-// minimizeBug runs the systematic explorer and the schedule minimizer on
-// a kernel, printing the minimal yield placement that reproduces the bug.
-func minimizeBug(id string, seed int64, maxYields, maxRuns int) error {
+// predictBug runs one execution of a kernel and mines its trace for
+// predicted blocking hazards: bugs the schedule did not manifest but the
+// synchronization skeleton proves possible (-predict).
+func predictBug(id string, seed int64, d int) error {
 	k, ok := goker.ByID(id)
 	if !ok {
 		return fmt.Errorf("unknown bug %q (try -list)", id)
 	}
-	fmt.Printf("bug %s: systematic exploration (bound D=%d)...\n", k.ID, maxYieldsOrDefault(maxYields))
-	f := systematic.Explore(k.Main, systematic.Config{
+	fmt.Printf("bug %s (%s, %s deadlock): %s\n\n", k.ID, k.Project, k.Cause, k.Description)
+	r := sim.Run(sim.Options{Seed: seed, Delays: d}, k.Main)
+	det := detect.Predictive{}.Detect(r)
+	fmt.Printf("execution (seed %d, D=%d): outcome=%s\n", seed, d, r.Outcome)
+	if det.Found && r.Outcome.Buggy() {
+		fmt.Printf("\nbug manifested — no prediction needed:\n\n%s\n", report.Detection(r, det))
+		return nil
+	}
+	cands := detect.Predict(r.Trace)
+	if len(cands) == 0 {
+		fmt.Println("no predicted hazards in this trace")
+		return nil
+	}
+	fmt.Printf("\npredicted hazards (%d):\n", len(cands))
+	for _, c := range cands {
+		fmt.Printf("  %s\n", c)
+	}
+	return nil
+}
+
+// minimizeBug runs the systematic explorer and the schedule minimizer on
+// a kernel, printing the minimal yield placement that reproduces the bug.
+func minimizeBug(id string, seed int64, maxYields, maxRuns int, prune bool) error {
+	k, ok := goker.ByID(id)
+	if !ok {
+		return fmt.Errorf("unknown bug %q (try -list)", id)
+	}
+	mode := "systematic exploration"
+	if prune {
+		mode = "HB-pruned systematic exploration"
+	}
+	fmt.Printf("bug %s: %s (bound D=%d)...\n", k.ID, mode, maxYieldsOrDefault(maxYields))
+	cfg := systematic.Config{
 		Seed:      seed,
 		MaxYields: maxYields,
 		MaxRuns:   maxRuns,
-	})
+	}
+	var f *systematic.Finding
+	if prune {
+		var st systematic.PruneStats
+		f, st = systematic.ExplorePruned(k.Main, cfg)
+		fmt.Printf("pruning: %s\n", st)
+	} else {
+		f = systematic.Explore(k.Main, cfg)
+	}
 	if f == nil {
 		fmt.Println("no bug-triggering yield placement within the budget")
 		return nil

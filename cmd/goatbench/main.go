@@ -43,6 +43,7 @@ func main() {
 		faultSpec = flag.String("faults", "", `fault-injection spec for the table4 campaign, e.g. "stall=2,cancel=1"`)
 		budget    = flag.Duration("cellbudget", 0, "wall-clock watchdog per table4 cell (0 = default 30s)")
 		retries   = flag.Int("retries", 0, "fresh-seed retries for hung table4 cells (0 = default 1, negative = none)")
+		predict   = flag.Bool("predict", false, "add the predictive-detector POTENTIAL column to the table4 campaign")
 
 		compare    = flag.String("compare", "", "path to `go test -bench` output to compare against the baseline")
 		benchfile  = flag.String("benchfile", "BENCH_baseline.json", "benchmark baseline file")
@@ -76,14 +77,18 @@ func main() {
 	var tab *harness.TableIV
 	table4 := func() *harness.TableIV {
 		if tab == nil {
-			tab = harness.RunTableIV(harness.Config{
+			cfg := harness.Config{
 				MaxExecs:   *freq,
 				BaseSeed:   *seed,
 				Parallel:   *parallel,
 				Faults:     faults,
 				CellBudget: *budget,
 				Retries:    *retries,
-			})
+			}
+			if *predict {
+				cfg.Tools = harness.ToolsWithPredict()
+			}
+			tab = harness.RunTableIV(cfg)
 		}
 		return tab
 	}

@@ -171,7 +171,14 @@ func (cc *chanCore) recvReady() bool {
 
 // send is the core send path. When block is false it returns false instead
 // of parking. blocked reports whether the op parked before completing.
+// Completed non-blocking sends are marked with Aux=trace.AuxTryOp: the
+// predictive analyses must not mistake a TrySend — which can never
+// strand — for a send that could have parked.
 func (cc *chanCore) send(g *sim.G, v any, block bool, file string, line int) (completed bool) {
+	var aux int64
+	if !block {
+		aux = trace.AuxTryOp
+	}
 	if cc.closed {
 		panic("send on closed channel")
 	}
@@ -179,12 +186,12 @@ func (cc *chanCore) send(g *sim.G, v any, block bool, file string, line int) (co
 	if w := cc.popRecv(); w != nil {
 		w.val, w.ok = v, true
 		g.Ready(w.g, cc.id, nil)
-		g.Sched().Emit(trace.Event{G: g.ID(), Type: trace.EvChanSend, Res: cc.id, Peer: w.g.ID(), File: file, Line: line})
+		g.Sched().Emit(trace.Event{G: g.ID(), Type: trace.EvChanSend, Res: cc.id, Peer: w.g.ID(), Aux: aux, File: file, Line: line})
 		return true
 	}
 	if len(cc.buf) < cc.cap {
 		cc.buf = append(cc.buf, v)
-		g.Sched().Emit(trace.Event{G: g.ID(), Type: trace.EvChanSend, Res: cc.id, File: file, Line: line})
+		g.Sched().Emit(trace.Event{G: g.ID(), Type: trace.EvChanSend, Res: cc.id, Aux: aux, File: file, Line: line})
 		return true
 	}
 	if !block {

@@ -1,0 +1,125 @@
+package goker
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"goat/internal/detect"
+	"goat/internal/sim"
+)
+
+var updatePredict = flag.Bool("update-predict", false, "rewrite the predictive-detector golden file")
+
+// d0Options is the single passing execution the predictive detector
+// mines: the native FIFO-ish schedule at delay bound zero.
+func d0Options() sim.Options {
+	return sim.Options{Seed: 1, MaxSteps: 50000}
+}
+
+// TestPredictiveSoundness pins the predictive detector's behavior on the
+// whole suite in one golden file, and checks the two claims that make a
+// POTENTIAL verdict trustworthy:
+//
+//   - coverage: from one passing D=0 trace, at least 20 of the suite's
+//     bugs are flagged POTENTIAL;
+//   - soundness: every kernel flagged POTENTIAL is confirmed by a
+//     manifested detection somewhere in the D ≤ 3 sweep — a predicted
+//     hazard that no schedule can realize would be a false alarm.
+//
+// (The complementary zero-false-positive guarantee on bug-free programs
+// is enforced by TestPredictNoFalsePositivesOnSafeKernels over the
+// generated safe-kernel corpus in internal/kernelgen.)
+func TestPredictiveSoundness(t *testing.T) {
+	type line struct {
+		id   string
+		text string
+	}
+	var lines []line
+	var flagged []string
+	passing := 0
+	for _, k := range All() {
+		r := Run(k, d0Options())
+		if r.Outcome.Buggy() {
+			lines = append(lines, line{k.ID, fmt.Sprintf("%-22s MANIFEST %s", k.ID, r.Outcome)})
+			continue
+		}
+		passing++
+		cands := detect.Predict(r.Trace)
+		if len(cands) == 0 {
+			lines = append(lines, line{k.ID, fmt.Sprintf("%-22s MISS", k.ID)})
+			continue
+		}
+		flagged = append(flagged, k.ID)
+		kinds := make([]string, 0, len(cands))
+		for _, c := range cands {
+			kinds = append(kinds, c.Kind)
+		}
+		sort.Strings(kinds)
+		lines = append(lines, line{k.ID, fmt.Sprintf("%-22s POTENTIAL-%d %s", k.ID, len(cands), strings.Join(kinds, ","))})
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].id < lines[j].id })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# predictive detector on one D=0 trace per kernel (seed %d)\n", d0Options().Seed)
+	fmt.Fprintf(&b, "# %d kernels, %d passing at D=0, %d flagged POTENTIAL\n", len(All()), passing, len(flagged))
+	for _, l := range lines {
+		b.WriteString(l.text)
+		b.WriteString("\n")
+	}
+	checkPredictGolden(t, b.String())
+
+	if len(flagged) < 20 {
+		t.Errorf("only %d kernels flagged POTENTIAL from a single D=0 trace, want >= 20", len(flagged))
+	}
+
+	// Soundness: every POTENTIAL must be realizable. The suite consists
+	// entirely of real bugs, so a flag is confirmed when some schedule in
+	// the D<=3 sweep manifests a detection.
+	for _, id := range flagged {
+		k, _ := ByID(id)
+		if !confirmManifest(k) {
+			t.Errorf("%s: flagged POTENTIAL but no manifested detection in the D<=3 sweep (false alarm)", id)
+		}
+	}
+}
+
+// confirmManifest sweeps delay bounds 1..3 for a schedule on which the
+// manifest detector fires.
+func confirmManifest(k Kernel) bool {
+	goat := detect.Goat{}
+	for d := 1; d <= 3; d++ {
+		for seed := int64(1); seed <= 150; seed++ {
+			r := Run(k, sim.Options{Seed: seed, Delays: d, MaxSteps: 50000})
+			if goat.Detect(r).Found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func checkPredictGolden(t *testing.T, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "predict_d0.golden")
+	if *updatePredict {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update-predict to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("predictive report differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}

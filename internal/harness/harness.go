@@ -69,6 +69,18 @@ func DiffTools(dmax int) []Spec {
 // baselines plus GoAT at D = 0..4.
 func DefaultTools() []Spec { return DiffTools(4) }
 
+// PredictSpec returns the predictive-detector column: one native (D=0)
+// schedule per execution, mined for latent blocking hazards. A passing
+// execution that contains predicted hazards is reported found with a
+// POTENTIAL-k verdict.
+func PredictSpec() Spec {
+	return Spec{Name: "predict", Detector: detect.Predictive{}, NeedTrace: true}
+}
+
+// ToolsWithPredict returns DefaultTools plus the predictive column.
+// DefaultTools itself stays unchanged so existing goldens are stable.
+func ToolsWithPredict() []Spec { return append(DefaultTools(), PredictSpec()) }
+
 // Config bounds one evaluation campaign.
 type Config struct {
 	// MaxExecs is the per-(bug, tool) execution budget (paper: 1000).

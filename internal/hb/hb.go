@@ -1,0 +1,453 @@
+// Package hb is the shared happens-before layer: a vector-clock engine
+// over the ECT event vocabulary that every trace-level analysis builds
+// on. It grew out of the clock core that was private to internal/race;
+// promoting it lets the race checker, the predictive blocking detector
+// and the systematic explorer's schedule pruning share one definition of
+// "ordered", so a fixed edge rule fixes every client at once.
+//
+// The engine is a streaming trace.Sink: feed it the event sequence of an
+// execution (live from the scheduler, or replayed from a buffered trace —
+// the two are byte-identical views) and it maintains one vector clock per
+// goroutine, deriving synchronization edges from the events:
+//
+//   - program order within each goroutine;
+//   - EvGoCreate → the child's first event;
+//   - every EvGoUnblock (the waker's clock flows into the woken
+//     goroutine), which covers rendezvous channels, mutex handoff,
+//     WaitGroup release, Cond signal/broadcast and Once completion;
+//   - buffered channels: the k-th send happens-before the k-th receive
+//     (FIFO), and a close happens-before every receive that observes it;
+//   - mutexes: each release's clock flows into every later acquisition of
+//     the same lock (read acquisitions included — a deliberate
+//     over-approximation that cannot produce false positives for
+//     lock-protected data);
+//   - WaitGroup: every counter-decrementing Add flows into each Wait.
+//
+// Two edge modes are provided. Full applies every rule above — the
+// relation a race checker wants, where anything this schedule ordered is
+// ordered. Must drops the lock-induced edges (mutex release→acquire and
+// lock-kind unblocks): those edges exist only because *this* schedule
+// acquired the locks in that order, and a predictive analysis asking
+// "could another schedule reverse these?" must not let them mask the
+// answer. Must-concurrent events are reorderable candidates; the
+// remaining edges (creation, channel, waitgroup, wakeup) are forced by
+// the program itself.
+//
+// Scheduling-noise events (EvGoSched, EvGoPreempt) neither tick clocks
+// nor enter the footprint: two executions that differ only in where the
+// scheduler yielded have identical clocks and footprints, which is
+// exactly what the HB-pruned systematic explorer keys on.
+package hb
+
+import (
+	"sort"
+
+	"goat/internal/trace"
+)
+
+// VC is a vector clock mapping goroutine to logical time.
+type VC map[trace.GoID]int64
+
+// Clone returns an independent copy of the clock.
+func (v VC) Clone() VC {
+	out := make(VC, len(v))
+	for g, t := range v {
+		out[g] = t
+	}
+	return out
+}
+
+// Join folds other into v (pointwise max).
+func (v VC) Join(other VC) {
+	for g, t := range other {
+		if t > v[g] {
+			v[g] = t
+		}
+	}
+}
+
+// Leq reports whether v happens-before-or-equals other (pointwise ≤).
+func (v VC) Leq(other VC) bool {
+	for g, t := range v {
+		if t > other[g] {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports that neither clock is ordered before the other.
+func (v VC) Concurrent(other VC) bool {
+	return !v.Leq(other) && !other.Leq(v)
+}
+
+// Mode selects which synchronization edges the engine applies.
+type Mode uint8
+
+const (
+	// Full applies every edge rule — the relation of the race checker:
+	// everything this schedule ordered is ordered.
+	Full Mode = iota
+	// Must drops the lock-induced edges (mutex release→acquire joins and
+	// GoUnblock joins whose resource is a lock): the relation of the
+	// predictive analyses, where lock acquisition order is treated as
+	// reorderable by another schedule.
+	Must
+)
+
+// resKind tags a resource by the primitive family its events revealed,
+// so Must mode can tell a lock handoff from a channel wakeup.
+type resKind uint8
+
+const (
+	kindUnknown resKind = iota
+	kindLock
+	kindChan
+	kindCond
+	kindWg
+)
+
+// Engine is the streaming happens-before engine. The zero value is not
+// usable; construct with NewEngine. It implements trace.Sink.
+type Engine struct {
+	mode   Mode
+	clocks map[trace.GoID]VC
+
+	lockVC  map[trace.ResID]VC   // released-lock clocks (Full mode)
+	closeVC map[trace.ResID]VC   // channel-close clocks
+	sendVC  map[trace.ResID][]VC // FIFO of send clocks per channel
+	wgVC    map[trace.ResID]VC   // WaitGroup Done accumulation
+	kinds   map[trace.ResID]resKind
+
+	events    int
+	footprint uint64
+
+	// Observer, when set before streaming, is called for every
+	// clock-ticking event after its edges have been applied, with the
+	// acting goroutine's current clock. The clock is borrowed: observers
+	// that keep it must Clone.
+	Observer func(e trace.Event, vc VC)
+}
+
+// NewEngine returns an empty engine in the given mode.
+func NewEngine(mode Mode) *Engine {
+	return &Engine{
+		mode:    mode,
+		clocks:  map[trace.GoID]VC{},
+		lockVC:  map[trace.ResID]VC{},
+		closeVC: map[trace.ResID]VC{},
+		sendVC:  map[trace.ResID][]VC{},
+		wgVC:    map[trace.ResID]VC{},
+		kinds:   map[trace.ResID]resKind{},
+	}
+}
+
+// Reset returns the engine to its initial state (keeping its mode and
+// observer), so a campaign can recycle one engine across executions.
+func (en *Engine) Reset() {
+	clear(en.clocks)
+	clear(en.lockVC)
+	clear(en.closeVC)
+	clear(en.sendVC)
+	clear(en.wgVC)
+	clear(en.kinds)
+	en.events = 0
+	en.footprint = 0
+}
+
+// Events returns how many clock-ticking events the engine has consumed.
+func (en *Engine) Events() int { return en.events }
+
+// ClockOf returns the live clock of g (borrowed — Clone to keep).
+func (en *Engine) ClockOf(g trace.GoID) VC { return en.clockOf(g) }
+
+func (en *Engine) clockOf(g trace.GoID) VC {
+	if c, ok := en.clocks[g]; ok {
+		return c
+	}
+	c := VC{}
+	en.clocks[g] = c
+	return c
+}
+
+// relevant reports whether the event type participates in the
+// happens-before relation. Pure scheduling noise does not: a forced or
+// natural yield changes where the processor went, not what the program
+// synchronized on.
+func relevant(t trace.Type) bool {
+	return t != trace.EvGoSched && t != trace.EvGoPreempt
+}
+
+// markKind records the primitive family a resource was seen used as.
+func (en *Engine) markKind(res trace.ResID, k resKind) {
+	if res != 0 && en.kinds[res] == kindUnknown {
+		en.kinds[res] = k
+	}
+}
+
+// Event implements trace.Sink: tick the acting goroutine's clock, apply
+// the event's synchronization edges, fold the event into the footprint.
+func (en *Engine) Event(e trace.Event) {
+	if !relevant(e.Type) {
+		return
+	}
+	vc := en.clockOf(e.G)
+	vc[e.G]++
+
+	switch e.Type {
+	case trace.EvGoCreate:
+		child := vc.Clone()
+		child[e.Peer] = child[e.Peer] + 1
+		en.clocks[e.Peer] = child
+	case trace.EvGoUnblock:
+		if e.Peer != 0 && e.Peer != e.G {
+			if en.mode == Must && en.kinds[e.Res] == kindLock {
+				break // lock handoff: schedule-induced, not a must edge
+			}
+			en.clockOf(e.Peer).Join(vc)
+		}
+	case trace.EvGoBlock:
+		switch e.BlockReason() {
+		case trace.BlockSend:
+			// A parked sender's pre-park clock is what the eventual
+			// receiver must inherit; its own ChanSend event is only
+			// emitted after it wakes, too late for FIFO alignment.
+			en.markKind(e.Res, kindChan)
+			en.sendVC[e.Res] = append(en.sendVC[e.Res], vc.Clone())
+		case trace.BlockRecv:
+			en.markKind(e.Res, kindChan)
+		case trace.BlockMutex, trace.BlockRMutex:
+			en.markKind(e.Res, kindLock)
+		case trace.BlockCond:
+			en.markKind(e.Res, kindCond)
+		case trace.BlockWaitGroup:
+			en.markKind(e.Res, kindWg)
+		}
+	case trace.EvChanMake:
+		en.markKind(e.Res, kindChan)
+	case trace.EvChanSend:
+		// Direct handoffs to a parked receiver (Peer != 0) are covered
+		// by the EvGoUnblock edge; post-wake sends (Blocked) already
+		// pushed their clock at park time.
+		en.markKind(e.Res, kindChan)
+		if !e.Blocked && e.Peer == 0 {
+			en.sendVC[e.Res] = append(en.sendVC[e.Res], vc.Clone())
+		}
+	case trace.EvChanRecv:
+		// A receiver that parked got its value by direct delivery and
+		// its ordering via EvGoUnblock; only completed-in-place
+		// receives consume a queued send clock.
+		en.markKind(e.Res, kindChan)
+		if !e.Blocked && e.Aux == 1 {
+			if q := en.sendVC[e.Res]; len(q) > 0 {
+				vc.Join(q[0])
+				en.sendVC[e.Res] = q[1:]
+			}
+		}
+		if e.Aux == 0 { // receive observed the close
+			if cvc, ok := en.closeVC[e.Res]; ok {
+				vc.Join(cvc)
+			}
+		}
+	case trace.EvSelectCase:
+		// Select clauses mirror the plain-channel rules; blocked
+		// clauses rely on the EvGoUnblock edge alone.
+		en.markKind(e.Res, kindChan)
+		if e.Blocked {
+			break
+		}
+		if e.Str == "send" && e.Peer == 0 {
+			en.sendVC[e.Res] = append(en.sendVC[e.Res], vc.Clone())
+		}
+		if e.Str == "recv" {
+			if q := en.sendVC[e.Res]; len(q) > 0 {
+				vc.Join(q[0])
+				en.sendVC[e.Res] = q[1:]
+			}
+		}
+	case trace.EvChanClose:
+		en.markKind(e.Res, kindChan)
+		en.closeVC[e.Res] = vc.Clone()
+	case trace.EvMutexUnlock, trace.EvRWUnlock, trace.EvRUnlock:
+		en.markKind(e.Res, kindLock)
+		if en.mode == Must {
+			break
+		}
+		acc, ok := en.lockVC[e.Res]
+		if !ok {
+			acc = VC{}
+			en.lockVC[e.Res] = acc
+		}
+		acc.Join(vc)
+	case trace.EvMutexLock, trace.EvRWLock, trace.EvRLock:
+		en.markKind(e.Res, kindLock)
+		if en.mode == Must {
+			break
+		}
+		if acc, ok := en.lockVC[e.Res]; ok {
+			vc.Join(acc)
+		}
+	case trace.EvWgAdd:
+		en.markKind(e.Res, kindWg)
+		if e.Aux < 0 {
+			acc, ok := en.wgVC[e.Res]
+			if !ok {
+				acc = VC{}
+				en.wgVC[e.Res] = acc
+			}
+			acc.Join(vc)
+		}
+	case trace.EvWgWait:
+		en.markKind(e.Res, kindWg)
+		if acc, ok := en.wgVC[e.Res]; ok {
+			vc.Join(acc)
+		}
+	case trace.EvCondWait, trace.EvCondSignal, trace.EvCondBroadcast:
+		en.markKind(e.Res, kindCond)
+	}
+
+	en.events++
+	en.footprint += eventHash(e, vc)
+	if en.Observer != nil {
+		en.Observer(e, vc)
+	}
+}
+
+// Close implements trace.Sink.
+func (en *Engine) Close() {}
+
+// Footprint returns the running HB-equivalence fingerprint: an
+// order-independent hash of every consumed event together with its
+// vector clock. Two executions of the same program whose traces are
+// interleavings of the same happens-before partial order fold to the
+// same footprint, whatever total order the scheduler picked; schedule
+// noise (yields, preemptions) is invisible to it. The converse holds
+// only up to 64-bit hashing, so clients treat footprint equality as
+// "already explored", never as a proof of difference.
+func (en *Engine) Footprint() uint64 { return en.footprint }
+
+// Graph is an immutable snapshot of the happens-before state at the end
+// of a stream: the final clock of every goroutine plus the footprint.
+type Graph struct {
+	Mode      Mode
+	Clocks    map[trace.GoID]VC
+	Events    int
+	Footprint uint64
+}
+
+// Snapshot clones the engine state into a Graph.
+func (en *Engine) Snapshot() *Graph {
+	g := &Graph{
+		Mode:      en.mode,
+		Clocks:    make(map[trace.GoID]VC, len(en.clocks)),
+		Events:    en.events,
+		Footprint: en.footprint,
+	}
+	for id, vc := range en.clocks {
+		g.Clocks[id] = vc.Clone()
+	}
+	return g
+}
+
+// Goroutines returns the goroutines of the snapshot in sorted order.
+func (g *Graph) Goroutines() []trace.GoID {
+	out := make([]trace.GoID, 0, len(g.Clocks))
+	for id := range g.Clocks {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Equal reports whether two snapshots carry identical clocks, event
+// counts and footprints.
+func (g *Graph) Equal(o *Graph) bool {
+	if g.Events != o.Events || g.Footprint != o.Footprint || len(g.Clocks) != len(o.Clocks) {
+		return false
+	}
+	for id, vc := range g.Clocks {
+		ovc, ok := o.Clocks[id]
+		if !ok || len(vc) != len(ovc) {
+			return false
+		}
+		if !vc.Leq(ovc) || !ovc.Leq(vc) {
+			return false
+		}
+	}
+	return true
+}
+
+// FromTrace replays a buffered trace through a fresh engine and returns
+// the snapshot — the post-hoc entry point, byte-equivalent to streaming.
+func FromTrace(tr *trace.Trace, mode Mode) *Graph {
+	en := NewEngine(mode)
+	if tr != nil {
+		for _, e := range tr.Events {
+			en.Event(e)
+		}
+	}
+	return en.Snapshot()
+}
+
+// ---------------------------------------------------------------------
+// Footprint hashing.
+
+// mix is the splitmix64 finalizer: a cheap avalanche so that summing
+// per-event hashes (the commutative, order-independent fold) does not
+// let structured inputs cancel.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvMix(h uint64, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime
+		x >>= 8
+	}
+	return h
+}
+
+func fnvStr(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// eventHash folds one event and its post-edge clock into a single
+// order-independent contribution. The logical timestamp is excluded (it
+// encodes the total order); the clock itself is hashed commutatively
+// because map iteration order is unspecified.
+func eventHash(e trace.Event, vc VC) uint64 {
+	h := uint64(fnvOffset)
+	h = fnvMix(h, uint64(e.G))
+	h = fnvMix(h, uint64(e.Type))
+	h = fnvMix(h, uint64(e.Res))
+	h = fnvMix(h, uint64(e.Peer))
+	h = fnvMix(h, uint64(e.Aux))
+	if e.Blocked {
+		h = fnvMix(h, 1)
+	}
+	h = fnvStr(h, e.File)
+	h = fnvMix(h, uint64(e.Line))
+	h = fnvStr(h, e.Str)
+	var cl uint64
+	for g, t := range vc {
+		cl += mix(uint64(g)*0x9e3779b97f4a7c15 ^ uint64(t))
+	}
+	h = fnvMix(h, cl)
+	return mix(h)
+}

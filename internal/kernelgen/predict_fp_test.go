@@ -1,0 +1,41 @@
+package kernelgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"goat/internal/detect"
+	"goat/internal/sim"
+)
+
+// TestPredictNoFalsePositivesOnSafeKernels is the predictive detector's
+// zero-false-alarm gate: on every passing execution of a generated
+// kernel whose oracle says bug-free, the detector must report nothing.
+// The GoKer-side coverage and realizability checks live in
+// internal/goker's TestPredictiveSoundness; together they bound the
+// detector from both sides.
+func TestPredictNoFalsePositivesOnSafeKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	total := 0
+	for i := 0; i < 300; i++ {
+		dec := RandomDecision(rng, false)
+		p := Generate(dec)
+		if p.Oracle.Buggy {
+			continue
+		}
+		for seed := int64(1); seed <= 3; seed++ {
+			r := sim.Run(sim.Options{Seed: seed, MaxSteps: 50000}, p.Main())
+			if r.Outcome != sim.OutcomeOK {
+				continue
+			}
+			total++
+			if d := (detect.Predictive{}).Detect(r); d.Found {
+				t.Errorf("false positive on safe kernel %d (seed %d): %s | %s", i, seed, d.Verdict, d.Detail)
+			}
+		}
+	}
+	if total < 500 {
+		t.Fatalf("only %d safe passing runs exercised, want a corpus of >= 500", total)
+	}
+	t.Logf("0 false positives across %d safe passing runs", total)
+}

@@ -2,20 +2,11 @@
 // reproduction of the paper's -race option, built on the ECT instead of
 // the native race runtime.
 //
-// It replays the trace once, maintaining a vector clock per goroutine and
-// deriving synchronization edges from the recorded events:
-//
-//   - program order within each goroutine;
-//   - GoCreate → the child's first event;
-//   - every EvGoUnblock (the waker's clock flows into the woken
-//     goroutine), which covers rendezvous channels, mutex handoff,
-//     WaitGroup release, Cond signal/broadcast and Once completion;
-//   - buffered channels: the k-th send happens-before the k-th receive
-//     (FIFO), and a close happens-before every receive that observes it;
-//   - mutexes: each release's clock flows into every later acquisition of
-//     the same lock (read acquisitions included — a deliberate
-//     over-approximation that cannot produce false positives for
-//     lock-protected data).
+// The vector-clock core lives in internal/hb (it is shared with the
+// predictive blocking detector and the systematic explorer's schedule
+// pruning); this package keeps only what is race-specific: the access
+// history per Shared cell and the unordered-pair check. See the hb
+// package docs for the synchronization edge rules.
 //
 // Two accesses to the same Shared cell race when at least one is a write
 // and neither happens-before the other. The virtual runtime serializes
@@ -27,39 +18,13 @@ import (
 	"fmt"
 	"sort"
 
+	"goat/internal/hb"
 	"goat/internal/trace"
 )
 
-// VC is a vector clock mapping goroutine to logical time.
-type VC map[trace.GoID]int64
-
-// clone copies the clock.
-func (v VC) clone() VC {
-	out := make(VC, len(v))
-	for g, t := range v {
-		out[g] = t
-	}
-	return out
-}
-
-// join folds other into v (pointwise max).
-func (v VC) join(other VC) {
-	for g, t := range other {
-		if t > v[g] {
-			v[g] = t
-		}
-	}
-}
-
-// leq reports whether v happens-before-or-equals other (pointwise ≤).
-func (v VC) leq(other VC) bool {
-	for g, t := range v {
-		if t > other[g] {
-			return false
-		}
-	}
-	return true
-}
+// VC is the vector-clock type, re-exported for compatibility; the
+// implementation lives in internal/hb.
+type VC = hb.VC
 
 // access is one recorded shared-variable access.
 type access struct {
@@ -105,6 +70,66 @@ func (r Race) String() string {
 		r.Second.Kind, r.Second.G, r.Second.File, r.Second.Line, r.Second.Ts)
 }
 
+// checker accumulates the access history and unordered pairs while an
+// hb.Engine drives the clocks.
+type checker struct {
+	// Access history per variable: the last write plus reads since.
+	lastWrite map[trace.ResID]*access
+	reads     map[trace.ResID][]access
+
+	races []Race
+	seen  map[string]bool
+}
+
+func newChecker() *checker {
+	return &checker{
+		lastWrite: map[trace.ResID]*access{},
+		reads:     map[trace.ResID][]access{},
+		seen:      map[string]bool{},
+	}
+}
+
+func (c *checker) report(res trace.ResID, a, b access) {
+	key := fmt.Sprintf("%d|%s:%d|%s:%d", res, a.file, a.line, b.file, b.line)
+	if c.seen[key] {
+		return
+	}
+	c.seen[key] = true
+	c.races = append(c.races, Race{
+		Var:    res,
+		Name:   b.name,
+		First:  Conflict{G: a.g, Kind: a.kind(), File: a.file, Line: a.line, Ts: a.ts},
+		Second: Conflict{G: b.g, Kind: b.kind(), File: b.file, Line: b.line, Ts: b.ts},
+	})
+}
+
+// observe is the hb.Engine observer: it sees every clock-ticking event
+// with the acting goroutine's post-edge clock and records Shared-cell
+// accesses.
+func (c *checker) observe(e trace.Event, vc hb.VC) {
+	switch e.Type {
+	case trace.EvVarRead:
+		a := access{g: e.G, write: false, file: e.File, line: e.Line, name: e.Str, ts: e.Ts, vc: vc.Clone()}
+		if w := c.lastWrite[e.Res]; w != nil && w.g != a.g && !w.vc.Leq(a.vc) {
+			c.report(e.Res, *w, a)
+		}
+		c.reads[e.Res] = append(c.reads[e.Res], a)
+	case trace.EvVarWrite:
+		a := access{g: e.G, write: true, file: e.File, line: e.Line, name: e.Str, ts: e.Ts, vc: vc.Clone()}
+		if w := c.lastWrite[e.Res]; w != nil && w.g != a.g && !w.vc.Leq(a.vc) {
+			c.report(e.Res, *w, a)
+		}
+		for _, r := range c.reads[e.Res] {
+			if r.g != a.g && !r.vc.Leq(a.vc) {
+				c.report(e.Res, r, a)
+			}
+		}
+		w := a
+		c.lastWrite[e.Res] = &w
+		c.reads[e.Res] = nil
+	}
+}
+
 // Check replays the trace and returns every data race on Shared cells,
 // ordered by the second access's timestamp. Duplicate pairs over the same
 // (variable, first-location, second-location) are reported once.
@@ -112,145 +137,12 @@ func Check(tr *trace.Trace) []Race {
 	if tr == nil {
 		return nil
 	}
-	clocks := map[trace.GoID]VC{}
-	clockOf := func(g trace.GoID) VC {
-		if c, ok := clocks[g]; ok {
-			return c
-		}
-		c := VC{}
-		clocks[g] = c
-		return c
-	}
-
-	lockVC := map[trace.ResID]VC{}   // released-lock clocks
-	closeVC := map[trace.ResID]VC{}  // channel-close clocks
-	sendVC := map[trace.ResID][]VC{} // FIFO of send clocks per channel
-	wgVC := map[trace.ResID]VC{}     // WaitGroup Done accumulation
-
-	// Access history per variable: the last write plus reads since.
-	lastWrite := map[trace.ResID]*access{}
-	reads := map[trace.ResID][]access{}
-
-	var races []Race
-	seen := map[string]bool{}
-	report := func(res trace.ResID, a, b access) {
-		key := fmt.Sprintf("%d|%s:%d|%s:%d", res, a.file, a.line, b.file, b.line)
-		if seen[key] {
-			return
-		}
-		seen[key] = true
-		races = append(races, Race{
-			Var:    res,
-			Name:   b.name,
-			First:  Conflict{G: a.g, Kind: a.kind(), File: a.file, Line: a.line, Ts: a.ts},
-			Second: Conflict{G: b.g, Kind: b.kind(), File: b.file, Line: b.line, Ts: b.ts},
-		})
-	}
-
+	c := newChecker()
+	en := hb.NewEngine(hb.Full)
+	en.Observer = c.observe
 	for _, e := range tr.Events {
-		vc := clockOf(e.G)
-		vc[e.G]++
-
-		switch e.Type {
-		case trace.EvGoCreate:
-			child := vc.clone()
-			child[e.Peer] = child[e.Peer] + 1
-			clocks[e.Peer] = child
-		case trace.EvGoUnblock:
-			if e.Peer != 0 && e.Peer != e.G {
-				clockOf(e.Peer).join(vc)
-			}
-		case trace.EvGoBlock:
-			// A parked sender's pre-park clock is what the eventual
-			// receiver must inherit; its own ChanSend event is only
-			// emitted after it wakes, too late for FIFO alignment.
-			if e.BlockReason() == trace.BlockSend {
-				sendVC[e.Res] = append(sendVC[e.Res], vc.clone())
-			}
-		case trace.EvChanSend:
-			// Direct handoffs to a parked receiver (Peer != 0) are covered
-			// by the EvGoUnblock edge; post-wake sends (Blocked) already
-			// pushed their clock at park time.
-			if !e.Blocked && e.Peer == 0 {
-				sendVC[e.Res] = append(sendVC[e.Res], vc.clone())
-			}
-		case trace.EvChanRecv:
-			// A receiver that parked got its value by direct delivery and
-			// its ordering via EvGoUnblock; only completed-in-place
-			// receives consume a queued send clock.
-			if !e.Blocked && e.Aux == 1 {
-				if q := sendVC[e.Res]; len(q) > 0 {
-					vc.join(q[0])
-					sendVC[e.Res] = q[1:]
-				}
-			}
-			if e.Aux == 0 { // receive observed the close
-				if cvc, ok := closeVC[e.Res]; ok {
-					vc.join(cvc)
-				}
-			}
-		case trace.EvSelectCase:
-			// Select clauses mirror the plain-channel rules; blocked
-			// clauses rely on the EvGoUnblock edge alone.
-			if e.Blocked {
-				break
-			}
-			if e.Str == "send" && e.Peer == 0 {
-				sendVC[e.Res] = append(sendVC[e.Res], vc.clone())
-			}
-			if e.Str == "recv" {
-				if q := sendVC[e.Res]; len(q) > 0 {
-					vc.join(q[0])
-					sendVC[e.Res] = q[1:]
-				}
-			}
-		case trace.EvChanClose:
-			closeVC[e.Res] = vc.clone()
-		case trace.EvMutexUnlock, trace.EvRWUnlock, trace.EvRUnlock:
-			acc, ok := lockVC[e.Res]
-			if !ok {
-				acc = VC{}
-				lockVC[e.Res] = acc
-			}
-			acc.join(vc)
-		case trace.EvMutexLock, trace.EvRWLock, trace.EvRLock:
-			if acc, ok := lockVC[e.Res]; ok {
-				vc.join(acc)
-			}
-		case trace.EvWgAdd:
-			if e.Aux < 0 {
-				acc, ok := wgVC[e.Res]
-				if !ok {
-					acc = VC{}
-					wgVC[e.Res] = acc
-				}
-				acc.join(vc)
-			}
-		case trace.EvWgWait:
-			if acc, ok := wgVC[e.Res]; ok {
-				vc.join(acc)
-			}
-		case trace.EvVarRead:
-			a := access{g: e.G, write: false, file: e.File, line: e.Line, name: e.Str, ts: e.Ts, vc: vc.clone()}
-			if w := lastWrite[e.Res]; w != nil && w.g != a.g && !w.vc.leq(a.vc) {
-				report(e.Res, *w, a)
-			}
-			reads[e.Res] = append(reads[e.Res], a)
-		case trace.EvVarWrite:
-			a := access{g: e.G, write: true, file: e.File, line: e.Line, name: e.Str, ts: e.Ts, vc: vc.clone()}
-			if w := lastWrite[e.Res]; w != nil && w.g != a.g && !w.vc.leq(a.vc) {
-				report(e.Res, *w, a)
-			}
-			for _, r := range reads[e.Res] {
-				if r.g != a.g && !r.vc.leq(a.vc) {
-					report(e.Res, r, a)
-				}
-			}
-			w := a
-			lastWrite[e.Res] = &w
-			reads[e.Res] = nil
-		}
+		en.Event(e)
 	}
-	sort.Slice(races, func(i, j int) bool { return races[i].Second.Ts < races[j].Second.Ts })
-	return races
+	sort.Slice(c.races, func(i, j int) bool { return c.races[i].Second.Ts < c.races[j].Second.Ts })
+	return c.races
 }

@@ -108,6 +108,14 @@ type Options struct {
 	// the schedule decider, so Record/Replay scripts stay valid.
 	Faults fault.Options
 
+	// RecordRunnable captures, for every CU handler invocation, how many
+	// *other* goroutines were runnable at that op (Result.OpRunnable).
+	// The systematic explorer's HB pruner uses it to prove a candidate
+	// yield placement is a no-op: a yield at an op where nothing else was
+	// runnable redispatches the same goroutine immediately and cannot
+	// change the schedule. Recording never draws scheduling decisions.
+	RecordRunnable bool
+
 	// YieldAt switches the handler to *systematic* mode: a forced yield
 	// fires exactly at the listed global op indices (1-based count of
 	// handler invocations) and probabilistic yields/preemptions are

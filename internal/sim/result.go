@@ -66,6 +66,11 @@ type Result struct {
 	// early-stop request (Outcome == OutcomeStopped).
 	EarlyStopped bool
 
+	// OpRunnable records, per CU handler invocation (index i = op i+1),
+	// how many other goroutines were runnable at that point
+	// (Options.RecordRunnable).
+	OpRunnable []int32
+
 	// Schedule is the recorded decision script (Options.Record).
 	Schedule []int64
 	// ReplayDiverged reports that a replayed script did not structurally

@@ -56,6 +56,8 @@ type Scheduler struct {
 
 	yieldAt map[int64]bool // systematic mode: op indices that force a yield
 
+	opRunnable []int32 // per-op other-runnable counts (Options.RecordRunnable)
+
 	faults  *fault.Plan // nil unless Options.Faults is enabled
 	stalled []stalledG  // goroutines held unrunnable by stall faults
 	cancels []func(*G)  // injected-cancellation targets (conc contexts)
@@ -309,6 +311,11 @@ func (g *G) yield(ev trace.Type, file string, line int) {
 // and it is not a scheduling *decision*, so it bypasses the decider.
 const sliceOpBudget = 256
 
+// SliceOpBudget exposes the per-slice op budget: schedule analyses that
+// reason about forced preempts (the systematic pruner's no-op-yield rule)
+// must know when slice exhaustion can perturb a schedule.
+const SliceOpBudget = sliceOpBudget
+
 // Handler is the schedule-perturbation hook injected before every
 // concurrency usage (the paper's goat.handler()). While the delay budget D
 // lasts it forces a yield with probability YieldProb; independently it may
@@ -328,6 +335,11 @@ func (g *G) handler(cat trace.Category, file string, line int) {
 	s := g.s
 	s.ops++
 	s.sliceOps++
+	if s.opts.RecordRunnable {
+		// The current goroutine holds the processor and is not in runq,
+		// so len(runq) is exactly the count of *other* runnable peers.
+		s.opRunnable = append(s.opRunnable, int32(len(s.runq)))
+	}
 	if s.faults != nil {
 		s.applyFaults(g, cat, file, line)
 	}
@@ -498,6 +510,7 @@ func (s *Scheduler) result(outcome Outcome, mainG *G) *Result {
 		PanicG:    s.panicG,
 
 		EarlyStopped: outcome == OutcomeStopped,
+		OpRunnable:   s.opRunnable,
 	}
 	for _, id := range s.order {
 		g := s.gs[id]

@@ -1,0 +1,175 @@
+// Happens-before schedule pruning for the systematic explorer.
+//
+// Delay-bounded exploration re-executes the program once per yield
+// placement, but many placements are schedule-equivalent: a forced yield
+// at an op where no other goroutine is runnable reschedules the same
+// goroutine immediately, producing the base schedule again. The pruner
+// canonicalizes every candidate placement against the base run's
+// per-op runnable census (sim.Options.RecordRunnable) and skips any
+// placement whose canonical form was already explored — without running
+// it. Each executed run additionally streams through an hb.Engine sink,
+// so the number of distinct happens-before footprints actually visited
+// is reported alongside the raw run count.
+package systematic
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"goat/internal/detect"
+	"goat/internal/hb"
+	"goat/internal/sim"
+	"goat/internal/trace"
+)
+
+// PruneStats accounts for an ExplorePruned search. Considered counts
+// every placement examined (it is what the MaxRuns budget bounds, so a
+// pruned search walks exactly the candidate sequence Explore would);
+// Runs counts the subset actually executed.
+type PruneStats struct {
+	Considered         int // placements examined, bounded by Config.MaxRuns
+	Runs               int // placements executed
+	SkippedNoop        int // canonicalized to the (already run) base schedule
+	SkippedDup         int // canonicalized to an already-executed placement
+	DistinctFootprints int // distinct HB-equivalence classes among executed runs
+}
+
+// String renders the stats in one line for reports.
+func (st PruneStats) String() string {
+	return fmt.Sprintf("%d considered: %d run, %d noop-skipped, %d dup-skipped, %d distinct HB classes",
+		st.Considered, st.Runs, st.SkippedNoop, st.SkippedDup, st.DistinctFootprints)
+}
+
+// runWithHB executes prog like runWith, with a streaming Full-mode
+// hb.Engine attached as an event sink; it returns the run's HB footprint
+// alongside the result.
+func runWithHB(prog func(*sim.G), seed int64, yields []int64, record bool) (*sim.Result, uint64) {
+	opts := baseOptions(seed)
+	opts.YieldAt = append([]int64{}, yields...)
+	opts.RecordRunnable = record
+	en := hb.NewEngine(hb.Full)
+	opts.Sinks = []trace.Sink{en}
+	r := sim.Run(opts, prog)
+	return r, en.Footprint()
+}
+
+// canonicalize drops the leading yields of a sorted placement that the
+// base run proves are no-ops: while every yield so far was a no-op the
+// schedule is still the base schedule, so a yield at an op where the
+// base had no other runnable goroutine reschedules the same goroutine
+// and changes nothing. The rule is only sound when the base run never
+// reached the slice-op budget — a forced yield resets the slice counter,
+// so past the budget even a no-op yield moves later forced preempts.
+func canonicalize(yields []int64, opRunnable []int32, baseOps int) []int64 {
+	if baseOps >= sim.SliceOpBudget {
+		return yields
+	}
+	for len(yields) > 0 {
+		op := yields[0]
+		if op > int64(len(opRunnable)) || opRunnable[op-1] != 0 {
+			break
+		}
+		yields = yields[1:]
+	}
+	return yields
+}
+
+// placementKey is the dedup key of a canonical placement.
+func placementKey(yields []int64) string { return fmt.Sprint(yields) }
+
+// ExplorePruned is Explore with happens-before schedule pruning: it
+// examines the identical placement sequence (same seed, same sampling
+// order, same MaxRuns budget over placements considered) but skips the
+// executions the base run's runnable census proves redundant. The
+// returned finding is identical to Explore's on the same configuration —
+// only fewer executions are spent reaching it.
+func ExplorePruned(prog func(*sim.G), cfg Config) (*Finding, PruneStats) {
+	goat := detect.Goat{}
+	var st PruneStats
+	footprints := map[uint64]bool{}
+	explored := map[string]bool{} // canonical placements already executed
+
+	run := func(yields []int64) *Finding {
+		st.Runs++
+		r, fp := runWithHB(prog, cfg.Seed, yields, false)
+		footprints[fp] = true
+		st.DistinctFootprints = len(footprints)
+		if d := goat.Detect(r); d.Found {
+			sorted := append([]int64{}, yields...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			return &Finding{Seed: cfg.Seed, Yields: sorted, Runs: st.Runs, Detection: d}
+		}
+		return nil
+	}
+
+	// The base schedule first, recording the runnable census the pruning
+	// rules consult.
+	st.Considered++
+	st.Runs++
+	base, baseFP := runWithHB(prog, cfg.Seed, nil, true)
+	footprints[baseFP] = true
+	st.DistinctFootprints = len(footprints)
+	if d := goat.Detect(base); d.Found {
+		return &Finding{Seed: cfg.Seed, Yields: []int64{}, Runs: st.Runs, Detection: d}, st
+	}
+	n := int64(base.Ops)
+	if n == 0 {
+		return nil, st
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Single-yield sweep: a yield the base proves is a no-op reproduces
+	// the base schedule — skip the execution.
+	for op := int64(1); op <= n && st.Considered < cfg.maxRuns(); op++ {
+		st.Considered++
+		canon := canonicalize([]int64{op}, base.OpRunnable, base.Ops)
+		if len(canon) == 0 {
+			st.SkippedNoop++
+			continue
+		}
+		explored[placementKey(canon)] = true
+		if f := run([]int64{op}); f != nil {
+			return f, st
+		}
+	}
+	// Random placements of 2..D yields, drawn from the same rng sequence
+	// as Explore. Canonicalization strips leading no-op yields; whatever
+	// remains is skipped when an equivalent placement already ran.
+	maxK := cfg.maxYields()
+	if int64(maxK) > n {
+		maxK = int(n)
+	}
+	if maxK < 2 {
+		return nil, st
+	}
+	for st.Considered < cfg.maxRuns() {
+		k := 2 + rng.Intn(maxK-1)
+		set := map[int64]bool{}
+		for len(set) < k {
+			set[1+rng.Int63n(n)] = true
+		}
+		yields := make([]int64, 0, k)
+		for op := range set {
+			yields = append(yields, op)
+		}
+		st.Considered++
+		sorted := append([]int64{}, yields...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		canon := canonicalize(sorted, base.OpRunnable, base.Ops)
+		if len(canon) == 0 {
+			st.SkippedNoop++
+			continue
+		}
+		key := placementKey(canon)
+		if explored[key] {
+			st.SkippedDup++
+			continue
+		}
+		explored[key] = true
+		if f := run(yields); f != nil {
+			return f, st
+		}
+	}
+	return nil, st
+}

@@ -1,0 +1,124 @@
+package systematic
+
+import (
+	"testing"
+
+	"goat/internal/goker"
+	"goat/internal/sim"
+)
+
+func TestCanonicalizeDropsLeadingNoopYields(t *testing.T) {
+	// Ops 1 and 2 had no other runnable goroutine; op 3 did.
+	runnable := []int32{0, 0, 2, 1}
+	cases := []struct {
+		in, want []int64
+	}{
+		{[]int64{1}, nil},
+		{[]int64{2}, nil},
+		{[]int64{3}, []int64{3}},
+		{[]int64{1, 2}, nil},
+		{[]int64{1, 3}, []int64{3}},
+		{[]int64{2, 3, 4}, []int64{3, 4}},
+		// A trailing no-op after an effective yield must survive: the
+		// census only predicts while the schedule is still the base one.
+		{[]int64{3, 4}, []int64{3, 4}},
+		{nil, nil},
+	}
+	for _, c := range cases {
+		got := canonicalize(append([]int64{}, c.in...), runnable, 4)
+		if len(got) != len(c.want) {
+			t.Errorf("canonicalize(%v) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("canonicalize(%v) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+	// Past the slice-op budget the rule is unsound and must disable.
+	got := canonicalize([]int64{1}, runnable, sim.SliceOpBudget)
+	if len(got) != 1 {
+		t.Errorf("canonicalize must be disabled at the slice budget, got %v", got)
+	}
+}
+
+// TestExplorePrunedMatchesExplore is the equivalence contract: on every
+// registered kernel, the pruned search returns the same finding (same
+// yield placement, same verdict) as the exhaustive one, while executing
+// no more — and across the suite strictly fewer — runs.
+func TestExplorePrunedMatchesExplore(t *testing.T) {
+	exploreRuns, prunedRuns := 0, 0
+	for _, k := range goker.All() {
+		cfg := Config{Seed: 1, MaxRuns: 400}
+		f1 := Explore(k.Main, cfg)
+		f2, st := ExplorePruned(k.Main, cfg)
+		if (f1 == nil) != (f2 == nil) {
+			t.Errorf("%s: explore found=%v, pruned found=%v (stats: %s)", k.ID, f1 != nil, f2 != nil, st)
+			continue
+		}
+		if st.Runs+st.SkippedNoop+st.SkippedDup != st.Considered {
+			t.Errorf("%s: inconsistent stats: %s", k.ID, st)
+		}
+		if f1 != nil {
+			if f1.Detection.Verdict != f2.Detection.Verdict {
+				t.Errorf("%s: verdict %q vs %q", k.ID, f1.Detection.Verdict, f2.Detection.Verdict)
+			}
+			if len(f1.Yields) != len(f2.Yields) {
+				t.Errorf("%s: yields %v vs %v", k.ID, f1.Yields, f2.Yields)
+			} else {
+				for i := range f1.Yields {
+					if f1.Yields[i] != f2.Yields[i] {
+						t.Errorf("%s: yields %v vs %v", k.ID, f1.Yields, f2.Yields)
+						break
+					}
+				}
+			}
+			if f2.Runs > f1.Runs {
+				t.Errorf("%s: pruned spent more executions (%d) than explore (%d)", k.ID, f2.Runs, f1.Runs)
+			}
+			exploreRuns += f1.Runs
+			prunedRuns += f2.Runs
+		}
+	}
+	if prunedRuns >= exploreRuns {
+		t.Errorf("pruning saved nothing: %d executions vs explore's %d", prunedRuns, exploreRuns)
+	}
+	t.Logf("executions across the suite: explore %d, pruned %d (%.0f%% saved)",
+		exploreRuns, prunedRuns, 100*float64(exploreRuns-prunedRuns)/float64(exploreRuns))
+}
+
+func TestExplorePrunedRespectsBudget(t *testing.T) {
+	healthy := func(g *sim.G) {
+		g.Go("w", func(c *sim.G) { c.HandlerHere() })
+		g.Yield()
+	}
+	f, st := ExplorePruned(healthy, Config{MaxRuns: 50})
+	if f != nil {
+		t.Fatalf("healthy program reported buggy: %v", f)
+	}
+	if st.Considered > 50 {
+		t.Fatalf("budget exceeded: %s", st)
+	}
+	if st.Runs > st.Considered {
+		t.Fatalf("impossible stats: %s", st)
+	}
+}
+
+func TestPruneStatsString(t *testing.T) {
+	s := PruneStats{Considered: 10, Runs: 4, SkippedNoop: 5, SkippedDup: 1, DistinctFootprints: 3}.String()
+	for _, want := range []string{"10 considered", "4 run", "5 noop", "1 dup", "3 distinct"} {
+		if !contains(s, want) {
+			t.Fatalf("stats %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -42,7 +42,7 @@ const (
 
 	// Channel events.
 	EvChanMake  // channel created; Aux = capacity
-	EvChanSend  // send completed; Blocked records whether it parked first
+	EvChanSend  // send completed; Blocked records whether it parked first; Aux = AuxTryOp for TrySend
 	EvChanRecv  // receive completed
 	EvChanClose // channel closed
 
@@ -91,6 +91,12 @@ const (
 
 	evMax
 )
+
+// AuxTryOp marks a completed non-blocking channel send (TrySend) in
+// EvChanSend.Aux: the operation looks identical to a plain send in every
+// other respect, but it could never have parked — a distinction the
+// predictive blocking analyses depend on.
+const AuxTryOp int64 = 1
 
 // BlockReason says why a goroutine parked (payload of EvGoBlock.Aux).
 type BlockReason int64
