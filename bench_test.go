@@ -19,6 +19,7 @@ import (
 	"goat/internal/hb"
 	"goat/internal/sim"
 	"goat/internal/systematic"
+	"goat/internal/telemetry"
 	"goat/internal/trace"
 )
 
@@ -227,6 +228,56 @@ func BenchmarkCampaignCellBuffered(b *testing.B) { benchCampaignCell(b, true) }
 // BenchmarkCampaignCellStreaming is the streaming pipeline: executions
 // run trace-free with the online GoAT detector attached as an event sink.
 func BenchmarkCampaignCellStreaming(b *testing.B) { benchCampaignCell(b, false) }
+
+// benchTelemetryOverhead is BenchmarkCampaignCellStreaming with the
+// telemetry registry in a chosen state, for the on-vs-off overhead
+// guard: the enabled run carries the instrumented scheduler, the engine
+// wall clocks, and a telemetry.Sink in the event chain, and must stay
+// within a few percent of the disabled run.
+func benchTelemetryOverhead(b *testing.B, enabled bool) {
+	k, ok := goker.ByID("kubernetes_6632")
+	if !ok {
+		b.Fatal("kernel missing")
+	}
+	if enabled {
+		telemetry.Enable()
+		b.Cleanup(func() {
+			telemetry.Disable()
+			telemetry.Default.Reset()
+		})
+	}
+	pool := trace.NewPool()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := engine.Run(engine.Config{
+			Prog: k.Main,
+			Plan: func(i int, _ *engine.Feedback) sim.Options {
+				return sim.Options{Seed: 1 + int64(i)}
+			},
+			Runs:               30,
+			Detector:           detect.Goat{},
+			DetectorNeedsTrace: true,
+			Pool:               pool,
+			StopOnFound:        true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Runs == 0 {
+			b.Fatal("no runs executed")
+		}
+	}
+}
+
+// BenchmarkTelemetryOverheadOff is the streaming campaign cell with the
+// registry disabled — the near-zero-cost baseline every instrumentation
+// site must respect.
+func BenchmarkTelemetryOverheadOff(b *testing.B) { benchTelemetryOverhead(b, false) }
+
+// BenchmarkTelemetryOverheadOn is the same cell fully instrumented; the
+// bench guard holds the On/Off pair to the ≤2% overhead budget.
+func BenchmarkTelemetryOverheadOn(b *testing.B) { benchTelemetryOverhead(b, true) }
 
 // BenchmarkDetectGoat measures detection cost over a leaking trace.
 func BenchmarkDetectGoat(b *testing.B) {

@@ -29,6 +29,7 @@ import (
 	"goat/internal/report"
 	"goat/internal/sim"
 	"goat/internal/systematic"
+	"goat/internal/telemetry"
 	"goat/internal/trace"
 )
 
@@ -48,13 +49,14 @@ func main() {
 		traceOut  = flag.String("traceout", "", "with -bug: write the detecting run's ECT to this file")
 		minimize  = flag.Bool("minimize", false, "with -bug: systematic search + minimal yield placement")
 		htmlOut   = flag.String("htmlout", "", "with -bug: write an HTML timeline of the detecting run")
+		timeline  = flag.String("timeline", "", "with -bug: write a Chrome/Perfetto timeline (ECT + campaign phases) of the detecting run")
 		faultSpec = flag.String("faults", "", `with -bug: fault-injection spec, e.g. "stall=2,cancel=1,skew=0.3,slow=2,panic=1"`)
 		predict   = flag.Bool("predict", false, "with -bug: mine one passing execution for predicted blocking hazards")
 		prune     = flag.Bool("prune", false, "with -minimize: happens-before schedule pruning (skip equivalent yield placements)")
 	)
 	flag.Parse()
 
-	faults, err := validateFlags(*bug, *tool, *minimize, *traceOut, *htmlOut, *faultSpec, *predict, *prune)
+	faults, err := validateFlags(*bug, *tool, *minimize, *traceOut, *htmlOut, *timeline, *faultSpec, *predict, *prune)
 	if err != nil {
 		fatal(err)
 	}
@@ -71,7 +73,7 @@ func main() {
 			fatal(err)
 		}
 	case *bug != "":
-		if err := runBug(*bug, *tool, *d, *freq, *parallel, *seed, *covFlag, *raceOn, *traceOut, *htmlOut, faults); err != nil {
+		if err := runBug(*bug, *tool, *d, *freq, *parallel, *seed, *covFlag, *raceOn, *traceOut, *htmlOut, *timeline, faults); err != nil {
 			fatal(err)
 		}
 	case *path != "":
@@ -91,7 +93,7 @@ func fatal(err error) {
 
 // validateFlags rejects meaningless flag combinations up front with a
 // one-line error instead of silently ignoring them.
-func validateFlags(bug, tool string, minimize bool, traceOut, htmlOut, faultSpec string, predict, prune bool) (fault.Options, error) {
+func validateFlags(bug, tool string, minimize bool, traceOut, htmlOut, timeline, faultSpec string, predict, prune bool) (fault.Options, error) {
 	if bug == "" {
 		switch {
 		case minimize:
@@ -100,6 +102,8 @@ func validateFlags(bug, tool string, minimize bool, traceOut, htmlOut, faultSpec
 			return fault.Options{}, fmt.Errorf("-traceout requires -bug")
 		case htmlOut != "":
 			return fault.Options{}, fmt.Errorf("-htmlout requires -bug")
+		case timeline != "":
+			return fault.Options{}, fmt.Errorf("-timeline requires -bug")
 		case faultSpec != "":
 			return fault.Options{}, fmt.Errorf("-faults requires -bug")
 		case predict:
@@ -151,7 +155,7 @@ func detectorFor(name string) (detect.Detector, error) {
 	}
 }
 
-func runBug(id, tool string, d, freq, parallel int, seed int64, covFlag, raceOn bool, traceOut, htmlOut string, faults fault.Options) error {
+func runBug(id, tool string, d, freq, parallel int, seed int64, covFlag, raceOn bool, traceOut, htmlOut, timeline string, faults fault.Options) error {
 	k, ok := goker.ByID(id)
 	if !ok {
 		return fmt.Errorf("unknown bug %q (try -list)", id)
@@ -159,6 +163,12 @@ func runBug(id, tool string, d, freq, parallel int, seed int64, covFlag, raceOn 
 	det, err := detectorFor(tool)
 	if err != nil {
 		return err
+	}
+	if timeline != "" {
+		// The timeline export carries the campaign's phase spans as its
+		// second track set, so telemetry runs for this campaign.
+		telemetry.Enable()
+		defer telemetry.Disable()
 	}
 	fmt.Printf("bug %s (%s, %s deadlock): %s\n\n", k.ID, k.Project, k.Cause, k.Description)
 	if faults.Enabled() {
@@ -201,7 +211,9 @@ func runBug(id, tool string, d, freq, parallel int, seed int64, covFlag, raceOn 
 	} else {
 		cfg.Parallel = parallel
 	}
+	endCampaign := telemetry.Default.Span("campaign", fmt.Sprintf("campaign %s/%s", id, tool))
 	rep, err := engine.Run(cfg)
+	endCampaign()
 	if err != nil {
 		return err
 	}
@@ -218,6 +230,22 @@ func runBug(id, tool string, d, freq, parallel int, seed int64, covFlag, raceOn 
 				return err
 			}
 			fmt.Printf("ECT written to %s (%d events); inspect with cmd/goattrace\n", traceOut, r.Trace.Len())
+		}
+		if timeline != "" && r.Trace != nil {
+			w, err := os.Create(timeline)
+			if err != nil {
+				return err
+			}
+			exportErr := r.Trace.EncodeChrome(w, trace.ChromeOptions{
+				Spans: telemetry.ChromeSpans(telemetry.Default.Spans()),
+			})
+			if cerr := w.Close(); exportErr == nil {
+				exportErr = cerr
+			}
+			if exportErr != nil {
+				return exportErr
+			}
+			fmt.Printf("Chrome timeline written to %s (load in ui.perfetto.dev)\n", timeline)
 		}
 		if htmlOut != "" && r.Trace != nil {
 			tree, err := gtree.Build(r.Trace)

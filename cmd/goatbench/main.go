@@ -22,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"goat/internal/cover"
 	"goat/internal/fault"
@@ -31,6 +33,7 @@ import (
 	"goat/internal/report"
 	"goat/internal/sim"
 	"goat/internal/systematic"
+	"goat/internal/telemetry"
 )
 
 func main() {
@@ -44,6 +47,11 @@ func main() {
 		budget    = flag.Duration("cellbudget", 0, "wall-clock watchdog per table4 cell (0 = default 30s)")
 		retries   = flag.Int("retries", 0, "fresh-seed retries for hung table4 cells (0 = default 1, negative = none)")
 		predict   = flag.Bool("predict", false, "add the predictive-detector POTENTIAL column to the table4 campaign")
+		bugs      = flag.String("bugs", "", "comma-separated kernel IDs restricting the table4 campaign (default: full suite)")
+
+		telemetryOn = flag.Bool("telemetry", false, "enable the metrics registry and live progress lines (stderr) for the campaign")
+		metricsOut  = flag.String("metrics", "", "with -telemetry: dump the final metrics snapshot as JSON to this file")
+		flightRec   = flag.String("flightrec", "", `write failed cells' flight-recorder dumps (Chrome JSON) into this directory, e.g. "results"`)
 
 		compare    = flag.String("compare", "", "path to `go test -bench` output to compare against the baseline")
 		benchfile  = flag.String("benchfile", "BENCH_baseline.json", "benchmark baseline file")
@@ -62,6 +70,21 @@ func main() {
 		os.Exit(1)
 	}
 
+	kernels, err := selectKernels(*bugs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goatbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *metricsOut != "" && !*telemetryOn {
+		fmt.Fprintln(os.Stderr, "goatbench: -metrics requires -telemetry")
+		os.Exit(1)
+	}
+	if *telemetryOn {
+		telemetry.Enable()
+		defer writeMetrics(*metricsOut)
+	}
+
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
 			return
@@ -78,15 +101,33 @@ func main() {
 	table4 := func() *harness.TableIV {
 		if tab == nil {
 			cfg := harness.Config{
-				MaxExecs:   *freq,
-				BaseSeed:   *seed,
-				Parallel:   *parallel,
-				Faults:     faults,
-				CellBudget: *budget,
-				Retries:    *retries,
+				MaxExecs:     *freq,
+				BaseSeed:     *seed,
+				Parallel:     *parallel,
+				Faults:       faults,
+				CellBudget:   *budget,
+				Retries:      *retries,
+				Kernels:      kernels,
+				FlightRecDir: *flightRec,
 			}
 			if *predict {
 				cfg.Tools = harness.ToolsWithPredict()
+			}
+			if *telemetryOn {
+				nk := len(cfg.Kernels)
+				if nk == 0 {
+					nk = len(goker.GoKer())
+				}
+				nt := len(cfg.Tools)
+				if nt == 0 {
+					nt = len(harness.DefaultTools())
+				}
+				end := telemetry.Default.Span("campaign", "table4")
+				progress := telemetry.NewProgress(nk * nt)
+				cfg.OnCell = func(c harness.Cell) { progress.CellDone(c.Found) }
+				stop := progress.Start(os.Stderr, 5*time.Second)
+				defer stop()
+				defer end()
 			}
 			tab = harness.RunTableIV(cfg)
 		}
@@ -119,6 +160,48 @@ func main() {
 	run("fig6", func() error { return fig6(*iters, *seed) })
 	run("yields", func() error { return minimalYields(*seed) })
 	run("suite", func() error { return suiteComposition() })
+}
+
+// selectKernels resolves the -bugs flag to a kernel subset (nil selects
+// the full suite).
+func selectKernels(spec string) ([]goker.Kernel, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []goker.Kernel
+	for _, id := range strings.Split(spec, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		k, ok := goker.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown bug %q in -bugs (try goat -list)", id)
+		}
+		out = append(out, k)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-bugs selected no kernels")
+	}
+	return out, nil
+}
+
+// writeMetrics dumps the default registry's snapshot as JSON.
+func writeMetrics(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goatbench: writing metrics: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := telemetry.Default.Snapshot().WriteJSON(f); err != nil {
+		fmt.Fprintf(os.Stderr, "goatbench: writing metrics: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "telemetry: metrics written to %s\n", path)
 }
 
 // suiteComposition prints the GoBench-style taxonomy of the 68-kernel

@@ -7,6 +7,7 @@
 //	goattrace -stats trace.ect            # per-type tallies
 //	goattrace -profile trace.ect          # blocking/contention profile
 //	goattrace -tree trace.ect             # goroutine tree + Procedure 1
+//	goattrace -chrome trace.ect -o t.json # Chrome/Perfetto timeline export
 package main
 
 import (
@@ -26,6 +27,8 @@ func main() {
 		stats   = flag.String("stats", "", "print event tallies of a trace file")
 		profile = flag.String("profile", "", "print the blocking profile of a trace file")
 		tree    = flag.String("tree", "", "print the goroutine tree + deadlock check")
+		chrome  = flag.String("chrome", "", "export a trace file as Chrome trace-event JSON (load in ui.perfetto.dev)")
+		outPath = flag.String("o", "", "with -chrome: output file (default stdout)")
 		visits  = flag.String("visits", "", "print a goatrt native visit log (GOAT_TRACE output)")
 		model   = flag.String("model", "", "with -visits: instrumented-source dir for executed-CU coverage")
 		gFilter = flag.Int64("g", 0, "with -dump: restrict to one goroutine")
@@ -102,6 +105,19 @@ func main() {
 			}
 			fmt.Println()
 			return nil
+		})
+	case *chrome != "":
+		withTrace(*chrome, func(t *trace.Trace) error {
+			w := os.Stdout
+			if *outPath != "" {
+				f, err := os.Create(*outPath)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				w = f
+			}
+			return t.EncodeChrome(w, trace.ChromeOptions{})
 		})
 	case *visits != "":
 		if err := showVisits(*visits, *model); err != nil {

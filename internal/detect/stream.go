@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"goat/internal/sim"
+	"goat/internal/telemetry"
 	"goat/internal/trace"
 )
 
@@ -131,6 +132,12 @@ func (d *GoatStream) Close() {}
 // Finish implements Stream. The verdict logic and its wording match the
 // post-hoc Goat.Detect exactly.
 func (d *GoatStream) Finish(r *sim.Result) Detection {
+	det := d.finish(r)
+	flushStreamTelemetry(d.events, 0, det)
+	return det
+}
+
+func (d *GoatStream) finish(r *sim.Result) Detection {
 	det := Detection{Tool: "goat"}
 	if r.Outcome == sim.OutcomeCrash {
 		if r.FaultCrashed() {
@@ -182,6 +189,8 @@ type LockDLStream struct {
 	warn      string
 	earlyStop bool
 	cycleHit  bool
+	events    int // events consumed this run
+	warnAt    int // event count when the warning latched (0 = never)
 }
 
 // NewStream implements Streaming.
@@ -200,6 +209,8 @@ func (d *LockDLStream) Reset() {
 	clear(d.held)
 	d.warn = ""
 	d.cycleHit = false
+	d.events = 0
+	d.warnAt = 0
 }
 
 // StopRequested implements trace.Stopper.
@@ -224,9 +235,15 @@ func (d *LockDLStream) addEdge(from, to trace.ResID) {
 // edges at the attempt, not only at the (possibly never-happening)
 // acquisition — this is how LockDL warns before the deadlock bites.
 func (d *LockDLStream) Event(e trace.Event) {
+	d.events++
 	if d.warn != "" {
 		return // first warning wins, like the post-hoc scan's early return
 	}
+	defer func() {
+		if d.warn != "" && d.warnAt == 0 {
+			d.warnAt = d.events
+		}
+	}()
 	switch e.Type {
 	case trace.EvGoBlock:
 		reason := e.BlockReason()
@@ -277,6 +294,16 @@ func (d *LockDLStream) Close() {}
 // Finish implements Stream, with the post-hoc Detect's exact ordering:
 // crash, then the lock-discipline warning, then the application timeout.
 func (d *LockDLStream) Finish(r *sim.Result) Detection {
+	det := d.finish(r)
+	lag := 0
+	if d.warnAt > 0 {
+		lag = d.events - d.warnAt
+	}
+	flushStreamTelemetry(d.events, lag, det)
+	return det
+}
+
+func (d *LockDLStream) finish(r *sim.Result) Detection {
 	det := Detection{Tool: "lockdl"}
 	if r.Outcome == sim.OutcomeCrash {
 		if r.FaultCrashed() {
@@ -297,6 +324,23 @@ func (d *LockDLStream) Finish(r *sim.Result) Detection {
 	}
 	det.Verdict = "OK"
 	return det
+}
+
+// flushStreamTelemetry batches one finished stream's observations into
+// the registry: events consumed, whether the run detected, and — when
+// the verdict latched mid-run — how many further events arrived before
+// the world stopped (the early-stop latency).
+func flushStreamTelemetry(events, stopLag int, det Detection) {
+	if !telemetry.Enabled() {
+		return
+	}
+	telemetry.DetectEvents.Add(int64(events))
+	if det.Found {
+		telemetry.DetectDetections.Inc()
+	}
+	if stopLag > 0 {
+		telemetry.DetectStopLatency.Observe(int64(stopLag))
+	}
 }
 
 // ---------------------------------------------------------------------

@@ -16,11 +16,13 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"goat/internal/cover"
 	"goat/internal/detect"
 	"goat/internal/gtree"
 	"goat/internal/sim"
+	"goat/internal/telemetry"
 	"goat/internal/trace"
 )
 
@@ -118,6 +120,7 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Runs <= 0 {
 		return nil, fmt.Errorf("engine: Runs must be positive, got %d", cfg.Runs)
 	}
+	defer trackPoolStats(cfg.Pool)()
 	if cfg.Parallel > 1 && cfg.OnRun == nil && cfg.Coverage == nil {
 		return runParallel(&cfg)
 	}
@@ -149,6 +152,21 @@ func Run(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
+// trackPoolStats snapshots a pool's counters and returns a closure that
+// flushes the campaign's delta into the telemetry registry (pools are
+// shared across campaigns, so lifetime totals would double-count).
+func trackPoolStats(p *trace.Pool) func() {
+	if p == nil || !telemetry.Enabled() {
+		return func() {}
+	}
+	g0, h0 := p.Stats()
+	return func() {
+		g, h := p.Stats()
+		telemetry.EnginePoolGets.Add(g - g0)
+		telemetry.EnginePoolHits.Add(h - h0)
+	}
+}
+
 // scratch is the per-run machinery one sequential loop or one parallel
 // worker reuses across its runs: the sink-chain backing slice and, when
 // the detector's stream is detect.Resettable, the stream itself. Nothing
@@ -156,6 +174,7 @@ func Run(cfg Config) (*Report, error) {
 type scratch struct {
 	sinks  []trace.Sink
 	stream detect.Resettable
+	tsink  *telemetry.Sink // per-worker event-category tally (nil when telemetry is off)
 }
 
 // runOne executes one campaign run: wire the analyses (streamed or
@@ -194,7 +213,10 @@ func runOne(cfg *Config, i int, prev *Feedback, sc *scratch) (*Feedback, error) 
 	if wantTrace && cfg.Pool != nil && opts.ECT == nil {
 		opts.ECT = cfg.Pool.Get()
 	}
-	if stream != nil || covSink != nil || len(cfg.Sinks) > 0 {
+	if sc.tsink == nil && telemetry.Enabled() {
+		sc.tsink = telemetry.NewSink()
+	}
+	if stream != nil || covSink != nil || len(cfg.Sinks) > 0 || sc.tsink != nil {
 		sinks := append(sc.sinks[:0], cfg.Sinks...)
 		if stream != nil {
 			sinks = append(sinks, stream)
@@ -202,11 +224,25 @@ func runOne(cfg *Config, i int, prev *Feedback, sc *scratch) (*Feedback, error) 
 		if covSink != nil {
 			sinks = append(sinks, covSink)
 		}
+		if sc.tsink != nil {
+			sinks = append(sinks, sc.tsink)
+		}
 		sc.sinks = sinks
 		opts.Sinks = sinks
 	}
 
+	var t0 time.Time
+	if telemetry.Enabled() {
+		t0 = time.Now()
+	}
 	r := sim.Run(opts, cfg.Prog)
+	if !t0.IsZero() {
+		telemetry.EngineRuns.Inc()
+		telemetry.EngineRunWall.Observe(time.Since(t0).Nanoseconds())
+		if r.Outcome == sim.OutcomeStopped {
+			telemetry.EngineEarlyStops.Inc()
+		}
+	}
 	fb := &Feedback{Index: i, Options: opts, Result: r}
 	fb.Options.Sinks = nil // engine wiring: the scratch is reused next run
 	fb.Options.ECT = nil   // engine wiring: the pool may recycle the buffer

@@ -1,0 +1,96 @@
+package goker
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"goat/internal/sim"
+	"goat/internal/trace"
+)
+
+// The Chrome/Perfetto export of a real kernel's ECT is golden-tested so
+// the exact JSON `goattrace -chrome` emits — the file the README
+// walkthrough loads into ui.perfetto.dev — never drifts silently.
+// Regenerate with
+//
+//	go test ./internal/goker -run ChromeExportGolden -update
+
+var updateChrome = flag.Bool("update", false, "rewrite golden files")
+
+func TestChromeExportGolden(t *testing.T) {
+	k, ok := ByID("fuzz_send_no_recv_min")
+	if !ok {
+		t.Fatal("fuzz_send_no_recv_min not registered")
+	}
+	r := Run(k, sim.Options{Seed: 1, MaxSteps: 50000})
+	if r.Trace == nil || r.Trace.Len() == 0 {
+		t.Fatal("kernel produced no trace")
+	}
+	var buf bytes.Buffer
+	if err := r.Trace.EncodeChrome(&buf, trace.ChromeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("chrome export is not valid JSON")
+	}
+
+	path := filepath.Join("testdata", "fuzz_send_no_recv_min.chrome.golden")
+	if *updateChrome {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome export differs from %s:\n--- got ---\n%s", path, buf.String())
+	}
+}
+
+// Every ECT event of every registered kernel must appear exactly once as
+// a timeline slice in the Chrome export — no event silently dropped or
+// duplicated, whatever mix of block regions, faults, and flows a kernel
+// produces.
+func TestChromeExportCoversEveryEvent(t *testing.T) {
+	for _, id := range []string{"fuzz_send_no_recv_min", "kubernetes_6632", "etcd_6873", "moby_28462"} {
+		k, ok := ByID(id)
+		if !ok {
+			t.Fatalf("%s not registered", id)
+		}
+		t.Run(id, func(t *testing.T) {
+			r := Run(k, sim.Options{Seed: 2, Delays: 1, MaxSteps: 50000})
+			var buf bytes.Buffer
+			if err := r.Trace.EncodeChrome(&buf, trace.ChromeOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			var file struct {
+				TraceEvents []struct {
+					Ph   string         `json:"ph"`
+					Args map[string]any `json:"args"`
+				} `json:"traceEvents"`
+			}
+			if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+				t.Fatal(err)
+			}
+			slices := 0
+			for _, ce := range file.TraceEvents {
+				if _, ok := ce.Args["ect_ts"]; ok {
+					if ce.Ph != "X" {
+						t.Fatalf("ect slice with ph %q", ce.Ph)
+					}
+					slices++
+				}
+			}
+			if slices != r.Trace.Len() {
+				t.Fatalf("%d timeline slices for %d ECT events", slices, r.Trace.Len())
+			}
+		})
+	}
+}

@@ -1,0 +1,62 @@
+package goker
+
+import (
+	"bytes"
+	"testing"
+
+	"goat/internal/sim"
+	"goat/internal/telemetry"
+	"goat/internal/trace"
+)
+
+// Telemetry is pure observation: for every registered kernel, a run with
+// the registry enabled and a telemetry.Sink attached must leave the ECT,
+// the recorded decision script, and replay behavior byte-identical to
+// the telemetry-off run. This is the sweep behind the layer's "never
+// draws a scheduling decision" contract.
+func TestTelemetryEquivalence(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.ID, func(t *testing.T) {
+			opts := sim.Options{Seed: 3, Delays: 2, MaxSteps: 50000, Record: true}
+
+			telemetry.Default.Reset()
+			off := Run(k, opts)
+
+			telemetry.Enable()
+			onOpts := opts
+			onOpts.Sinks = []trace.Sink{telemetry.NewSink()}
+			on := Run(k, onOpts)
+			telemetry.Disable()
+
+			if off.Outcome != on.Outcome {
+				t.Fatalf("outcome diverged: off=%v on=%v", off.Outcome, on.Outcome)
+			}
+			offECT, onECT := encodeECT(t, off.Trace), encodeECT(t, on.Trace)
+			if !bytes.Equal(offECT, onECT) {
+				t.Fatalf("ECT diverged under telemetry (off %d bytes, on %d bytes)",
+					len(offECT), len(onECT))
+			}
+			if len(off.Schedule) != len(on.Schedule) {
+				t.Fatalf("recorded schedule length diverged: off=%d on=%d",
+					len(off.Schedule), len(on.Schedule))
+			}
+			for i := range off.Schedule {
+				if off.Schedule[i] != on.Schedule[i] {
+					t.Fatalf("recorded schedule diverged at decision %d", i)
+				}
+			}
+
+			// The telemetry-off replay of the telemetry-on recording must
+			// reproduce the run exactly.
+			replayOpts := sim.Options{Seed: 3, Delays: 2, MaxSteps: 50000, Replay: on.Schedule}
+			rep := Run(k, replayOpts)
+			if rep.ReplayDiverged {
+				t.Fatal("replay of the telemetry-on recording diverged")
+			}
+			if !bytes.Equal(encodeECT(t, rep.Trace), offECT) {
+				t.Fatal("replayed ECT differs from the telemetry-off ECT")
+			}
+		})
+	}
+}

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"goat/internal/conc"
+	"goat/internal/goker"
+	"goat/internal/sim"
+)
+
+// A cell abandoned by the watchdog must leave a flight-recorder dump:
+// the tail of the in-flight run's event stream, written as Chrome
+// trace-event JSON and named on the cell.
+func TestFlightRecorderDumpOnHungCell(t *testing.T) {
+	dir := t.TempDir()
+	hang := make(chan struct{})
+	t.Cleanup(func() { close(hang) })
+	k := goker.Kernel{
+		ID:      "test_hang",
+		Project: "test",
+		Main: func(g *sim.G) {
+			// Emit a few real events, then hang the host goroutine so the
+			// wall-clock watchdog abandons the cell mid-run.
+			ch := conc.NewChan[int](g, 1)
+			ch.Send(g, 1)
+			ch.Recv(g)
+			<-hang
+		},
+	}
+	cell := RunCell(k, Spec{Name: "builtin"}, Config{
+		MaxExecs:     5,
+		CellBudget:   100 * time.Millisecond,
+		Retries:      -1,
+		FlightRecDir: dir,
+	})
+	if cell.Status != CellHung {
+		t.Fatalf("cell status = %v, want hung", cell.Status)
+	}
+	if cell.FlightRec == "" {
+		t.Fatal("hung cell carries no flight-recorder path")
+	}
+	if want := filepath.Join(dir, "flightrec-test_hang-builtin-0.json"); cell.FlightRec != want {
+		t.Fatalf("flightrec path = %q, want %q", cell.FlightRec, want)
+	}
+	b, err := os.ReadFile(cell.FlightRec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &file); err != nil {
+		t.Fatalf("flight-recorder dump is not valid Chrome JSON: %v", err)
+	}
+	slices := 0
+	for _, e := range file.TraceEvents {
+		if _, ok := e.Args["ect_ts"]; ok {
+			slices++
+		}
+	}
+	if slices == 0 {
+		t.Fatal("flight-recorder dump holds no ECT events")
+	}
+	if cell.Wall <= 0 {
+		t.Fatal("cell carries no wall-clock timing")
+	}
+}
+
+// A healthy cell must leave no dump, and disabling FlightRecDir leaves
+// failed cells without one.
+func TestFlightRecorderOnlyOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	k, ok := goker.ByID("fuzz_send_no_recv_min")
+	if !ok {
+		t.Fatal("kernel missing")
+	}
+	cell := RunCell(k, Spec{Name: "builtin"}, Config{MaxExecs: 3, FlightRecDir: dir})
+	if cell.Failed() {
+		t.Fatalf("cell unexpectedly failed: %+v", cell)
+	}
+	if cell.FlightRec != "" {
+		t.Fatalf("healthy cell carries a flightrec path: %q", cell.FlightRec)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "flightrec-") {
+			t.Fatalf("healthy campaign left a dump: %s", e.Name())
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"goat/internal/cover"
 	"goat/internal/detect"
@@ -86,12 +87,14 @@ func TestCampaignHealthGolden(t *testing.T) {
 		Tools: []string{"goat-D0", "goleak"},
 		Rows: []harness.TableIVRow{
 			{Bug: "etcd_6873", Cells: []harness.Cell{
-				{Bug: "etcd_6873", Tool: "goat-D0", Found: true},
-				{Bug: "etcd_6873", Tool: "goleak", Status: harness.CellHung, Retries: 1, Err: "cell abandoned after watchdog timeout"},
+				{Bug: "etcd_6873", Tool: "goat-D0", Found: true, MinExecs: 3, Wall: 40 * time.Millisecond},
+				{Bug: "etcd_6873", Tool: "goleak", Status: harness.CellHung, Retries: 1, Wall: 60 * time.Second,
+					Err:       "cell abandoned after watchdog timeout",
+					FlightRec: "results/flightrec-etcd_6873-goleak-0.json"},
 			}},
 			{Bug: "moby_28462", Cells: []harness.Cell{
 				{Bug: "moby_28462", Tool: "goat-D0", Status: harness.CellErr, Err: "panic: forced worker panic"},
-				{Bug: "moby_28462", Tool: "goleak", Found: false},
+				{Bug: "moby_28462", Tool: "goleak", Found: false, MinExecs: 1000, Wall: 800 * time.Millisecond},
 			}},
 		},
 	}

@@ -13,6 +13,8 @@ package harness
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -23,6 +25,7 @@ import (
 	"goat/internal/goker"
 	"goat/internal/gtree"
 	"goat/internal/sim"
+	"goat/internal/telemetry"
 	"goat/internal/trace"
 )
 
@@ -124,6 +127,17 @@ type Config struct {
 	// retried with a fresh seed before being recorded as HUNG. Zero
 	// selects the default (1); negative disables retries.
 	Retries int
+
+	// FlightRecDir, when non-empty, attaches a bounded flight recorder to
+	// every cell: a failed cell (ERR/HUNG) dumps the last events of its
+	// in-flight run to <dir>/flightrec-<bug>-<tool>-<seed>.json in Chrome
+	// trace-event format, and the cell records the path.
+	FlightRecDir string
+
+	// OnCell, when set, observes every completed cell (for live progress
+	// reporting). It may be called from concurrent row workers and must be
+	// safe for that.
+	OnCell func(Cell)
 }
 
 func (c Config) maxExecs() int {
@@ -204,6 +218,9 @@ type Cell struct {
 	Status  CellStatus
 	Err     string // panic or watchdog message when Status != CellOK
 	Retries int    // fresh-seed retries consumed by the watchdog
+
+	Wall      time.Duration // wall-clock time the cell took (all attempts)
+	FlightRec string        // flight-recorder dump path (failed cells only)
 }
 
 // Failed reports whether the cell failed at the host level (as opposed to
@@ -229,30 +246,38 @@ func (c Cell) String() string {
 // budget, returning the cell. This is the raw, unguarded campaign loop;
 // RunTableIV wraps it in the quarantine/watchdog machinery via RunCell.
 func MinExecs(k goker.Kernel, spec Spec, maxExecs int, baseSeed int64) Cell {
-	return minExecs(k, spec, maxExecs, baseSeed, fault.Options{}, false, false)
+	return minExecs(k, spec, Config{}, maxExecs, baseSeed, nil)
 }
 
-func minExecs(k goker.Kernel, spec Spec, maxExecs int, baseSeed int64, faults fault.Options, buffered, earlyStop bool) Cell {
+// minExecs is the raw campaign loop; cfg contributes the execution mode
+// (faults, buffered, early-stop) while maxExecs and seed are explicit so
+// watchdog retries can re-seed without touching the config.
+func minExecs(k goker.Kernel, spec Spec, cfg Config, maxExecs int, seed int64, ring *flightRing) Cell {
 	cell := Cell{Bug: k.ID, Tool: spec.Name}
 	if maxExecs <= 0 {
 		cell.MinExecs = maxExecs
 		return cell
 	}
+	var sinks []trace.Sink
+	if ring != nil {
+		sinks = []trace.Sink{ring}
+	}
 	rep, err := engine.Run(engine.Config{
 		Prog: k.Main,
 		Plan: func(i int, _ *engine.Feedback) sim.Options {
 			return sim.Options{
-				Seed:   baseSeed + int64(i),
+				Seed:   seed + int64(i),
 				Delays: spec.Delays,
-				Faults: faults,
+				Faults: cfg.Faults,
 			}
 		},
 		Runs:               maxExecs,
 		Detector:           spec.Detector,
 		DetectorNeedsTrace: spec.NeedTrace,
-		Buffered:           buffered,
-		EarlyStop:          earlyStop,
+		Buffered:           cfg.Buffered,
+		EarlyStop:          cfg.EarlyStop,
 		Pool:               trace.NewPool(),
+		Sinks:              sinks,
 		StopOnFound:        true,
 	})
 	if err != nil {
@@ -274,6 +299,78 @@ func minExecs(k goker.Kernel, spec Spec, maxExecs int, baseSeed int64, faults fa
 // per-trial seeds of the original attempt.
 const retrySeedStride = int64(1) << 32
 
+// flightRingCap bounds the flight recorder: the last N events of the
+// in-flight run are retained for the failure dump.
+const flightRingCap = 4096
+
+// flightRing is the cell-level flight recorder: a mutex-guarded RingSink
+// shared by every run of a cell's campaign. The mutex matters for HUNG
+// cells, whose abandoned worker goroutine may still be appending events
+// while the watchdog path snapshots the window. Close marks a run
+// boundary; the next event resets the ring, so a snapshot always covers
+// the tail of the most recent (failing) run, never a stale earlier one.
+type flightRing struct {
+	mu     sync.Mutex
+	ring   *trace.RingSink
+	closed bool
+}
+
+func newFlightRing() *flightRing {
+	return &flightRing{ring: trace.NewRingSink(flightRingCap)}
+}
+
+// Event implements trace.Sink.
+func (f *flightRing) Event(e trace.Event) {
+	f.mu.Lock()
+	if f.closed {
+		f.ring.Reset()
+		f.closed = false
+	}
+	f.ring.Event(e)
+	f.mu.Unlock()
+}
+
+// Close implements trace.Sink (called by the runtime at each run's end).
+func (f *flightRing) Close() {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+}
+
+// snapshot copies the recorded window and its drop count.
+func (f *flightRing) snapshot() (*trace.Trace, int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ring.Snapshot(), f.ring.Dropped()
+}
+
+// dumpFlightRec writes a failed cell's recorded window as a Chrome
+// trace-event file and records the path on the cell. Dump failures are
+// swallowed: forensics must never fail a campaign.
+func dumpFlightRec(dir string, cell *Cell, ring *flightRing, seed int64) {
+	if dir == "" || ring == nil || !cell.Failed() {
+		return
+	}
+	tr, dropped := ring.snapshot()
+	if tr.Len() == 0 {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	path := filepath.Join(dir, fmt.Sprintf("flightrec-%s-%s-%d.json", cell.Bug, cell.Tool, seed))
+	w, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	defer w.Close()
+	if err := tr.EncodeChrome(w, trace.ChromeOptions{Dropped: dropped}); err != nil {
+		return
+	}
+	cell.FlightRec = path
+	telemetry.HarnessFlightRecs.Inc()
+}
+
 // RunCell evaluates one (bug, tool) cell under the hardened regime: the
 // campaign loop runs in its own goroutine behind a panic quarantine and a
 // wall-clock watchdog, and a cell abandoned by the watchdog is retried
@@ -283,19 +380,34 @@ const retrySeedStride = int64(1) << 32
 // cannot kill it, only stop waiting — which is exactly the paper's
 // watchdog-and-move-on regime.
 func RunCell(k goker.Kernel, spec Spec, cfg Config) Cell {
+	start := time.Now()
 	var cell Cell
 	for attempt := 0; ; attempt++ {
 		seed := cfg.BaseSeed + int64(attempt)*retrySeedStride
 		cell = guardedMinExecs(k, spec, cfg, seed)
 		cell.Retries = attempt
 		if cell.Status != CellHung || attempt >= cfg.retries() {
-			return cell
+			break
 		}
 	}
+	cell.Wall = time.Since(start)
+	if telemetry.Enabled() {
+		telemetry.HarnessCells.Inc()
+		telemetry.HarnessExecs.Add(int64(cell.MinExecs))
+		telemetry.HarnessCellWall.Observe(cell.Wall.Nanoseconds())
+		if cell.Found {
+			telemetry.HarnessDetections.Inc()
+		}
+	}
+	return cell
 }
 
 // guardedMinExecs is one watchdogged, quarantined attempt at a cell.
 func guardedMinExecs(k goker.Kernel, spec Spec, cfg Config, seed int64) Cell {
+	var ring *flightRing
+	if cfg.FlightRecDir != "" {
+		ring = newFlightRing()
+	}
 	done := make(chan Cell, 1)
 	go func() {
 		defer func() {
@@ -303,19 +415,22 @@ func guardedMinExecs(k goker.Kernel, spec Spec, cfg Config, seed int64) Cell {
 				done <- Cell{Bug: k.ID, Tool: spec.Name, Status: CellErr, Err: fmt.Sprint(r)}
 			}
 		}()
-		done <- minExecs(k, spec, cfg.maxExecs(), seed, cfg.Faults, cfg.Buffered, cfg.EarlyStop)
+		done <- minExecs(k, spec, cfg, cfg.maxExecs(), seed, ring)
 	}()
 	watchdog := time.NewTimer(cfg.cellBudget())
 	defer watchdog.Stop()
+	var cell Cell
 	select {
 	case c := <-done:
-		return c
+		cell = c
 	case <-watchdog.C:
-		return Cell{
+		cell = Cell{
 			Bug: k.ID, Tool: spec.Name, Status: CellHung,
 			Err: fmt.Sprintf("cell exceeded the %v wall-clock budget", cfg.cellBudget()),
 		}
 	}
+	dumpFlightRec(cfg.FlightRecDir, &cell, ring, seed)
+	return cell
 }
 
 // TableIV is the full evaluation matrix.
@@ -348,17 +463,25 @@ func RunTableIV(cfg Config) *TableIV {
 			if r := recover(); r != nil {
 				row := TableIVRow{Bug: kernels[i].ID}
 				for _, s := range tools {
-					row.Cells = append(row.Cells, Cell{
+					c := Cell{
 						Bug: kernels[i].ID, Tool: s.Name,
 						Status: CellErr, Err: fmt.Sprint(r),
-					})
+					}
+					if cfg.OnCell != nil {
+						cfg.OnCell(c)
+					}
+					row.Cells = append(row.Cells, c)
 				}
 				t.Rows[i] = row
 			}
 		}()
 		row := TableIVRow{Bug: kernels[i].ID}
 		for _, s := range tools {
-			row.Cells = append(row.Cells, RunCell(kernels[i], s, cfg))
+			cell := RunCell(kernels[i], s, cfg)
+			if cfg.OnCell != nil {
+				cfg.OnCell(cell)
+			}
+			row.Cells = append(row.Cells, cell)
 		}
 		t.Rows[i] = row
 	}

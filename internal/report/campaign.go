@@ -3,15 +3,20 @@ package report
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"goat/internal/harness"
+	"goat/internal/telemetry"
 )
 
 // CampaignHealth renders the degradation summary of a Table IV campaign:
 // which cells failed at the host level (quarantined panics, watchdog
-// abandonments), how many retries the watchdog spent, and how much of the
-// matrix stayed healthy. A fully healthy campaign renders as one line, so
-// the summary can always be appended to the table output.
+// abandonments), how many retries the watchdog spent, how much of the
+// matrix stayed healthy, and — when the cells carry wall-clock timings —
+// the per-cell latency profile (p50/p95/max) and aggregate throughput. A
+// fully healthy campaign renders its summary lines only, so the output
+// can always be appended to the table output.
 func CampaignHealth(t *harness.TableIV) string {
 	total := 0
 	for _, row := range t.Rows {
@@ -21,6 +26,7 @@ func CampaignHealth(t *harness.TableIV) string {
 	var b strings.Builder
 	if len(failed) == 0 {
 		fmt.Fprintf(&b, "campaign health: all %d cells completed\n", total)
+		b.WriteString(cellTimingLine(t))
 		return b.String()
 	}
 	fmt.Fprintf(&b, "campaign health: %d/%d cells failed (results degraded, campaign completed)\n",
@@ -30,7 +36,45 @@ func CampaignHealth(t *harness.TableIV) string {
 		if detail == "" {
 			detail = "(no detail)"
 		}
+		if c.FlightRec != "" {
+			detail += fmt.Sprintf("  [flightrec %s]", c.FlightRec)
+		}
 		fmt.Fprintf(&b, "  %-22s %-12s %-6s retries=%d  %s\n", c.Bug, c.Tool, c.Status, c.Retries, detail)
 	}
+	b.WriteString(cellTimingLine(t))
 	return b.String()
+}
+
+// cellTimingLine folds every timed cell's wall clock into a histogram and
+// renders the campaign's latency profile and throughput. Campaigns whose
+// cells carry no timings (synthetic tables, pre-telemetry callers) render
+// nothing, keeping their output byte-stable.
+func cellTimingLine(t *harness.TableIV) string {
+	var on atomic.Bool
+	on.Store(true)
+	hist := telemetry.NewHistogram(&on, telemetry.DurationBuckets)
+	var execs, wall int64
+	for _, row := range t.Rows {
+		for _, c := range row.Cells {
+			if c.Wall <= 0 {
+				continue
+			}
+			hist.Observe(c.Wall.Nanoseconds())
+			execs += int64(c.MinExecs)
+			wall += c.Wall.Nanoseconds()
+		}
+	}
+	s := hist.Snapshot()
+	if s.Count == 0 {
+		return ""
+	}
+	line := fmt.Sprintf("cell wall time: p50 %v, p95 %v, max %v over %d cells",
+		time.Duration(s.Quantile(0.5)).Round(time.Microsecond),
+		time.Duration(s.Quantile(0.95)).Round(time.Microsecond),
+		time.Duration(s.Max).Round(time.Microsecond),
+		s.Count)
+	if wall > 0 && execs > 0 {
+		line += fmt.Sprintf("; %.0f runs/s", float64(execs)/(float64(wall)/float64(time.Second)))
+	}
+	return line + "\n"
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"goat/internal/fault"
+	"goat/internal/telemetry"
 	"goat/internal/trace"
 )
 
@@ -462,6 +463,15 @@ loop:
 	s.stopWorld()
 	for _, snk := range s.sinks {
 		snk.Close()
+	}
+	if telemetry.Enabled() {
+		// One batch of registry updates per run, never per event, so the
+		// virtual runtime's hot loop stays telemetry-free.
+		telemetry.SimRuns.Inc()
+		telemetry.SimDispatches.Add(int64(s.steps))
+		telemetry.SimOps.Add(int64(s.ops))
+		telemetry.SimYields.Add(int64(opts.Delays - s.yieldLeft))
+		telemetry.SimOpsPerRun.Observe(int64(s.ops))
 	}
 	return s.result(outcome, mainG)
 }

@@ -20,6 +20,7 @@ import (
 	"goat/internal/detect"
 	"goat/internal/hb"
 	"goat/internal/sim"
+	"goat/internal/telemetry"
 	"goat/internal/trace"
 )
 
@@ -87,6 +88,12 @@ func placementKey(yields []int64) string { return fmt.Sprint(yields) }
 func ExplorePruned(prog func(*sim.G), cfg Config) (*Finding, PruneStats) {
 	goat := detect.Goat{}
 	var st PruneStats
+	defer func() {
+		if telemetry.Enabled() {
+			telemetry.SysPlacementsRun.Add(int64(st.Runs))
+			telemetry.SysPlacementsPruned.Add(int64(st.SkippedNoop + st.SkippedDup))
+		}
+	}()
 	footprints := map[uint64]bool{}
 	explored := map[string]bool{} // canonical placements already executed
 

@@ -19,6 +19,7 @@ import (
 
 	"goat/internal/detect"
 	"goat/internal/sim"
+	"goat/internal/telemetry"
 )
 
 // Config bounds an exploration.
@@ -83,6 +84,11 @@ func (f Finding) String() string {
 func Explore(prog func(*sim.G), cfg Config) *Finding {
 	goat := detect.Goat{}
 	runs := 0
+	defer func() {
+		if telemetry.Enabled() {
+			telemetry.SysPlacementsRun.Add(int64(runs))
+		}
+	}()
 	try := func(yields []int64) *Finding {
 		runs++
 		r := runWith(prog, cfg.Seed, yields)

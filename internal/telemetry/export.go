@@ -1,0 +1,25 @@
+package telemetry
+
+import (
+	"goat/internal/trace"
+)
+
+// ChromeSpans converts telemetry spans to the Chrome exporter's span
+// track set (nanosecond phases → microsecond timeline slices, with
+// sub-microsecond phases kept visible at 1µs).
+func ChromeSpans(spans []Span) []trace.ChromeSpan {
+	out := make([]trace.ChromeSpan, 0, len(spans))
+	for _, s := range spans {
+		cs := trace.ChromeSpan{
+			Track:   s.Track,
+			Name:    s.Name,
+			StartUs: s.Start.Microseconds(),
+			DurUs:   s.Dur.Microseconds(),
+		}
+		if cs.DurUs < 1 {
+			cs.DurUs = 1
+		}
+		out = append(out, cs)
+	}
+	return out
+}

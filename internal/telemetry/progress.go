@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is the live campaign reporter behind `goatbench -telemetry`:
+// the harness ticks it per completed cell, a background ticker renders
+// periodic one-line status reports (cells done, runs/s, detections so
+// far, ETA) without ever blocking the campaign.
+type Progress struct {
+	Total int // total cells the campaign will evaluate
+
+	done  atomic.Int64
+	found atomic.Int64
+	start time.Time
+}
+
+// NewProgress returns a reporter for a campaign of total cells.
+func NewProgress(total int) *Progress {
+	return &Progress{Total: total, start: time.Now()}
+}
+
+// CellDone records one completed cell.
+func (p *Progress) CellDone(found bool) {
+	p.done.Add(1)
+	if found {
+		p.found.Add(1)
+	}
+}
+
+// Line renders the current status as a single line (no newline): cells
+// done, percentage, executions and runs/s from the default registry's
+// sim.runs counter, detections so far, and the ETA extrapolated from
+// the per-cell completion rate.
+func (p *Progress) Line() string {
+	done := p.done.Load()
+	found := p.found.Load()
+	elapsed := time.Since(p.start)
+	runs := SimRuns.Value()
+	rate := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		rate = float64(runs) / s
+	}
+	eta := "?"
+	if done > 0 && p.Total > 0 {
+		left := time.Duration(float64(elapsed) / float64(done) * float64(int64(p.Total)-done))
+		eta = left.Round(time.Second).String()
+	}
+	pct := 0.0
+	if p.Total > 0 {
+		pct = 100 * float64(done) / float64(p.Total)
+	}
+	return fmt.Sprintf("telemetry: %d/%d cells (%.0f%%), %d runs, %.0f runs/s, %d detections, ETA %s",
+		done, p.Total, pct, runs, rate, found, eta)
+}
+
+// Start launches the periodic reporter: every interval it writes Line to
+// w. The returned stop function halts the ticker and writes one final
+// line; it is safe to call exactly once.
+func (p *Progress) Start(w io.Writer, every time.Duration) (stop func()) {
+	if every <= 0 {
+		every = 5 * time.Second
+	}
+	quit := make(chan struct{})
+	var once sync.Once
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fmt.Fprintln(w, p.Line())
+			case <-quit:
+				return
+			}
+		}
+	}()
+	return func() {
+		once.Do(func() {
+			close(quit)
+			wg.Wait()
+			fmt.Fprintln(w, p.Line())
+		})
+	}
+}

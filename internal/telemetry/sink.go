@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"goat/internal/trace"
+)
+
+// catCounters maps trace.Category ordinals to per-category event
+// counters on the default registry, pre-registered so the flush in
+// Sink.Close is lookup-free.
+var catCounters = [...]*Counter{
+	trace.CatNone:      Default.Counter("ect.events.none"),
+	trace.CatGoroutine: Default.Counter("ect.events.goroutine"),
+	trace.CatChannel:   Default.Counter("ect.events.channel"),
+	trace.CatSync:      Default.Counter("ect.events.sync"),
+	trace.CatSelect:    Default.Counter("ect.events.select"),
+	trace.CatTimer:     Default.Counter("ect.events.timer"),
+	trace.CatUser:      Default.Counter("ect.events.user"),
+	trace.CatShared:    Default.Counter("ect.events.shared"),
+	trace.CatFault:     Default.Counter("ect.events.fault"),
+}
+
+// Sink observes an execution's event stream for the metrics registry: it
+// joins the trace.Sink chain (a member of the MultiSink / Options.Sinks)
+// and tallies events per category. Counts are kept in plain locals and
+// flushed to the registry's atomic counters at Close, so the per-event
+// cost is one array increment and the sink is reusable across the runs
+// of a campaign (each Close flushes and rearms).
+//
+// A Sink only reads events — it never draws scheduling decisions and
+// never requests a stop — so attaching it leaves the ECT and any
+// record/replay script byte-identical.
+type Sink struct {
+	byCat [len(catCounters)]int64
+	total int64
+}
+
+// NewSink returns a sink reporting into the default registry.
+func NewSink() *Sink { return &Sink{} }
+
+// Event implements trace.Sink.
+func (s *Sink) Event(e trace.Event) {
+	s.byCat[trace.CategoryOf(e.Type)]++
+	s.total++
+}
+
+// Close implements trace.Sink: flush this run's tallies and rearm.
+func (s *Sink) Close() {
+	if s.total == 0 {
+		return
+	}
+	ECTEvents.Add(s.total)
+	for cat, n := range s.byCat {
+		if n != 0 {
+			catCounters[cat].Add(n)
+			s.byCat[cat] = 0
+		}
+	}
+	s.total = 0
+}

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"time"
+)
+
+// Span is one timed phase of a campaign, relative to the registry's
+// epoch (the first span started after New/Reset). Track groups spans
+// onto one timeline row in the Chrome export.
+type Span struct {
+	Track string        `json:"track"`
+	Name  string        `json:"name"`
+	Start time.Duration `json:"start_ns"`
+	Dur   time.Duration `json:"dur_ns"`
+}
+
+// spanLog is the span clock's storage, guarded by the registry mutex.
+type spanLog struct {
+	epoch time.Time
+	spans []Span
+}
+
+func (l *spanLog) reset() {
+	l.epoch = time.Time{}
+	l.spans = nil
+}
+
+func (l *spanLog) snapshot() []Span {
+	return append([]Span(nil), l.spans...)
+}
+
+// Span starts a timed phase and returns the function that ends it. With
+// the registry disabled both ends are no-ops. Safe for concurrent use;
+// the span is recorded when the returned func runs.
+//
+//	defer reg.Span("campaign", "table4")()
+func (r *Registry) Span(track, name string) func() {
+	if !r.Enabled() {
+		return func() {}
+	}
+	r.mu.Lock()
+	if r.spans.epoch.IsZero() {
+		r.spans.epoch = time.Now()
+	}
+	epoch := r.spans.epoch
+	r.mu.Unlock()
+	start := time.Since(epoch)
+	return func() {
+		end := time.Since(epoch)
+		r.mu.Lock()
+		r.spans.spans = append(r.spans.spans, Span{
+			Track: track, Name: name, Start: start, Dur: end - start,
+		})
+		r.mu.Unlock()
+	}
+}
+
+// Spans returns a copy of the recorded spans in completion order.
+func (r *Registry) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.spans.snapshot()
+}

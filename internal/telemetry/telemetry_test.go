@@ -1,0 +1,255 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"goat/internal/trace"
+)
+
+func TestCounterGatedOnEnable(t *testing.T) {
+	r := New()
+	c := r.Counter("x")
+	c.Inc()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("disabled counter moved: %d", got)
+	}
+	r.Enable()
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	r.Disable()
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter moved while disabled: %d", got)
+	}
+	if r.Counter("x") != c {
+		t.Fatal("Counter is not idempotent per name")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := New()
+	r.Enable()
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestNilHandlesAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	g.Set(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil handles must read zero")
+	}
+}
+
+func TestHistogramSnapshotAndQuantiles(t *testing.T) {
+	r := New()
+	r.Enable()
+	h := r.Histogram("lat", []int64{10, 100, 1000})
+	for _, v := range []int64{3, 7, 40, 41, 900, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if s.Min != 3 || s.Max != 5000 {
+		t.Fatalf("min/max = %d/%d, want 3/5000", s.Min, s.Max)
+	}
+	if s.Sum != 3+7+40+41+900+5000 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	wantCounts := []int64{2, 2, 1, 1}
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	// p50 lands in the second bucket (upper bound 100); p100 is the max.
+	if q := s.Quantile(0.5); q != 100 {
+		t.Fatalf("p50 = %d, want 100", q)
+	}
+	if q := s.Quantile(1); q != 5000 {
+		t.Fatalf("p100 = %d, want 5000", q)
+	}
+	// Quantile estimates never leave the observed range.
+	if q := s.Quantile(0.01); q < s.Min || q > s.Max {
+		t.Fatalf("p1 = %d outside [%d, %d]", q, s.Min, s.Max)
+	}
+	if (HistSnapshot{}).Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+}
+
+func TestRegistryResetKeepsHandles(t *testing.T) {
+	r := New()
+	r.Enable()
+	c := r.Counter("c")
+	h := r.Histogram("h", []int64{10})
+	c.Inc()
+	h.Observe(5)
+	r.Reset()
+	if c.Value() != 0 {
+		t.Fatal("counter not reset")
+	}
+	if s := h.Snapshot(); s.Count != 0 || s.Min != 0 {
+		t.Fatalf("histogram not reset: %+v", s)
+	}
+	c.Inc()
+	h.Observe(20)
+	if c.Value() != 1 || h.Snapshot().Max != 20 {
+		t.Fatal("handles dead after reset")
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := New()
+	r.Enable()
+	c := r.Counter("n")
+	h := r.Histogram("h", []int64{50})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(int64(i % 100))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	s := h.Snapshot()
+	if s.Count != 8000 || s.Min != 0 || s.Max != 99 {
+		t.Fatalf("histogram = %+v", s)
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	r := New()
+	r.Enable()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	r.Histogram("h", []int64{10}).Observe(4)
+	var b1, b2 bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("snapshot JSON is nondeterministic")
+	}
+	if !json.Valid(b1.Bytes()) {
+		t.Fatal("snapshot JSON invalid")
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b1.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["a"] != 1 || s.Counters["b"] != 2 {
+		t.Fatalf("round-tripped counters: %+v", s.Counters)
+	}
+}
+
+func TestSpanClock(t *testing.T) {
+	r := New()
+	end := r.Span("campaign", "ignored-while-disabled")
+	end()
+	if got := r.Spans(); len(got) != 0 {
+		t.Fatalf("disabled registry recorded spans: %v", got)
+	}
+	r.Enable()
+	endOuter := r.Span("campaign", "outer")
+	endInner := r.Span("campaign", "inner")
+	endInner()
+	endOuter()
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Completion order: inner first.
+	if spans[0].Name != "inner" || spans[1].Name != "outer" {
+		t.Fatalf("span order: %v", spans)
+	}
+	if spans[1].Start > spans[0].Start {
+		t.Fatal("outer must start before inner")
+	}
+	if spans[0].Dur < 0 || spans[1].Dur < spans[0].Dur {
+		t.Fatalf("durations inconsistent: %v", spans)
+	}
+	r.Reset()
+	if len(r.Spans()) != 0 {
+		t.Fatal("Reset did not clear spans")
+	}
+}
+
+func TestSinkCountsByCategory(t *testing.T) {
+	Default.Reset()
+	Enable()
+	defer func() { Disable(); Default.Reset() }()
+	s := NewSink()
+	s.Event(trace.Event{Ts: 1, G: 1, Type: trace.EvGoCreate, Peer: 2})
+	s.Event(trace.Event{Ts: 2, G: 2, Type: trace.EvChanSend, Res: 1})
+	s.Event(trace.Event{Ts: 3, G: 2, Type: trace.EvChanRecv, Res: 1})
+	s.Event(trace.Event{Ts: 4, G: 1, Type: trace.EvMutexLock, Res: 2})
+	// Nothing hits the registry until the run closes.
+	if ECTEvents.Value() != 0 {
+		t.Fatal("sink flushed before Close")
+	}
+	s.Close()
+	if got := ECTEvents.Value(); got != 4 {
+		t.Fatalf("ect.events = %d, want 4", got)
+	}
+	if got := Default.Counter("ect.events.channel").Value(); got != 2 {
+		t.Fatalf("channel events = %d, want 2", got)
+	}
+	if got := Default.Counter("ect.events.goroutine").Value(); got != 1 {
+		t.Fatalf("goroutine events = %d, want 1", got)
+	}
+	// Close rearms: a second run's events accumulate on top.
+	s.Event(trace.Event{Ts: 1, G: 1, Type: trace.EvWgWait})
+	s.Close()
+	s.Close() // idempotent when empty
+	if got := ECTEvents.Value(); got != 5 {
+		t.Fatalf("ect.events after second run = %d, want 5", got)
+	}
+}
+
+func TestProgressLine(t *testing.T) {
+	Default.Reset()
+	p := NewProgress(10)
+	p.CellDone(true)
+	p.CellDone(false)
+	line := p.Line()
+	for _, want := range []string{"2/10 cells", "1 detections", "ETA"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("progress line %q missing %q", line, want)
+		}
+	}
+	var buf bytes.Buffer
+	stop := p.Start(&buf, time.Hour)
+	stop()
+	if !strings.Contains(buf.String(), "2/10 cells") {
+		t.Fatalf("final line missing: %q", buf.String())
+	}
+}

@@ -1,0 +1,274 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: renders an ECT as the JSON object format
+// consumed by Perfetto (ui.perfetto.dev) and chrome://tracing, the
+// substitute for the patched-runtime artifact's `go tool trace` view.
+//
+// Mapping:
+//   - process 1 is the execution; each goroutine is one thread (track),
+//     named "g<id> <name>" and sorted by goroutine ID.
+//   - every ECT event is exactly one complete ("X") slice carrying its
+//     logical timestamp in args.ect_ts; one logical tick renders as one
+//     microsecond.
+//   - EvGoBlock slices span the whole blocked region — from the park to
+//     the goroutine's next own event (or the end of the trace if it
+//     never ran again) — and are named "block:<reason>".
+//   - GoCreate and GoUnblock edges render as flow arrows from the
+//     creating/unblocking slice to the child's first / the woken
+//     goroutine's next slice.
+//   - injected-fault events and panics are color-highlighted.
+//   - process 2 carries the optional second track set: campaign
+//     telemetry spans (Options.Spans), one thread per span track.
+//
+// The output is deterministic for a fixed trace: slices follow trace
+// order, metadata follows sorted goroutine order, and args marshal as
+// sorted-key JSON objects.
+
+// ChromeSpan is one phase span on the campaign track set of a Chrome
+// export (converted from telemetry spans by the caller, so this package
+// stays free of telemetry dependencies).
+type ChromeSpan struct {
+	Track   string // timeline row (thread) the span renders on
+	Name    string // slice label
+	StartUs int64
+	DurUs   int64
+}
+
+// ChromeOptions configure a Chrome export.
+type ChromeOptions struct {
+	// Dropped is the flight-recorder drop count: when positive, the
+	// export opens with a metadata event recording how many events were
+	// overwritten before the ring window (so a truncated timeline is
+	// never mistaken for a complete one).
+	Dropped int64
+	// Spans is the second track set: campaign telemetry phases rendered
+	// as process 2.
+	Spans []ChromeSpan
+}
+
+// chromeEvent is one entry of the traceEvents array. Field order and
+// omitempty choices are part of the golden-tested output format.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int64          `json:"tid"`
+	ID    int64          `json:"id,omitempty"`
+	BP    string         `json:"bp,omitempty"`
+	Cname string         `json:"cname,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const (
+	chromePidECT   = 1
+	chromePidSpans = 2
+)
+
+// EncodeChrome writes the trace as Chrome trace-event JSON.
+func (t *Trace) EncodeChrome(w io.Writer, opts ChromeOptions) error {
+	evs := make([]chromeEvent, 0, 3*len(t.Events)+16)
+
+	if opts.Dropped > 0 {
+		evs = append(evs, chromeEvent{
+			Name: "flight_recorder", Ph: "M", Pid: chromePidECT,
+			Args: map[string]any{"dropped_events": opts.Dropped},
+		})
+	}
+	evs = append(evs, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePidECT,
+		Args: map[string]any{"name": "ECT (execution concurrency trace)"},
+	})
+
+	// Thread metadata: one track per goroutine, in sorted-ID order.
+	names := map[GoID]string{1: "main"}
+	for _, e := range t.Events {
+		if e.Type == EvGoCreate && e.Str != "" {
+			names[e.Peer] = e.Str
+		}
+	}
+	for _, g := range t.Goroutines() {
+		label := fmt.Sprintf("g%d", g)
+		if n := names[g]; n != "" {
+			label += " " + n
+		}
+		evs = append(evs,
+			chromeEvent{Name: "thread_name", Ph: "M", Pid: chromePidECT, Tid: int64(g),
+				Args: map[string]any{"name": label}},
+			chromeEvent{Name: "thread_sort_index", Ph: "M", Pid: chromePidECT, Tid: int64(g),
+				Args: map[string]any{"sort_index": int64(g)}},
+		)
+	}
+
+	// nextOwn[i]: timestamp of the next event by the same goroutine
+	// (0 = none); firstTs[g]: timestamp of g's first event.
+	nextOwn := make([]int64, len(t.Events))
+	lastSeen := map[GoID]int64{}
+	for i := len(t.Events) - 1; i >= 0; i-- {
+		e := t.Events[i]
+		nextOwn[i] = lastSeen[e.G]
+		lastSeen[e.G] = e.Ts
+	}
+	// tsByG: each goroutine's own timestamps in trace order, for the
+	// flow-arrow destination lookups (binary search instead of rescans).
+	tsByG := map[GoID][]int64{}
+	for _, e := range t.Events {
+		tsByG[e.G] = append(tsByG[e.G], e.Ts)
+	}
+	var endTs int64
+	if n := len(t.Events); n > 0 {
+		endTs = t.Events[n-1].Ts + 1
+	}
+
+	for i, e := range t.Events {
+		evs = append(evs, chromeSlice(e, nextOwn[i], endTs))
+		// Flow arrows: creation and wakeup edges, each pointing at the
+		// peer's first own slice after the edge.
+		if (e.Type == EvGoCreate || e.Type == EvGoUnblock) && e.Peer != 0 {
+			if dst := firstTsAfter(tsByG[e.Peer], e.Ts); dst > 0 {
+				name := "create"
+				if e.Type == EvGoUnblock {
+					name = "unblock"
+				}
+				evs = append(evs, flowPair(name, e.Ts, int64(e.G), dst, int64(e.Peer))...)
+			}
+		}
+	}
+
+	evs = append(evs, spanEvents(opts.Spans)...)
+
+	b, err := json.MarshalIndent(chromeFile{TraceEvents: evs, DisplayTimeUnit: "ms"}, "", " ")
+	if err != nil {
+		return fmt.Errorf("trace: encoding chrome export: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// chromeSlice renders one ECT event as its timeline slice.
+func chromeSlice(e Event, nextOwnTs, endTs int64) chromeEvent {
+	ce := chromeEvent{
+		Name: e.Type.String(),
+		Cat:  CategoryOf(e.Type).String(),
+		Ph:   "X",
+		Ts:   e.Ts,
+		Dur:  1,
+		Pid:  chromePidECT,
+		Tid:  int64(e.G),
+		Args: map[string]any{"ect_ts": e.Ts},
+	}
+	if e.File != "" {
+		ce.Args["src"] = fmt.Sprintf("%s:%d", e.File, e.Line)
+	}
+	if e.Res != 0 {
+		ce.Args["res"] = int64(e.Res)
+	}
+	if e.Peer != 0 {
+		ce.Args["peer"] = int64(e.Peer)
+	}
+	if e.Blocked {
+		ce.Args["blocked"] = true
+	}
+	if e.Str != "" {
+		ce.Args["str"] = e.Str
+	}
+	switch {
+	case e.Type == EvGoBlock:
+		ce.Name = "block:" + e.BlockReason().String()
+		ce.Cname = "grey"
+		ce.Args["reason"] = e.BlockReason().String()
+		wake := nextOwnTs
+		if wake == 0 {
+			wake = endTs
+			ce.Args["unresolved"] = true // still parked when the world stopped
+		}
+		if d := wake - e.Ts; d > 1 {
+			ce.Dur = d
+		}
+	case CategoryOf(e.Type) == CatFault:
+		ce.Cname = "terrible"
+		if e.Aux != 0 {
+			ce.Args["aux"] = e.Aux
+		}
+	case e.Type == EvGoPanic:
+		ce.Cname = "bad"
+	default:
+		if e.Aux != 0 {
+			ce.Args["aux"] = e.Aux
+		}
+	}
+	return ce
+}
+
+// flowPair emits the start/finish halves of one flow arrow. The flow ID
+// is the source timestamp, unique because ECT timestamps are.
+func flowPair(name string, srcTs, srcTid, dstTs, dstTid int64) []chromeEvent {
+	return []chromeEvent{
+		{Name: name, Cat: "flow", Ph: "s", Ts: srcTs, Pid: chromePidECT, Tid: srcTid, ID: srcTs},
+		{Name: name, Cat: "flow", Ph: "f", BP: "e", Ts: dstTs, Pid: chromePidECT, Tid: dstTid, ID: srcTs},
+	}
+}
+
+// firstTsAfter returns the first timestamp in ts (sorted ascending)
+// strictly greater than after, or 0.
+func firstTsAfter(ts []int64, after int64) int64 {
+	i := sort.Search(len(ts), func(i int) bool { return ts[i] > after })
+	if i == len(ts) {
+		return 0
+	}
+	return ts[i]
+}
+
+// spanEvents renders the campaign telemetry track set (process 2): one
+// thread per distinct track, in order of first appearance.
+func spanEvents(spans []ChromeSpan) []chromeEvent {
+	if len(spans) == 0 {
+		return nil
+	}
+	evs := []chromeEvent{{
+		Name: "process_name", Ph: "M", Pid: chromePidSpans,
+		Args: map[string]any{"name": "campaign telemetry"},
+	}}
+	trackTid := map[string]int64{}
+	var tracks []string
+	for _, s := range spans {
+		if _, ok := trackTid[s.Track]; !ok {
+			trackTid[s.Track] = int64(len(tracks) + 1)
+			tracks = append(tracks, s.Track)
+		}
+	}
+	for _, track := range tracks {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePidSpans, Tid: trackTid[track],
+			Args: map[string]any{"name": track},
+		})
+	}
+	ordered := append([]ChromeSpan(nil), spans...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].StartUs < ordered[j].StartUs })
+	for _, s := range ordered {
+		dur := s.DurUs
+		if dur < 1 {
+			dur = 1
+		}
+		evs = append(evs, chromeEvent{
+			Name: s.Name, Cat: "span", Ph: "X", Ts: s.StartUs, Dur: dur,
+			Pid: chromePidSpans, Tid: trackTid[s.Track],
+		})
+	}
+	return evs
+}

@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// decodeChrome unmarshals an export back into the generic shape the
+// assertions below inspect.
+func decodeChrome(t *testing.T, b []byte) []map[string]any {
+	t.Helper()
+	var file struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b, &file); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	return file.TraceEvents
+}
+
+// chromeTestTrace exercises every exporter feature: creation + flow,
+// blocking with a wake, blocking unresolved at trace end, a fault and a
+// panic, and a named child goroutine.
+func chromeTestTrace() *Trace {
+	tr := New(16)
+	tr.Append(Event{Ts: 1, G: 1, Type: EvGoCreate, Peer: 2, Str: "worker", File: "main.go", Line: 5})
+	tr.Append(Event{Ts: 2, G: 1, Type: EvChanMake, Res: 1, Aux: 0})
+	tr.Append(Event{Ts: 3, G: 2, Type: EvGoStart})
+	tr.Append(Event{Ts: 4, G: 1, Type: EvGoBlock, Res: 1, Aux: int64(BlockRecv), File: "main.go", Line: 7})
+	tr.Append(Event{Ts: 5, G: 2, Type: EvFaultStall, Aux: 2})
+	tr.Append(Event{Ts: 6, G: 2, Type: EvGoUnblock, Peer: 1, Res: 1})
+	tr.Append(Event{Ts: 7, G: 1, Type: EvChanRecv, Res: 1, Blocked: true})
+	tr.Append(Event{Ts: 8, G: 2, Type: EvGoPanic, Str: "boom"})
+	tr.Append(Event{Ts: 9, G: 1, Type: EvGoBlock, Res: 1, Aux: int64(BlockSend)})
+	return tr
+}
+
+func TestChromeExportEventBijection(t *testing.T) {
+	tr := chromeTestTrace()
+	var buf bytes.Buffer
+	if err := tr.EncodeChrome(&buf, ChromeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeChrome(t, buf.Bytes())
+
+	// Every ECT event appears exactly once as a timeline slice (the
+	// slices are the entries carrying args.ect_ts); flows and metadata
+	// carry none.
+	seen := map[int64]int{}
+	for _, ce := range evs {
+		args, _ := ce["args"].(map[string]any)
+		if args == nil {
+			continue
+		}
+		if ts, ok := args["ect_ts"]; ok {
+			if ce["ph"] != "X" {
+				t.Fatalf("ect slice with ph %v", ce["ph"])
+			}
+			seen[int64(ts.(float64))]++
+		}
+	}
+	if len(seen) != tr.Len() {
+		t.Fatalf("%d distinct slices for %d events", len(seen), tr.Len())
+	}
+	for _, e := range tr.Events {
+		if seen[e.Ts] != 1 {
+			t.Fatalf("event ts=%d rendered %d times", e.Ts, seen[e.Ts])
+		}
+	}
+}
+
+func TestChromeExportRegionsFlowsAndColors(t *testing.T) {
+	tr := chromeTestTrace()
+	var buf bytes.Buffer
+	if err := tr.EncodeChrome(&buf, ChromeOptions{
+		Spans: []ChromeSpan{
+			{Track: "campaign", Name: "run", StartUs: 0, DurUs: 40},
+			{Track: "campaign", Name: "detect", StartUs: 40, DurUs: 5},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeChrome(t, buf.Bytes())
+
+	var blockDurs []float64
+	var flows []map[string]any
+	var spanSlices int
+	cnames := map[string]string{}
+	for _, ce := range evs {
+		name := ce["name"].(string)
+		switch {
+		case strings.HasPrefix(name, "block:"):
+			blockDurs = append(blockDurs, ce["dur"].(float64))
+			if c, ok := ce["cname"].(string); ok {
+				cnames[name] = c
+			}
+		case ce["cat"] == "flow":
+			flows = append(flows, ce)
+		case name == "FaultStall" || name == "GoPanic":
+			cnames[name] = ce["cname"].(string)
+		}
+		if ce["pid"].(float64) == 2 && ce["ph"] == "X" {
+			spanSlices++
+		}
+	}
+	// g1 blocks at ts=4 and next runs at ts=7: a 3µs region. The second
+	// block (ts=9) is unresolved and extends to trace end + 1.
+	if len(blockDurs) != 2 || blockDurs[0] != 3 || blockDurs[1] != 1 {
+		t.Fatalf("block durations = %v, want [3 1]", blockDurs)
+	}
+	// One create edge + one unblock edge, each a s/f pair with equal IDs.
+	if len(flows) != 4 {
+		t.Fatalf("%d flow events, want 4", len(flows))
+	}
+	byID := map[float64][]string{}
+	for _, f := range flows {
+		byID[f["id"].(float64)] = append(byID[f["id"].(float64)], f["ph"].(string))
+	}
+	for id, phs := range byID {
+		if len(phs) != 2 || phs[0] != "s" || phs[1] != "f" {
+			t.Fatalf("flow %v phases = %v", id, phs)
+		}
+	}
+	if cnames["FaultStall"] != "terrible" {
+		t.Fatalf("fault cname = %q", cnames["FaultStall"])
+	}
+	if cnames["GoPanic"] != "bad" {
+		t.Fatalf("panic cname = %q", cnames["GoPanic"])
+	}
+	if spanSlices != 2 {
+		t.Fatalf("%d span slices on pid 2, want 2", spanSlices)
+	}
+}
+
+func TestChromeExportDroppedLeadsAndEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New(0).EncodeChrome(&buf, ChromeOptions{Dropped: 17}); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeChrome(t, buf.Bytes())
+	if len(evs) == 0 {
+		t.Fatal("empty export")
+	}
+	first := evs[0]
+	if first["name"] != "flight_recorder" || first["ph"] != "M" {
+		t.Fatalf("first event = %v, want leading flight_recorder metadata", first)
+	}
+	args := first["args"].(map[string]any)
+	if args["dropped_events"].(float64) != 17 {
+		t.Fatalf("dropped_events = %v", args["dropped_events"])
+	}
+}
+
+func TestChromeExportDeterministic(t *testing.T) {
+	tr := chromeTestTrace()
+	var b1, b2 bytes.Buffer
+	if err := tr.EncodeChrome(&b1, ChromeOptions{Dropped: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.EncodeChrome(&b2, ChromeOptions{Dropped: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("chrome export is nondeterministic")
+	}
+}
+
+// FuzzChromeExport feeds arbitrary decoded traces to the Chrome
+// exporter: any trace the binary codec accepts must export to valid
+// JSON without panicking, including hostile goroutine IDs, timestamps
+// out of order, and unknown-but-valid event payloads.
+func FuzzChromeExport(f *testing.F) {
+	for _, tr := range fuzzSeedTraces() {
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			f.Fatalf("encoding seed trace: %v", err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.EncodeChrome(&buf, ChromeOptions{Dropped: 3}); err != nil {
+			t.Fatalf("EncodeChrome failed on a decoded trace: %v", err)
+		}
+		if !json.Valid(buf.Bytes()) {
+			t.Fatal("chrome export is not valid JSON")
+		}
+	})
+}

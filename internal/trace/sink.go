@@ -72,6 +72,8 @@ func (m MultiSink) StopRequested() bool {
 type Pool struct {
 	mu   sync.Mutex
 	free []*Trace
+	gets int64 // total Get calls
+	hits int64 // Gets served from a recycled buffer
 }
 
 // NewPool returns an empty pool.
@@ -82,13 +84,23 @@ func NewPool() *Pool { return &Pool{} }
 func (p *Pool) Get() *Trace {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.gets++
 	if n := len(p.free); n > 0 {
 		t := p.free[n-1]
 		p.free = p.free[:n-1]
 		t.Reset()
+		p.hits++
 		return t
 	}
 	return New(1024)
+}
+
+// Stats reports the pool's lifetime Get count and how many of those
+// reused a recycled buffer (telemetry reads the delta per campaign).
+func (p *Pool) Stats() (gets, hits int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gets, p.hits
 }
 
 // Put recycles a trace's storage for a future Get. The caller must not
@@ -145,6 +157,15 @@ func (r *RingSink) Len() int { return len(r.buf) }
 
 // Dropped returns how many events have been overwritten.
 func (r *RingSink) Dropped() int64 { return r.dropped }
+
+// Reset empties the recorder so the next event starts a fresh window
+// (used between campaign runs sharing one flight recorder).
+func (r *RingSink) Reset() {
+	r.buf = r.buf[:0]
+	r.next = 0
+	r.full = false
+	r.dropped = 0
+}
 
 // Snapshot returns the recorded window as a trace, oldest event first.
 // The returned trace is a copy; the recorder keeps running.

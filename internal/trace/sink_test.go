@@ -119,3 +119,57 @@ func TestRingSinkMinimumCapacity(t *testing.T) {
 		t.Fatalf("ring of capacity 1: %v", r.Snapshot().Events)
 	}
 }
+
+// TestRingSinkSnapshotChronological pins the wrap-around ordering at
+// every fill level: whatever the write cursor's position, Snapshot must
+// return the retained window oldest-first with strictly ascending
+// timestamps.
+func TestRingSinkSnapshotChronological(t *testing.T) {
+	for total := int64(1); total <= 13; total++ {
+		r := NewRingSink(5)
+		for ts := int64(1); ts <= total; ts++ {
+			r.Event(ev(ts))
+		}
+		snap := r.Snapshot()
+		want := total - 4 // oldest retained timestamp
+		if want < 1 {
+			want = 1
+		}
+		for i, e := range snap.Events {
+			if e.Ts != want+int64(i) {
+				t.Fatalf("after %d events: snapshot[%d].Ts = %d, want %d (full window: %v)",
+					total, i, e.Ts, want+int64(i), snap.Events)
+			}
+		}
+	}
+}
+
+func TestRingSinkReset(t *testing.T) {
+	r := NewRingSink(3)
+	for ts := int64(1); ts <= 7; ts++ {
+		r.Event(ev(ts))
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatalf("after Reset: len %d dropped %d", r.Len(), r.Dropped())
+	}
+	r.Event(ev(8))
+	snap := r.Snapshot()
+	if snap.Len() != 1 || snap.Events[0] != ev(8) {
+		t.Fatalf("ring after Reset: %v", snap.Events)
+	}
+}
+
+func TestPoolStats(t *testing.T) {
+	p := NewPool()
+	a := p.Get()
+	p.Get()
+	if gets, hits := p.Stats(); gets != 2 || hits != 0 {
+		t.Fatalf("stats after cold Gets: %d/%d", gets, hits)
+	}
+	p.Put(a)
+	p.Get()
+	if gets, hits := p.Stats(); gets != 3 || hits != 1 {
+		t.Fatalf("stats after recycled Get: %d/%d", gets, hits)
+	}
+}
