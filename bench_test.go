@@ -6,6 +6,7 @@
 package goat_test
 
 import (
+	"context"
 	"testing"
 
 	"goat"
@@ -13,6 +14,7 @@ import (
 	"goat/internal/cover"
 	"goat/internal/detect"
 	"goat/internal/engine"
+	"goat/internal/fabric"
 	"goat/internal/goker"
 	"goat/internal/gtree"
 	"goat/internal/harness"
@@ -200,7 +202,7 @@ func benchCampaignCell(b *testing.B, buffered bool) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep, err := engine.Run(engine.Config{
+		rep, err := engine.Run(context.Background(), engine.Config{
 			Prog: k.Main,
 			Plan: func(i int, _ *engine.Feedback) sim.Options {
 				return sim.Options{Seed: 1 + int64(i)}
@@ -250,7 +252,7 @@ func benchTelemetryOverhead(b *testing.B, enabled bool) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep, err := engine.Run(engine.Config{
+		rep, err := engine.Run(context.Background(), engine.Config{
 			Prog: k.Main,
 			Plan: func(i int, _ *engine.Feedback) sim.Options {
 				return sim.Options{Seed: 1 + int64(i)}
@@ -394,4 +396,61 @@ func BenchmarkPredictMine(b *testing.B) {
 		n = len(detect.Predict(r.Trace))
 	}
 	b.ReportMetric(float64(n), "hazards")
+}
+
+// BenchmarkCheckpointJournalAppend measures the fabric coordinator's
+// per-cell checkpoint cost: one unbuffered JSON append per merged cell.
+func BenchmarkCheckpointJournalAppend(b *testing.B) {
+	job, err := fabric.NewJob(harness.Config{MaxExecs: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	j, _, err := fabric.OpenJournal(b.TempDir()+"/journal.jsonl", job.Fingerprint(), job.Cells())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	cell := harness.Cell{Bug: "moby_28462", Tool: "goat-D2", Found: true, MinExecs: 3, Verdict: "PDL-2"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.Append(i%job.Cells(), cell); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+// BenchmarkCheckpointJournalReplay measures coordinator restart: reopening
+// a full-campaign journal and readmitting every checkpointed cell.
+func BenchmarkCheckpointJournalReplay(b *testing.B) {
+	job, err := fabric.NewJob(harness.Config{MaxExecs: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := b.TempDir() + "/journal.jsonl"
+	j, _, err := fabric.OpenJournal(path, job.Fingerprint(), job.Cells())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cell := harness.Cell{Bug: "moby_28462", Tool: "goat-D2", Found: true, MinExecs: 3, Verdict: "PDL-2"}
+	for seq := 0; seq < job.Cells(); seq++ {
+		if err := j.Append(seq, cell); err != nil {
+			b.Fatal(err)
+		}
+	}
+	j.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, done, err := fabric.OpenJournal(path, job.Fingerprint(), job.Cells())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(done) != job.Cells() {
+			b.Fatalf("replayed %d cells, want %d", len(done), job.Cells())
+		}
+		j.Close()
+	}
+	b.ReportMetric(float64(job.Cells())*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
 }

@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 
 	"goat/internal/cover"
@@ -61,6 +64,12 @@ func main() {
 		fatal(err)
 	}
 
+	// SIGINT cancels the campaign at the next run boundary; a second
+	// SIGINT kills the process outright (signal.NotifyContext restores
+	// the default handler once the context is done).
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
 	switch {
 	case *list:
 		listKernels()
@@ -73,7 +82,7 @@ func main() {
 			fatal(err)
 		}
 	case *bug != "":
-		if err := runBug(*bug, *tool, *d, *freq, *parallel, *seed, *covFlag, *raceOn, *traceOut, *htmlOut, *timeline, faults); err != nil {
+		if err := runBug(ctx, *bug, *tool, *d, *freq, *parallel, *seed, *covFlag, *raceOn, *traceOut, *htmlOut, *timeline, faults); err != nil {
 			fatal(err)
 		}
 	case *path != "":
@@ -155,7 +164,7 @@ func detectorFor(name string) (detect.Detector, error) {
 	}
 }
 
-func runBug(id, tool string, d, freq, parallel int, seed int64, covFlag, raceOn bool, traceOut, htmlOut, timeline string, faults fault.Options) error {
+func runBug(ctx context.Context, id, tool string, d, freq, parallel int, seed int64, covFlag, raceOn bool, traceOut, htmlOut, timeline string, faults fault.Options) error {
 	k, ok := goker.ByID(id)
 	if !ok {
 		return fmt.Errorf("unknown bug %q (try -list)", id)
@@ -212,8 +221,12 @@ func runBug(id, tool string, d, freq, parallel int, seed int64, covFlag, raceOn 
 		cfg.Parallel = parallel
 	}
 	endCampaign := telemetry.Default.Span("campaign", fmt.Sprintf("campaign %s/%s", id, tool))
-	rep, err := engine.Run(cfg)
+	rep, err := engine.Run(ctx, cfg)
 	endCampaign()
+	if errors.Is(err, context.Canceled) {
+		fmt.Printf("\ninterrupted after %d execution(s); partial results above\n", rep.Runs)
+		return nil
+	}
 	if err != nil {
 		return err
 	}

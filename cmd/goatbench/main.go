@@ -19,9 +19,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -97,6 +99,12 @@ func main() {
 		fmt.Println()
 	}
 
+	// SIGINT cancels the campaign at the next run boundary; the partial
+	// Table IV (canceled cells annotated CANC!) and its CampaignHealth
+	// still flush so the operator keeps everything measured so far.
+	ctx, cancelCampaign := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancelCampaign()
+
 	var tab *harness.TableIV
 	table4 := func() *harness.TableIV {
 		if tab == nil {
@@ -109,6 +117,7 @@ func main() {
 				Retries:      *retries,
 				Kernels:      kernels,
 				FlightRecDir: *flightRec,
+				Ctx:          ctx,
 			}
 			if *predict {
 				cfg.Tools = harness.ToolsWithPredict()
@@ -143,6 +152,9 @@ func main() {
 		t := table4()
 		fmt.Println(t)
 		fmt.Println(report.CampaignHealth(t))
+		if ctx.Err() != nil {
+			return fmt.Errorf("campaign interrupted — partial results above")
+		}
 		return nil
 	})
 	run("fig2", func() error {

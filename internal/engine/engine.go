@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -112,8 +113,15 @@ type Report struct {
 	Found *Feedback
 }
 
-// Run executes the campaign.
-func Run(cfg Config) (*Report, error) {
+// Run executes the campaign. The context cancels it between executions:
+// a single sim run is uninterruptible (it is bounded by MaxSteps, not by
+// wall clock), so cancellation takes effect at the next run boundary and
+// Run returns the partial Report alongside ctx.Err(). A nil ctx behaves
+// like context.Background().
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Prog == nil || cfg.Plan == nil {
 		return nil, fmt.Errorf("engine: Prog and Plan are required")
 	}
@@ -122,12 +130,15 @@ func Run(cfg Config) (*Report, error) {
 	}
 	defer trackPoolStats(cfg.Pool)()
 	if cfg.Parallel > 1 && cfg.OnRun == nil && cfg.Coverage == nil {
-		return runParallel(&cfg)
+		return runParallel(ctx, &cfg)
 	}
 	rep := &Report{}
 	var prev *Feedback
 	var sc scratch
 	for i := 0; i < cfg.Runs; i++ {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
 		fb, err := runOne(&cfg, i, prev, &sc)
 		rep.Runs = i + 1
 		if err != nil {
@@ -285,7 +296,7 @@ func recycle(cfg *Config, fb *Feedback, keep bool) {
 // cell matches the sequential campaign's. With StopOnFound, workers stop
 // claiming indices past the best detection but runs already in flight
 // complete (one of them may detect at a lower index).
-func runParallel(cfg *Config) (*Report, error) {
+func runParallel(ctx context.Context, cfg *Config) (*Report, error) {
 	workers := cfg.Parallel
 	if workers > cfg.Runs {
 		workers = cfg.Runs
@@ -301,6 +312,10 @@ func runParallel(cfg *Config) (*Report, error) {
 		mu.Lock()
 		defer mu.Unlock()
 		if firstErr != nil || next >= cfg.Runs {
+			return -1
+		}
+		if err := ctx.Err(); err != nil {
+			firstErr = err
 			return -1
 		}
 		if cfg.StopOnFound && found != nil && next > found.Index {

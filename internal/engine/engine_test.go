@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"testing"
 
 	"goat/internal/conc"
@@ -35,11 +36,11 @@ func cellConfig(t *testing.T, buffered bool) engine.Config {
 }
 
 func TestStreamingCellMatchesBuffered(t *testing.T) {
-	buf, err := engine.Run(cellConfig(t, true))
+	buf, err := engine.Run(context.Background(), cellConfig(t, true))
 	if err != nil {
 		t.Fatalf("buffered: %v", err)
 	}
-	str, err := engine.Run(cellConfig(t, false))
+	str, err := engine.Run(context.Background(), cellConfig(t, false))
 	if err != nil {
 		t.Fatalf("streaming: %v", err)
 	}
@@ -61,13 +62,13 @@ func TestStreamingCellMatchesBuffered(t *testing.T) {
 }
 
 func TestParallelCellMatchesSequential(t *testing.T) {
-	seq, err := engine.Run(cellConfig(t, false))
+	seq, err := engine.Run(context.Background(), cellConfig(t, false))
 	if err != nil {
 		t.Fatalf("sequential: %v", err)
 	}
 	cfg := cellConfig(t, false)
 	cfg.Parallel = 8
-	par, err := engine.Run(cfg)
+	par, err := engine.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("parallel: %v", err)
 	}
@@ -106,7 +107,7 @@ func abbaProg(spin int) func(*sim.G) {
 
 func TestEarlyStopShortensDecidedRun(t *testing.T) {
 	run := func(early bool) *engine.Report {
-		rep, err := engine.Run(engine.Config{
+		rep, err := engine.Run(context.Background(), engine.Config{
 			Prog: abbaProg(500),
 			Plan: func(i int, _ *engine.Feedback) sim.Options {
 				return sim.Options{Seed: 1}
@@ -148,7 +149,7 @@ func TestEarlyStopShortensDecidedRun(t *testing.T) {
 func TestOnRunObservesRunsInOrderWithCoverage(t *testing.T) {
 	model := cover.NewModel(nil)
 	var seen []int
-	rep, err := engine.Run(engine.Config{
+	rep, err := engine.Run(context.Background(), engine.Config{
 		Prog: abbaProg(0),
 		Plan: func(i int, _ *engine.Feedback) sim.Options {
 			return sim.Options{Seed: int64(i)}
@@ -180,11 +181,128 @@ func TestOnRunObservesRunsInOrderWithCoverage(t *testing.T) {
 	}
 }
 
+// livelockProg never settles: two goroutines trade the scheduler forever,
+// so every run exhausts MaxSteps and is classified OutcomeTimeout.
+func livelockProg(g *sim.G) {
+	g.Go("ping", func(p *sim.G) {
+		for {
+			p.HandlerHere()
+		}
+	})
+	for {
+		g.HandlerHere()
+	}
+}
+
+// timeoutConfig is a campaign over a livelocked kernel with a tight step
+// budget: every execution times out and the detector must classify the
+// hang, in sequential and parallel mode alike.
+func timeoutConfig(d detect.Detector, needTrace bool) engine.Config {
+	return engine.Config{
+		Prog: livelockProg,
+		Plan: func(i int, _ *engine.Feedback) sim.Options {
+			return sim.Options{Seed: 1 + int64(i), MaxSteps: 300}
+		},
+		Runs:               16,
+		Detector:           d,
+		DetectorNeedsTrace: needTrace,
+		Pool:               trace.NewPool(),
+		StopOnFound:        true,
+	}
+}
+
+// TestTimeoutClassificationUnderParallel pins OutcomeTimeout handling in
+// parallel mode: a campaign whose every run times out must report the
+// same detection at the same index as the sequential campaign, and the
+// detecting run must carry the TO outcome.
+func TestTimeoutClassificationUnderParallel(t *testing.T) {
+	seq, err := engine.Run(context.Background(), timeoutConfig(detect.Goat{}, true))
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	cfg := timeoutConfig(detect.Goat{}, true)
+	cfg.Parallel = 8
+	par, err := engine.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if seq.Found == nil || par.Found == nil {
+		t.Fatalf("timeout not detected: sequential %v, parallel %v", seq.Found, par.Found)
+	}
+	if seq.Found.Result.Outcome != sim.OutcomeTimeout {
+		t.Fatalf("sequential detecting run outcome = %v, want TO", seq.Found.Result.Outcome)
+	}
+	if par.Found.Result.Outcome != sim.OutcomeTimeout {
+		t.Fatalf("parallel detecting run outcome = %v, want TO", par.Found.Result.Outcome)
+	}
+	if seq.Found.Index != par.Found.Index || *seq.Found.Detection != *par.Found.Detection {
+		t.Fatalf("parallel timeout classification diverged: seq (%d, %+v) vs par (%d, %+v)",
+			seq.Found.Index, *seq.Found.Detection, par.Found.Index, *par.Found.Detection)
+	}
+}
+
+// TestTimeoutInvisibleToBuiltinUnderParallel: the builtin detector calls a
+// livelock HANG but does not count it as a detection, so the campaign
+// exhausts its budget — in parallel mode too.
+func TestTimeoutInvisibleToBuiltinUnderParallel(t *testing.T) {
+	cfg := timeoutConfig(detect.Builtin{}, false)
+	cfg.Parallel = 4
+	rep, err := engine.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Found != nil {
+		t.Fatalf("builtin counted a livelock as a detection: %+v", rep.Found.Detection)
+	}
+	if rep.Runs != cfg.Runs {
+		t.Fatalf("campaign stopped after %d/%d runs without a detection", rep.Runs, cfg.Runs)
+	}
+}
+
+// TestCancellationStopsSequentialCampaign: canceling the context mid-
+// campaign returns the partial report and ctx.Err() at the next run
+// boundary.
+func TestCancellationStopsSequentialCampaign(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := cellConfig(t, false)
+	cfg.StopOnFound = false
+	cfg.Runs = 50
+	plan := cfg.Plan
+	cfg.Plan = func(i int, prev *engine.Feedback) sim.Options {
+		if i == 3 {
+			cancel()
+		}
+		return plan(i, prev)
+	}
+	rep, err := engine.Run(ctx, cfg)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep == nil || rep.Runs == 0 || rep.Runs >= 50 {
+		t.Fatalf("partial report runs = %+v, want a strict prefix of the campaign", rep)
+	}
+}
+
+// TestCancellationStopsParallelCampaign: same contract under Parallel.
+func TestCancellationStopsParallelCampaign(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := cellConfig(t, false)
+	cfg.Parallel = 4
+	rep, err := engine.Run(ctx, cfg)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep == nil {
+		t.Fatal("canceled parallel campaign returned no report")
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
-	if _, err := engine.Run(engine.Config{}); err == nil {
+	if _, err := engine.Run(context.Background(), engine.Config{}); err == nil {
 		t.Fatal("empty config must error")
 	}
-	if _, err := engine.Run(engine.Config{
+	if _, err := engine.Run(context.Background(), engine.Config{
 		Prog: func(*sim.G) {},
 		Plan: func(int, *engine.Feedback) sim.Options { return sim.Options{} },
 	}); err == nil {

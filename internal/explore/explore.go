@@ -11,6 +11,7 @@
 package explore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -222,7 +223,7 @@ func Run(prog func(*sim.G), strat Strategy, cfg Config) (*Outcome, error) {
 	out := &Outcome{Strategy: strat.Name(), Model: model}
 	stopOnBug := cfg.StopOnBug || cfg.TargetPercent == 0
 
-	_, err := engine.Run(engine.Config{
+	_, err := engine.Run(context.Background(), engine.Config{
 		Prog: prog,
 		Plan: func(i int, prev *engine.Feedback) sim.Options {
 			return strat.Next(i, stratFeedback(prev))

@@ -1,0 +1,239 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"goat/internal/goker"
+	"goat/internal/harness"
+	"goat/internal/telemetry"
+)
+
+// chaosAction is the test seam's verdict on one leased unit: run it,
+// crash without reporting (the coordinator sees an expiring lease and
+// reassigns), or hang — wedge past the lease TTL, then wake up and run
+// the cell anyway, so the stale submission races whichever worker the
+// unit was reassigned to (idempotent completion must absorb it).
+type chaosAction uint8
+
+const (
+	chaosRun chaosAction = iota
+	chaosCrash
+	chaosHang
+)
+
+// errCrashed is the worker's exit when the chaos seam kills it mid-cell.
+var errCrashed = fmt.Errorf("fabric: worker crashed (chaos)")
+
+// Worker pulls work units from a coordinator, evaluates each cell with
+// the hardened harness, and reports results back. It is stateless: any
+// number of workers may serve one campaign, join late, or die at any
+// point — the coordinator's lease machinery covers for them.
+type Worker struct {
+	// Coord is the coordinator's base URL, e.g. "http://127.0.0.1:7777".
+	Coord string
+	// Name identifies the worker in leases, progress lines and the shard
+	// summary.
+	Name string
+	// Client is the HTTP client (nil = a default with sane timeouts).
+	Client *http.Client
+	// FlightDir is the local scratch directory for flight-recorder dumps
+	// when the job requests them ("" = a fresh temp dir).
+	FlightDir string
+	// Poll is the idle backoff while the coordinator has nothing leasable
+	// (0 = 200ms).
+	Poll time.Duration
+	// OnCell observes every cell this worker evaluated, before it is
+	// submitted.
+	OnCell func(Unit, harness.Cell)
+
+	// intercept is the chaos test seam, consulted per leased unit.
+	intercept func(Unit) chaosAction
+}
+
+func (w *Worker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return &http.Client{Timeout: 60 * time.Second}
+}
+
+func (w *Worker) poll() time.Duration {
+	if w.Poll > 0 {
+		return w.Poll
+	}
+	return 200 * time.Millisecond
+}
+
+// Run serves the coordinator until the campaign completes (nil), the
+// context is canceled (ctx.Err()), or the coordinator stays unreachable
+// past the retry budget.
+func (w *Worker) Run(ctx context.Context) error {
+	var job JobSpec
+	if err := w.call(ctx, http.MethodGet, "/v1/job", nil, &job); err != nil {
+		return fmt.Errorf("fabric: fetching job from %s: %w", w.Coord, err)
+	}
+	if err := job.Validate(); err != nil {
+		return fmt.Errorf("fabric: coordinator job not runnable on this worker: %w", err)
+	}
+	specs := map[string]harness.Spec{}
+	for _, t := range job.Tools {
+		s, err := t.Spec()
+		if err != nil {
+			return err
+		}
+		specs[t.Name] = s
+	}
+	flightDir := ""
+	if job.FlightRec {
+		flightDir = w.FlightDir
+		if flightDir == "" {
+			d, err := os.MkdirTemp("", "goat-fabric-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(d)
+			flightDir = d
+		}
+	}
+	cfg := job.CellConfig(flightDir)
+	cfg.Ctx = ctx
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var lease leaseResponse
+		if err := w.call(ctx, http.MethodPost, "/v1/lease", leaseRequest{Worker: w.Name}, &lease); err != nil {
+			return fmt.Errorf("fabric: leasing from %s: %w", w.Coord, err)
+		}
+		switch {
+		case lease.Done:
+			return nil
+		case lease.Wait || lease.Unit == nil:
+			if err := sleepCtx(ctx, w.poll()); err != nil {
+				return err
+			}
+			continue
+		}
+		unit := *lease.Unit
+
+		if w.intercept != nil {
+			switch w.intercept(unit) {
+			case chaosCrash:
+				return errCrashed
+			case chaosHang:
+				// Overstay the lease, then proceed: the submission below
+				// arrives stale, after the coordinator reassigned the unit.
+				ttl := time.Duration(lease.TTLMillis) * time.Millisecond
+				if err := sleepCtx(ctx, ttl+ttl/2); err != nil {
+					return err
+				}
+			}
+		}
+
+		k, ok := goker.ByID(unit.Bug)
+		if !ok {
+			// Validated at startup; a registry mismatch mid-run means the
+			// worker cannot serve this job.
+			return fmt.Errorf("fabric: kernel %q vanished from the registry", unit.Bug)
+		}
+		spec, ok := specs[unit.Tool]
+		if !ok {
+			return fmt.Errorf("fabric: leased unknown tool %q", unit.Tool)
+		}
+		cell := harness.RunCell(k, spec, cfg)
+		if telemetry.Enabled() {
+			telemetry.FabricWorkerCells.Inc()
+		}
+		if w.OnCell != nil {
+			w.OnCell(unit, cell)
+		}
+		if cell.Status == harness.CellCanceled {
+			// Shutdown mid-cell: drop the partial verdict; the lease will
+			// expire and the unit will be re-evaluated elsewhere.
+			return ctx.Err()
+		}
+
+		req := completeRequest{Worker: w.Name, LeaseID: lease.LeaseID, Seq: unit.Seq, Cell: cell}
+		if cell.FlightRec != "" {
+			if data, err := os.ReadFile(cell.FlightRec); err == nil {
+				req.FlightRecName = filepath.Base(cell.FlightRec)
+				req.FlightRec = data
+			}
+		}
+		var resp completeResponse
+		if err := w.call(ctx, http.MethodPost, "/v1/complete", req, &resp); err != nil {
+			return fmt.Errorf("fabric: submitting %s: %w", unit, err)
+		}
+		if resp.Done {
+			return nil
+		}
+	}
+}
+
+// call is one JSON round-trip with bounded retries, so a worker rides out
+// a coordinator restart or a transient network failure instead of dying
+// with the campaign half-done.
+func (w *Worker) call(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	const attempts = 10
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if i > 0 {
+			if err := sleepCtx(ctx, time.Duration(i)*300*time.Millisecond); err != nil {
+				return err
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, method, w.Coord+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := w.client().Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+			continue
+		}
+		err = json.NewDecoder(resp.Body).Decode(out)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// sleepCtx sleeps d or until the context dies.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -71,6 +72,53 @@ func TestFlightRecorderDumpOnHungCell(t *testing.T) {
 	}
 	if cell.Wall <= 0 {
 		t.Fatal("cell carries no wall-clock timing")
+	}
+}
+
+// A cell that exhausts its watchdog retries must record the *last*
+// attempt's flight-recorder dump — the freshest forensic — not only the
+// first attempt's. Every attempt leaves its own seed-named dump on disk,
+// and the cell points at the final one.
+func TestFlightRecorderKeepsLastDumpAcrossRetries(t *testing.T) {
+	dir := t.TempDir()
+	hang := make(chan struct{})
+	t.Cleanup(func() { close(hang) })
+	var calls atomic.Int64
+	k := goker.Kernel{
+		ID:      "test_hang_retry",
+		Project: "test",
+		Main: func(g *sim.G) {
+			if calls.Add(1) == 1 {
+				// First attempt: real events, then a hang mid-run.
+				ch := conc.NewChan[int](g, 1)
+				ch.Send(g, 1)
+				ch.Recv(g)
+			}
+			// Retries hang immediately, before any event reaches the ring.
+			<-hang
+		},
+	}
+	cell := RunCell(k, Spec{Name: "builtin"}, Config{
+		MaxExecs:     5,
+		CellBudget:   100 * time.Millisecond,
+		Retries:      1,
+		FlightRecDir: dir,
+	})
+	if cell.Status != CellHung || cell.Retries != 1 {
+		t.Fatalf("cell status=%v retries=%d, want hung after 1 retry", cell.Status, cell.Retries)
+	}
+	// The retry runs under the fresh-seed stride, so the last attempt's
+	// dump carries the retry seed in its name.
+	last := filepath.Join(dir, "flightrec-test_hang_retry-builtin-4294967296.json")
+	if cell.FlightRec != last {
+		t.Fatalf("flightrec path = %q, want the last attempt's dump %q", cell.FlightRec, last)
+	}
+	if _, err := os.Stat(cell.FlightRec); err != nil {
+		t.Fatalf("recorded dump unreadable: %v", err)
+	}
+	// The first attempt's dump is retained on disk too, for comparison.
+	if _, err := os.Stat(filepath.Join(dir, "flightrec-test_hang_retry-builtin-0.json")); err != nil {
+		t.Fatalf("first attempt's dump missing: %v", err)
 	}
 }
 

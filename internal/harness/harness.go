@@ -12,6 +12,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -138,6 +140,20 @@ type Config struct {
 	// reporting). It may be called from concurrent row workers and must be
 	// safe for that.
 	OnCell func(Cell)
+
+	// Ctx cancels the campaign between executions: once it is done, the
+	// in-flight cell finishes its current run, every not-yet-evaluated
+	// cell is recorded CellCanceled, and the campaign returns a partial
+	// (but fully populated) table so health reporting can flush what was
+	// measured. Nil behaves like context.Background().
+	Ctx context.Context
+}
+
+func (c Config) ctx() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
 }
 
 func (c Config) maxExecs() int {
@@ -193,9 +209,12 @@ const (
 	// CellHung means the cell exceeded its wall-clock budget (even after
 	// retries) and was abandoned by the watchdog.
 	CellHung
+	// CellCanceled means the campaign was canceled (Config.Ctx) before or
+	// while the cell was being evaluated; the cell carries no verdict.
+	CellCanceled
 )
 
-var cellStatusNames = [...]string{"ok", "err", "hung"}
+var cellStatusNames = [...]string{"ok", "err", "hung", "canceled"}
 
 // String returns the status name.
 func (s CellStatus) String() string {
@@ -235,6 +254,8 @@ func (c Cell) String() string {
 		return "ERR!"
 	case CellHung:
 		return fmt.Sprintf("HUNG! (r%d)", c.Retries)
+	case CellCanceled:
+		return "CANC!"
 	}
 	if !c.Found {
 		return fmt.Sprintf("X (%d)", c.MinExecs)
@@ -262,7 +283,7 @@ func minExecs(k goker.Kernel, spec Spec, cfg Config, maxExecs int, seed int64, r
 	if ring != nil {
 		sinks = []trace.Sink{ring}
 	}
-	rep, err := engine.Run(engine.Config{
+	rep, err := engine.Run(cfg.ctx(), engine.Config{
 		Prog: k.Main,
 		Plan: func(i int, _ *engine.Feedback) sim.Options {
 			return sim.Options{
@@ -281,8 +302,13 @@ func minExecs(k goker.Kernel, spec Spec, cfg Config, maxExecs int, seed int64, r
 		StopOnFound:        true,
 	})
 	if err != nil {
-		// The cell's engine configuration is static and valid; an error
-		// here is a programming bug, surfaced through the cell quarantine.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			cell.Status = CellCanceled
+			cell.Err = "campaign canceled"
+			return cell
+		}
+		// The cell's engine configuration is static and valid; any other
+		// error is a programming bug, surfaced through the cell quarantine.
 		panic(err)
 	}
 	if rep.Found != nil {
@@ -348,7 +374,9 @@ func (f *flightRing) snapshot() (*trace.Trace, int64) {
 // trace-event file and records the path on the cell. Dump failures are
 // swallowed: forensics must never fail a campaign.
 func dumpFlightRec(dir string, cell *Cell, ring *flightRing, seed int64) {
-	if dir == "" || ring == nil || !cell.Failed() {
+	// Canceled cells are not failures worth forensics: the operator asked
+	// the campaign to stop, so only ERR/HUNG cells dump their window.
+	if dir == "" || ring == nil || (cell.Status != CellErr && cell.Status != CellHung) {
 		return
 	}
 	tr, dropped := ring.snapshot()
@@ -382,13 +410,24 @@ func dumpFlightRec(dir string, cell *Cell, ring *flightRing, seed int64) {
 func RunCell(k goker.Kernel, spec Spec, cfg Config) Cell {
 	start := time.Now()
 	var cell Cell
+	lastDump := ""
 	for attempt := 0; ; attempt++ {
 		seed := cfg.BaseSeed + int64(attempt)*retrySeedStride
 		cell = guardedMinExecs(k, spec, cfg, seed)
 		cell.Retries = attempt
+		if cell.FlightRec != "" {
+			lastDump = cell.FlightRec
+		}
 		if cell.Status != CellHung || attempt >= cfg.retries() {
 			break
 		}
+	}
+	if cell.Failed() && cell.FlightRec == "" && lastDump != "" {
+		// A retried attempt can hang before it emits a single event, so
+		// its own flight ring is empty and produced no dump. The cell
+		// still names the freshest forensic we have: the dump of the most
+		// recent attempt that recorded one.
+		cell.FlightRec = lastDump
 	}
 	cell.Wall = time.Since(start)
 	if telemetry.Enabled() {
@@ -427,6 +466,14 @@ func guardedMinExecs(k goker.Kernel, spec Spec, cfg Config, seed int64) Cell {
 		cell = Cell{
 			Bug: k.ID, Tool: spec.Name, Status: CellHung,
 			Err: fmt.Sprintf("cell exceeded the %v wall-clock budget", cfg.cellBudget()),
+		}
+	case <-cfg.ctx().Done():
+		// A canceled campaign must not keep waiting out the watchdog
+		// budget of a hung worker; the abandoned goroutine is left behind
+		// exactly as in the HUNG case.
+		cell = Cell{
+			Bug: k.ID, Tool: spec.Name, Status: CellCanceled,
+			Err: "campaign canceled",
 		}
 	}
 	dumpFlightRec(cfg.FlightRecDir, &cell, ring, seed)
@@ -477,7 +524,14 @@ func RunTableIV(cfg Config) *TableIV {
 		}()
 		row := TableIVRow{Bug: kernels[i].ID}
 		for _, s := range tools {
-			cell := RunCell(kernels[i], s, cfg)
+			var cell Cell
+			if cfg.ctx().Err() != nil {
+				// Canceled campaign: the matrix is still fully populated
+				// so Table IV and CampaignHealth can flush partial results.
+				cell = Cell{Bug: kernels[i].ID, Tool: s.Name, Status: CellCanceled, Err: "campaign canceled"}
+			} else {
+				cell = RunCell(kernels[i], s, cfg)
+			}
 			if cfg.OnCell != nil {
 				cfg.OnCell(cell)
 			}
@@ -504,6 +558,30 @@ func RunTableIV(cfg Config) *TableIV {
 		}()
 	}
 	wg.Wait()
+	return t
+}
+
+// AssembleTableIV builds a Table IV from cells evaluated elsewhere — the
+// shard-aware merge of the distributed campaign fabric, where each cell
+// arrives from whichever worker held its lease. Rows are laid out in the
+// given (bugs × tools) order, so a table assembled from a complete cell
+// set is identical to RunTableIV's regardless of evaluation order. A
+// missing cell is recorded CellCanceled ("not evaluated"), which is what
+// a partially merged campaign (interrupted coordinator) reports.
+func AssembleTableIV(bugs, tools []string, cell func(bug, tool string) (Cell, bool)) *TableIV {
+	t := &TableIV{Tools: append([]string(nil), tools...)}
+	t.Rows = make([]TableIVRow, len(bugs))
+	for i, b := range bugs {
+		row := TableIVRow{Bug: b}
+		for _, tool := range tools {
+			c, ok := cell(b, tool)
+			if !ok {
+				c = Cell{Bug: b, Tool: tool, Status: CellCanceled, Err: "not evaluated"}
+			}
+			row.Cells = append(row.Cells, c)
+		}
+		t.Rows[i] = row
+	}
 	return t
 }
 

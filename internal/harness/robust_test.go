@@ -5,6 +5,7 @@ package harness_test
 // imports harness, so these tests cannot live inside package harness).
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -216,5 +217,57 @@ func TestTimeoutRunDoesNotCorruptCoverageTree(t *testing.T) {
 	}
 	if st.Total <= 0 || st.Covered <= 0 {
 		t.Fatalf("coverage stats corrupted: %+v", st)
+	}
+}
+
+// TestCanceledCampaignFlushesPartialTable: canceling the campaign context
+// mid-table must stop evaluating, mark the remaining cells CANC!, and
+// still render a fully-populated Table IV plus its health summary — the
+// contract behind goat/goatbench's SIGINT handling.
+func TestCanceledCampaignFlushesPartialTable(t *testing.T) {
+	kernels := goker.GoKer()[:6]
+	ctx, cancel := context.WithCancel(context.Background())
+	var evaluated int
+	cfg := harness.Config{
+		MaxExecs: 2,
+		Ctx:      ctx,
+		Kernels:  kernels,
+		Tools:    []harness.Spec{{Name: "goat-D0", Detector: detect.Goat{}, NeedTrace: true}},
+		OnCell: func(c harness.Cell) {
+			evaluated++
+			if evaluated == 2 {
+				cancel()
+			}
+		},
+	}
+	tab := harness.RunTableIV(cfg)
+	if len(tab.Rows) != 6 {
+		t.Fatalf("partial table has %d rows, want all 6", len(tab.Rows))
+	}
+	var canceled, done int
+	for _, row := range tab.Rows {
+		for _, c := range row.Cells {
+			switch c.Status {
+			case harness.CellCanceled:
+				canceled++
+				if c.Err == "" {
+					t.Errorf("canceled cell %s/%s carries no reason", c.Bug, c.Tool)
+				}
+			case harness.CellOK:
+				done++
+			default:
+				t.Errorf("cell %s/%s status = %v", c.Bug, c.Tool, c.Status)
+			}
+		}
+	}
+	if done == 0 || canceled == 0 {
+		t.Fatalf("cancellation split = %d done / %d canceled, want both non-zero", done, canceled)
+	}
+	if !strings.Contains(tab.String(), "CANC!") {
+		t.Error("Table IV rendering lacks the CANC! annotation")
+	}
+	health := report.CampaignHealth(tab)
+	if !strings.Contains(health, "cells failed") || !strings.Contains(health, "canceled") {
+		t.Errorf("campaign health does not surface the cancellation:\n%s", health)
 	}
 }

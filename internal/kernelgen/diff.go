@@ -1,6 +1,7 @@
 package kernelgen
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -206,7 +207,7 @@ func examine(p *Prog, tools []harness.Spec, baseSeed int64, sweep int, runs *int
 	}
 
 	var hit *violation
-	_, err := engine.Run(engine.Config{
+	_, err := engine.Run(context.Background(), engine.Config{
 		Prog: p.Main(),
 		Plan: func(i int, _ *engine.Feedback) sim.Options {
 			return sim.Options{Seed: grid[i].seed, Delays: grid[i].d}

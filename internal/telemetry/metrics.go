@@ -51,4 +51,11 @@ var (
 	HarnessExecs      = Default.Counter("harness.execs")
 	HarnessCellWall   = Default.Histogram("harness.cell_wall_ns", DurationBuckets)
 	HarnessFlightRecs = Default.Counter("harness.flightrec_dumps")
+
+	// Distributed campaign fabric (internal/fabric).
+	FabricLeases        = Default.Counter("fabric.leases")
+	FabricLeaseExpiries = Default.Counter("fabric.lease_expiries")
+	FabricCellsMerged   = Default.Counter("fabric.cells_merged")
+	FabricPoisoned      = Default.Counter("fabric.poisoned_cells")
+	FabricWorkerCells   = Default.Counter("fabric.worker_cells")
 )

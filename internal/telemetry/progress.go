@@ -3,6 +3,8 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +20,12 @@ type Progress struct {
 	done  atomic.Int64
 	found atomic.Int64
 	start time.Time
+
+	// workers tallies cells per completing worker (CellDoneBy); the
+	// distributed fabric's coordinator feeds it so one live line carries
+	// the whole fleet's shard progress. Key: worker name, value:
+	// *atomic.Int64 cell count.
+	workers sync.Map
 }
 
 // NewProgress returns a reporter for a campaign of total cells.
@@ -31,6 +39,37 @@ func (p *Progress) CellDone(found bool) {
 	if found {
 		p.found.Add(1)
 	}
+}
+
+// CellDoneBy records one completed cell attributed to a named worker;
+// Line then carries a per-worker breakdown. Safe for concurrent use.
+func (p *Progress) CellDoneBy(worker string, found bool) {
+	p.CellDone(found)
+	v, _ := p.workers.LoadOrStore(worker, new(atomic.Int64))
+	v.(*atomic.Int64).Add(1)
+}
+
+// workerBreakdown renders the per-worker cell tallies, sorted by worker
+// name ("" when no cell was attributed to a worker).
+func (p *Progress) workerBreakdown() string {
+	type wc struct {
+		name string
+		n    int64
+	}
+	var ws []wc
+	p.workers.Range(func(k, v any) bool {
+		ws = append(ws, wc{k.(string), v.(*atomic.Int64).Load()})
+		return true
+	})
+	if len(ws) == 0 {
+		return ""
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].name < ws[j].name })
+	parts := make([]string, len(ws))
+	for i, w := range ws {
+		parts[i] = fmt.Sprintf("%s:%d", w.name, w.n)
+	}
+	return " [" + strings.Join(parts, " ") + "]"
 }
 
 // Line renders the current status as a single line (no newline): cells
@@ -56,7 +95,7 @@ func (p *Progress) Line() string {
 		pct = 100 * float64(done) / float64(p.Total)
 	}
 	return fmt.Sprintf("telemetry: %d/%d cells (%.0f%%), %d runs, %.0f runs/s, %d detections, ETA %s",
-		done, p.Total, pct, runs, rate, found, eta)
+		done, p.Total, pct, runs, rate, found, eta) + p.workerBreakdown()
 }
 
 // Start launches the periodic reporter: every interval it writes Line to

@@ -253,3 +253,32 @@ func TestProgressLine(t *testing.T) {
 		t.Fatalf("final line missing: %q", buf.String())
 	}
 }
+
+func TestProgressWorkerBreakdown(t *testing.T) {
+	Default.Reset()
+	p := NewProgress(6)
+	p.CellDoneBy("w2", true)
+	p.CellDoneBy("w1", false)
+	p.CellDoneBy("w1", true)
+	line := p.Line()
+	for _, want := range []string{"3/6 cells", "2 detections", "[w1:2 w2:1]"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("progress line %q missing %q", line, want)
+		}
+	}
+	// Concurrent attribution must not race or lose counts.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				p.CellDoneBy("wc", false)
+			}
+		}()
+	}
+	wg.Wait()
+	if !strings.Contains(p.Line(), "wc:400") {
+		t.Fatalf("concurrent tallies lost: %q", p.Line())
+	}
+}

@@ -1,0 +1,82 @@
+#!/bin/sh
+# Sharded-campaign smoke: run a 5-kernel Table IV campaign through the
+# distributed fabric (one coordinator + two worker processes), SIGKILL one
+# worker mid-run, and require the merged table to be bit-identical to the
+# sequential goatbench run. The checkpoint journal is left in $OUT for
+# inspection (CI uploads it as an artifact).
+#
+#   scripts/fabric_smoke.sh            # OUT defaults to a temp dir
+#   FABRIC_SMOKE_OUT=results scripts/fabric_smoke.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+BUGS='moby_28462,etcd_6873,grpc_660,kubernetes_6632,cockroach_584'
+FREQ=2500
+SEED=3
+ADDR=127.0.0.1:7781
+OUT="${FABRIC_SMOKE_OUT:-$(mktemp -d)}"
+mkdir -p "$OUT"
+echo "fabric smoke: artifacts in $OUT"
+
+go build -o "$OUT/goatd" ./cmd/goatd
+go build -o "$OUT/goatbench" ./cmd/goatbench
+
+# Sequential golden.
+"$OUT/goatbench" -exp table4 -bugs "$BUGS" -freq "$FREQ" -seed "$SEED" -parallel 1 \
+    > "$OUT/sequential.txt"
+
+# Coordinator with a checkpoint journal; short lease TTL so the killed
+# worker's cell is reassigned quickly.
+"$OUT/goatd" serve -addr "$ADDR" -bugs "$BUGS" -freq "$FREQ" -seed "$SEED" \
+    -journal "$OUT/journal.jsonl" -lease-ttl 3s -max-assigns 10 \
+    > "$OUT/fabric.txt" 2> "$OUT/coordinator.log" &
+COORD=$!
+
+# Wait for the coordinator's listening banner.
+i=0
+until grep -q 'goatd: serving' "$OUT/coordinator.log" 2>/dev/null || [ $i -ge 50 ]; do
+    i=$((i + 1)); sleep 0.2
+done
+
+"$OUT/goatd" work -coord "http://$ADDR" -name w1 2> "$OUT/w1.log" &
+W1=$!
+"$OUT/goatd" work -coord "http://$ADDR" -name w2 2> "$OUT/w2.log" &
+W2=$!
+
+# Kill w1 mid-campaign: its leased cell must be reassigned to w2.
+sleep 0.5
+if kill -9 "$W1" 2>/dev/null; then
+    echo "fabric smoke: killed worker w1 mid-run"
+else
+    echo "fabric smoke: w1 finished before the kill (campaign too fast)"
+fi
+
+wait "$COORD"
+wait "$W2" 2>/dev/null || true
+
+# The merged Table IV block must match the sequential one bit-for-bit.
+awk '/^BugID/,/^detected/' "$OUT/sequential.txt" > "$OUT/sequential_table.txt"
+awk '/^BugID/,/^detected/' "$OUT/fabric.txt"     > "$OUT/fabric_table.txt"
+if ! diff -u "$OUT/sequential_table.txt" "$OUT/fabric_table.txt"; then
+    echo "fabric smoke: FAIL — merged table diverges from the sequential run" >&2
+    exit 1
+fi
+
+# Both reports must agree that every cell completed healthy.
+grep -q 'campaign health: all' "$OUT/fabric.txt" || {
+    echo "fabric smoke: FAIL — fabric campaign degraded:" >&2
+    grep 'campaign health' "$OUT/fabric.txt" >&2 || true
+    exit 1
+}
+
+# The journal must replay cleanly: a resumed coordinator sees everything
+# done and exits immediately without workers.
+"$OUT/goatd" serve -addr "$ADDR" -bugs "$BUGS" -freq "$FREQ" -seed "$SEED" \
+    -journal "$OUT/journal.jsonl" > "$OUT/resumed.txt" 2> "$OUT/resume.log"
+awk '/^BugID/,/^detected/' "$OUT/resumed.txt" > "$OUT/resumed_table.txt"
+if ! diff -u "$OUT/sequential_table.txt" "$OUT/resumed_table.txt"; then
+    echo "fabric smoke: FAIL — journal-resumed table diverges" >&2
+    exit 1
+fi
+
+echo "fabric smoke: PASS — merged and resumed tables are bit-identical to the sequential run"
