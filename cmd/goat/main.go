@@ -56,10 +56,11 @@ func main() {
 		faultSpec = flag.String("faults", "", `with -bug: fault-injection spec, e.g. "stall=2,cancel=1,skew=0.3,slow=2,panic=1"`)
 		predict   = flag.Bool("predict", false, "with -bug: mine one passing execution for predicted blocking hazards")
 		prune     = flag.Bool("prune", false, "with -minimize: happens-before schedule pruning (skip equivalent yield placements)")
+		dpor      = flag.Bool("dpor", false, "with -minimize: dynamic partial-order reduction (backtrack only at racing Must-HB windows)")
 	)
 	flag.Parse()
 
-	faults, err := validateFlags(*bug, *tool, *minimize, *traceOut, *htmlOut, *timeline, *faultSpec, *predict, *prune)
+	faults, err := validateFlags(*bug, *tool, *minimize, *traceOut, *htmlOut, *timeline, *faultSpec, *predict, *prune, *dpor)
 	if err != nil {
 		fatal(err)
 	}
@@ -78,7 +79,7 @@ func main() {
 			fatal(err)
 		}
 	case *bug != "" && *minimize:
-		if err := minimizeBug(*bug, *seed, *d, *freq, *prune); err != nil {
+		if err := minimizeBug(*bug, *seed, *d, *freq, *prune, *dpor); err != nil {
 			fatal(err)
 		}
 	case *bug != "":
@@ -102,7 +103,7 @@ func fatal(err error) {
 
 // validateFlags rejects meaningless flag combinations up front with a
 // one-line error instead of silently ignoring them.
-func validateFlags(bug, tool string, minimize bool, traceOut, htmlOut, timeline, faultSpec string, predict, prune bool) (fault.Options, error) {
+func validateFlags(bug, tool string, minimize bool, traceOut, htmlOut, timeline, faultSpec string, predict, prune, dpor bool) (fault.Options, error) {
 	if bug == "" {
 		switch {
 		case minimize:
@@ -121,6 +122,12 @@ func validateFlags(bug, tool string, minimize bool, traceOut, htmlOut, timeline,
 	}
 	if prune && !minimize {
 		return fault.Options{}, fmt.Errorf("-prune requires -minimize")
+	}
+	if dpor && !minimize {
+		return fault.Options{}, fmt.Errorf("-dpor requires -minimize")
+	}
+	if dpor && prune {
+		return fault.Options{}, fmt.Errorf("-dpor and -prune are exclusive (each replaces the search strategy)")
 	}
 	if predict && (minimize || faultSpec != "") {
 		return fault.Options{}, fmt.Errorf("-predict cannot be combined with -minimize or -faults")
@@ -310,14 +317,17 @@ func predictBug(id string, seed int64, d int) error {
 
 // minimizeBug runs the systematic explorer and the schedule minimizer on
 // a kernel, printing the minimal yield placement that reproduces the bug.
-func minimizeBug(id string, seed int64, maxYields, maxRuns int, prune bool) error {
+func minimizeBug(id string, seed int64, maxYields, maxRuns int, prune, dpor bool) error {
 	k, ok := goker.ByID(id)
 	if !ok {
 		return fmt.Errorf("unknown bug %q (try -list)", id)
 	}
 	mode := "systematic exploration"
-	if prune {
+	switch {
+	case prune:
 		mode = "HB-pruned systematic exploration"
+	case dpor:
+		mode = "DPOR over the Must-HB graph"
 	}
 	fmt.Printf("bug %s: %s (bound D=%d)...\n", k.ID, mode, maxYieldsOrDefault(maxYields))
 	cfg := systematic.Config{
@@ -326,11 +336,16 @@ func minimizeBug(id string, seed int64, maxYields, maxRuns int, prune bool) erro
 		MaxRuns:   maxRuns,
 	}
 	var f *systematic.Finding
-	if prune {
+	switch {
+	case prune:
 		var st systematic.PruneStats
 		f, st = systematic.ExplorePruned(k.Main, cfg)
 		fmt.Printf("pruning: %s\n", st)
-	} else {
+	case dpor:
+		var st systematic.DPORStats
+		f, st = systematic.ExploreDPOR(k.Main, cfg)
+		fmt.Printf("dpor: %s\n", st)
+	default:
 		f = systematic.Explore(k.Main, cfg)
 	}
 	if f == nil {

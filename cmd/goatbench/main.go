@@ -8,6 +8,7 @@
 //	goatbench -exp fig4              # detections per tool by symptom
 //	goatbench -exp fig5              # iteration-count distribution
 //	goatbench -exp fig6 -iters 100   # coverage growth case studies
+//	goatbench -exp dpor -freq 400    # DPOR/pruned/explore equivalence table
 //	goatbench -exp all
 //
 // It also guards against performance regressions: pipe `go test -bench`
@@ -40,7 +41,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|table3|table4|fig2|fig4|fig5|fig6|all")
+		exp       = flag.String("exp", "all", "experiment: table1|table3|table4|fig2|fig4|fig5|fig6|yields|suite|dpor|all")
 		freq      = flag.Int("freq", 1000, "per-(bug,tool) execution budget")
 		iters     = flag.Int("iters", 100, "fig6 iterations")
 		seed      = flag.Int64("seed", 0, "base RNG seed")
@@ -171,6 +172,7 @@ func main() {
 	})
 	run("fig6", func() error { return fig6(*iters, *seed) })
 	run("yields", func() error { return minimalYields(*seed) })
+	run("dpor", func() error { return dporEquivalence(kernels, *seed, *freq) })
 	run("suite", func() error { return suiteComposition() })
 }
 
@@ -285,6 +287,20 @@ func minimalYields(seed int64) error {
 	}
 	fmt.Printf("\n%d/%d rare bugs reproduced systematically; %d/%d with fewer than three yields\n",
 		found, total, underThree, found)
+	return nil
+}
+
+// dporEquivalence runs the three systematic searches side by side and
+// fails on any disagreement — the CLI form of the equivalence battery in
+// internal/systematic, used by CI as a smoke gate over a kernel matrix
+// (-bugs) and by hand over the full suite.
+func dporEquivalence(kernels []goker.Kernel, seed int64, freq int) error {
+	cfg := systematic.Config{Seed: seed, MaxRuns: freq}
+	cmp := harness.RunDPORCompare(kernels, cfg)
+	fmt.Print(cmp)
+	if mm := cmp.Mismatches(); len(mm) > 0 {
+		return fmt.Errorf("%d kernel(s) where the searches disagree", len(mm))
+	}
 	return nil
 }
 

@@ -94,8 +94,19 @@ func (c *Chan[T]) ID() trace.ResID { return c.core.id }
 // Cap returns the channel capacity.
 func (c *Chan[T]) Cap() int { return c.core.cap }
 
-// Len returns the number of buffered elements.
-func (c *Chan[T]) Len() int { return len(c.core.buf) }
+// Len returns the number of buffered elements. The read observes shared
+// mutable channel state, so it is a concurrency usage point like any
+// other channel op: it runs through the scheduler handler and emits
+// EvVarRead on the channel's resource. An untraced length check would be
+// invisible to dependence analysis (internal/hb), hiding check-then-act
+// races like serving_2137's from dependency-driven exploration.
+func (c *Chan[T]) Len(g *sim.G) int {
+	file, line := sim.Caller(1)
+	g.HandlerCat(trace.CatChannel, file, line)
+	n := len(c.core.buf)
+	g.Sched().Emit(trace.Event{G: g.ID(), Type: trace.EvVarRead, Res: c.core.id, Aux: int64(n), File: file, Line: line})
+	return n
+}
 
 // Closed reports whether the channel has been closed.
 func (c *Chan[T]) Closed() bool { return c.core.closed }

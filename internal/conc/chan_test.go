@@ -73,8 +73,8 @@ func TestBufferedSendNoBlockUntilFull(t *testing.T) {
 		ch := NewChan[int](g, 2)
 		ch.Send(g, 1)
 		ch.Send(g, 2)
-		if ch.Len() != 2 {
-			t.Errorf("Len = %d, want 2", ch.Len())
+		if ch.Len(g) != 2 {
+			t.Errorf("Len = %d, want 2", ch.Len(g))
 		}
 		if ok := ch.TrySend(g, 3); ok {
 			t.Error("TrySend on full buffer succeeded")

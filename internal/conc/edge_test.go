@@ -10,16 +10,16 @@ import (
 func TestChanAccessors(t *testing.T) {
 	r := run(t, func(g *sim.G) {
 		ch := NewChan[int](g, 3)
-		if ch.Cap() != 3 || ch.Len() != 0 || ch.Closed() {
-			t.Errorf("fresh channel: cap=%d len=%d closed=%v", ch.Cap(), ch.Len(), ch.Closed())
+		if ch.Cap() != 3 || ch.Len(g) != 0 || ch.Closed() {
+			t.Errorf("fresh channel: cap=%d len=%d closed=%v", ch.Cap(), ch.Len(g), ch.Closed())
 		}
 		if ch.ID() == 0 {
 			t.Error("zero resource id")
 		}
 		ch.Send(g, 1)
 		ch.Send(g, 2)
-		if ch.Len() != 2 {
-			t.Errorf("Len = %d", ch.Len())
+		if ch.Len(g) != 2 {
+			t.Errorf("Len = %d", ch.Len(g))
 		}
 		ch.Close(g)
 		if !ch.Closed() {

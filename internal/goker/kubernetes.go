@@ -135,22 +135,22 @@ func kubernetes6632(g *sim.G) {
 	gate := conc.NewChan[struct{}](g, 1)
 	g.Go("writer", func(c *sim.G) {
 		gate.TrySend(c, struct{}{}) // announce the update round
-		if updates.Len() == 0 {     // believed-free buffer...
+		if updates.Len(c) == 0 {     // believed-free buffer...
 			mu.Lock(c)
 			updates.Send(c, 1) // ...BUG: may have filled meanwhile
 			mu.Unlock(c)
 		}
 	})
 	g.Go("poker", func(c *sim.G) {
-		if gate.Len() == 0 { // no round announced: pre-fill the cache
-			if updates.Len() == 0 {
+		if gate.Len(c) == 0 { // no round announced: pre-fill the cache
+			if updates.Len(c) == 0 {
 				updates.TrySend(c, 0)
 			}
 		}
 	})
 	g.Go("drainer", func(c *sim.G) {
 		mu.Lock(c) // takes the lock before draining
-		if updates.Len() > 0 {
+		if updates.Len(c) > 0 {
 			updates.Recv(c)
 		}
 		mu.Unlock(c)

@@ -138,7 +138,7 @@ func serving2137(g *sim.G) {
 	tokens := conc.NewChan[struct{}](g, 1)
 	release := func(c *sim.G) {
 		mu.Lock(c)
-		free := tokens.Len() < 1 // check under the lock...
+		free := tokens.Len(c) < 1 // check under the lock...
 		mu.Unlock(c)
 		if free {
 			tokens.Send(c, struct{}{}) // ...send outside it (BUG)

@@ -52,6 +52,12 @@ type G struct {
 	createFile string
 	createLine int
 
+	// lastOp is the global op index of this goroutine's most recent CU
+	// handler invocation — the op a forced yield must target to preempt
+	// the goroutine before the operation it was about to execute
+	// (Options.RecordOps event attribution).
+	lastOp int64
+
 	// wake communication for primitives: a waker may attach a note the
 	// sleeper reads after resuming (e.g. "channel closed while you waited").
 	wakeNote any

@@ -116,6 +116,25 @@ type Options struct {
 	// change the schedule. Recording never draws scheduling decisions.
 	RecordRunnable bool
 
+	// RecordEnabled captures, for every CU handler invocation, the acting
+	// goroutine (Result.OpActor) and the identities of the *other*
+	// runnable goroutines in run-queue order (Result.OpEnabled). It is
+	// the identity-level refinement of RecordRunnable that the DPOR
+	// explorer's co-enabledness checks need: a backtrack point at op i
+	// only makes sense when the goroutine whose operation should be
+	// reordered ahead was actually enabled there. Recording never draws
+	// scheduling decisions.
+	RecordEnabled bool
+
+	// RecordOps captures, for every emitted trace event, the global op
+	// index of the emitting goroutine's most recent CU handler invocation
+	// (Result.EventOps, parallel to Trace.Events). This attributes each
+	// event to the CU at which its operation was dispatched — the op a
+	// forced yield must target to preempt the goroutine *before* that
+	// operation, which is exactly the DPOR backtrack-point mapping.
+	// Only meaningful when the run buffers a trace.
+	RecordOps bool
+
 	// YieldAt switches the handler to *systematic* mode: a forced yield
 	// fires exactly at the listed global op indices (1-based count of
 	// handler invocations) and probabilistic yields/preemptions are
@@ -123,6 +142,25 @@ type Options struct {
 	// deterministic function of the yield placement — the substrate of
 	// the systematic explorer and the schedule minimizer.
 	YieldAt []int64
+
+	// WakeAt extends systematic mode with *targeted* backtracking: at
+	// each listed op index the acting goroutine is forced to yield (as
+	// with YieldAt) and the named goroutine, if currently runnable, is
+	// moved to the head of the run queue so it is dispatched next. This
+	// realizes a specific operation reversal directly instead of relying
+	// on FIFO rotation to eventually schedule the target — the
+	// wake-at-backtrack-point mechanism of the DPOR explorer. A non-nil
+	// WakeAt enables systematic mode even when YieldAt is nil. Targets
+	// that are not runnable at the op degrade to a plain forced yield.
+	// Wakes never draw scheduling decisions, so Record/Replay scripts
+	// are unaffected.
+	WakeAt map[int64]trace.GoID
+}
+
+// systematicMode reports whether the options select deterministic
+// systematic scheduling (forced yields at fixed op indices only).
+func (o Options) systematicMode() bool {
+	return o.YieldAt != nil || o.WakeAt != nil
 }
 
 const (

@@ -71,6 +71,20 @@ type Result struct {
 	// (Options.RecordRunnable).
 	OpRunnable []int32
 
+	// OpActor records, per CU handler invocation, the goroutine that
+	// executed the op (Options.RecordEnabled).
+	OpActor []trace.GoID
+	// OpEnabled records, per CU handler invocation, the identities of
+	// the *other* runnable goroutines at that op, in run-queue order
+	// (Options.RecordEnabled).
+	OpEnabled [][]trace.GoID
+
+	// EventOps records, per emitted trace event (parallel to
+	// Trace.Events), the op index of the emitting goroutine's most
+	// recent CU handler invocation — 0 for events emitted before the
+	// goroutine's first op (Options.RecordOps).
+	EventOps []int64
+
 	// Schedule is the recorded decision script (Options.Record).
 	Schedule []int64
 	// ReplayDiverged reports that a replayed script did not structurally

@@ -55,9 +55,13 @@ type Scheduler struct {
 	panicVal  any
 	panicG    trace.GoID
 
-	yieldAt map[int64]bool // systematic mode: op indices that force a yield
+	yieldAt map[int64]bool         // systematic mode: op indices that force a yield
+	wakeAt  map[int64]trace.GoID   // systematic mode: op indices with a targeted wake
 
-	opRunnable []int32 // per-op other-runnable counts (Options.RecordRunnable)
+	opRunnable []int32        // per-op other-runnable counts (Options.RecordRunnable)
+	opActor    []trace.GoID   // per-op acting goroutine (Options.RecordEnabled)
+	opEnabled  [][]trace.GoID // per-op other-runnable identities (Options.RecordEnabled)
+	eventOps   []int64        // per-event op attribution (Options.RecordOps)
 
 	faults  *fault.Plan // nil unless Options.Faults is enabled
 	stalled []stalledG  // goroutines held unrunnable by stall faults
@@ -87,6 +91,12 @@ func newScheduler(opts Options) *Scheduler {
 		s.yieldAt = make(map[int64]bool, len(opts.YieldAt))
 		for _, op := range opts.YieldAt {
 			s.yieldAt[op] = true
+		}
+	}
+	if opts.WakeAt != nil {
+		s.wakeAt = make(map[int64]trace.GoID, len(opts.WakeAt))
+		for op, g := range opts.WakeAt {
+			s.wakeAt[op] = g
 		}
 	}
 	if !opts.NoTrace {
@@ -148,6 +158,16 @@ func (s *Scheduler) Emit(e trace.Event) {
 	e.Ts = s.clock
 	if s.ect != nil {
 		s.ect.Append(e)
+		if s.opts.RecordOps {
+			// Attribute the event to the emitting goroutine's most recent
+			// CU handler op (0 before its first op). Kept parallel to the
+			// buffered ECT, so indexing matches Trace.Events exactly.
+			var op int64
+			if eg := s.gs[e.G]; eg != nil {
+				op = eg.lastOp
+			}
+			s.eventOps = append(s.eventOps, op)
+		}
 	}
 	for _, snk := range s.sinks {
 		snk.Event(e)
@@ -304,6 +324,25 @@ func (g *G) yield(ev trace.Type, file string, line int) {
 	g.leaveProcessor()
 }
 
+// wakeYield forces a yield at a targeted-wake op: the acting goroutine
+// re-enqueues as usual, and the wake target, if currently runnable, is
+// moved to the head of the run queue so it is dispatched next (under
+// PickFIFO). An absent or unrunnable target degrades to a plain forced
+// yield — the schedule stays deterministic either way.
+func (g *G) wakeYield(target trace.GoID, file string, line int) {
+	s := g.s
+	for i, r := range s.runq {
+		if r.id == target {
+			if i > 0 {
+				copy(s.runq[1:i+1], s.runq[:i])
+				s.runq[0] = r
+			}
+			break
+		}
+	}
+	g.yield(trace.EvGoSched, file, line)
+}
+
 // sliceOpBudget bounds how many concurrency usages one goroutine may
 // execute without leaving the processor. A goroutine spinning through CU
 // points (a select/default polling loop) would otherwise starve the
@@ -336,16 +375,33 @@ func (g *G) handler(cat trace.Category, file string, line int) {
 	s := g.s
 	s.ops++
 	s.sliceOps++
+	g.lastOp = int64(s.ops)
 	if s.opts.RecordRunnable {
 		// The current goroutine holds the processor and is not in runq,
 		// so len(runq) is exactly the count of *other* runnable peers.
 		s.opRunnable = append(s.opRunnable, int32(len(s.runq)))
 	}
+	if s.opts.RecordEnabled {
+		s.opActor = append(s.opActor, g.id)
+		var ids []trace.GoID
+		if len(s.runq) > 0 {
+			ids = make([]trace.GoID, len(s.runq))
+			for i, r := range s.runq {
+				ids[i] = r.id
+			}
+		}
+		s.opEnabled = append(s.opEnabled, ids)
+	}
 	if s.faults != nil {
 		s.applyFaults(g, cat, file, line)
 	}
-	if s.yieldAt != nil {
+	if s.yieldAt != nil || s.wakeAt != nil {
 		// Systematic mode: yields fire exactly at the chosen op indices.
+		// A lookup in a nil map is false, so either map may be absent.
+		if target, ok := s.wakeAt[int64(s.ops)]; ok {
+			g.wakeYield(target, file, line)
+			return
+		}
 		if s.yieldAt[int64(s.ops)] {
 			g.yield(trace.EvGoSched, file, line)
 			return
@@ -521,6 +577,9 @@ func (s *Scheduler) result(outcome Outcome, mainG *G) *Result {
 
 		EarlyStopped: outcome == OutcomeStopped,
 		OpRunnable:   s.opRunnable,
+		OpActor:      s.opActor,
+		OpEnabled:    s.opEnabled,
+		EventOps:     s.eventOps,
 	}
 	for _, id := range s.order {
 		g := s.gs[id]

@@ -86,8 +86,17 @@ func placementKey(yields []int64) string { return fmt.Sprint(yields) }
 // returned finding is identical to Explore's on the same configuration —
 // only fewer executions are spent reaching it.
 func ExplorePruned(prog func(*sim.G), cfg Config) (*Finding, PruneStats) {
+	return NewExplorer().ExplorePruned(prog, cfg)
+}
+
+// ExplorePruned is the reusable-explorer form of the package-level
+// function. The stats field is reset on entry, so a campaign that drives
+// many cells through one Explorer gets per-cell stats, never a running
+// total (the accumulation bug the engine wiring used to hit).
+func (x *Explorer) ExplorePruned(prog func(*sim.G), cfg Config) (*Finding, PruneStats) {
+	x.Prune = PruneStats{}
 	goat := detect.Goat{}
-	var st PruneStats
+	st := x.pruneStats()
 	defer func() {
 		if telemetry.Enabled() {
 			telemetry.SysPlacementsRun.Add(int64(st.Runs))
@@ -118,11 +127,11 @@ func ExplorePruned(prog func(*sim.G), cfg Config) (*Finding, PruneStats) {
 	footprints[baseFP] = true
 	st.DistinctFootprints = len(footprints)
 	if d := goat.Detect(base); d.Found {
-		return &Finding{Seed: cfg.Seed, Yields: []int64{}, Runs: st.Runs, Detection: d}, st
+		return &Finding{Seed: cfg.Seed, Yields: []int64{}, Runs: st.Runs, Detection: d}, *st
 	}
 	n := int64(base.Ops)
 	if n == 0 {
-		return nil, st
+		return nil, *st
 	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -137,7 +146,7 @@ func ExplorePruned(prog func(*sim.G), cfg Config) (*Finding, PruneStats) {
 		}
 		explored[placementKey(canon)] = true
 		if f := run([]int64{op}); f != nil {
-			return f, st
+			return f, *st
 		}
 	}
 	// Random placements of 2..D yields, drawn from the same rng sequence
@@ -148,7 +157,7 @@ func ExplorePruned(prog func(*sim.G), cfg Config) (*Finding, PruneStats) {
 		maxK = int(n)
 	}
 	if maxK < 2 {
-		return nil, st
+		return nil, *st
 	}
 	for st.Considered < cfg.maxRuns() {
 		k := 2 + rng.Intn(maxK-1)
@@ -175,8 +184,8 @@ func ExplorePruned(prog func(*sim.G), cfg Config) (*Finding, PruneStats) {
 		}
 		explored[key] = true
 		if f := run(yields); f != nil {
-			return f, st
+			return f, *st
 		}
 	}
-	return nil, st
+	return nil, *st
 }

@@ -44,6 +44,8 @@ var (
 	// Systematic explorer (internal/systematic).
 	SysPlacementsRun    = Default.Counter("systematic.placements_run")
 	SysPlacementsPruned = Default.Counter("systematic.placements_pruned")
+	SysDPORBacktracks   = Default.Counter("systematic.dpor_backtracks")
+	SysDPORSleepHits    = Default.Counter("systematic.dpor_sleep_hits")
 
 	// Evaluation harness (internal/harness).
 	HarnessCells      = Default.Counter("harness.cells")
