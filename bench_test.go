@@ -6,7 +6,9 @@
 package goat_test
 
 import (
+	"bytes"
 	"context"
+	"os"
 	"testing"
 
 	"goat"
@@ -19,6 +21,7 @@ import (
 	"goat/internal/gtree"
 	"goat/internal/harness"
 	"goat/internal/hb"
+	"goat/internal/ingest"
 	"goat/internal/sim"
 	"goat/internal/systematic"
 	"goat/internal/telemetry"
@@ -471,4 +474,27 @@ func BenchmarkCheckpointJournalReplay(b *testing.B) {
 		j.Close()
 	}
 	b.ReportMetric(float64(job.Cells())*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+// BenchmarkIngestParse measures native runtime/trace ingestion end to
+// end — wire parse, goroutine attribution, resource correlation, ECT
+// emission — on the checked-in leaky-pool capture.
+func BenchmarkIngestParse(b *testing.B) {
+	data, err := os.ReadFile("internal/ingest/testdata/leakypool.trace")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := ingest.Parse(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if run.Trace.Len() == 0 {
+			b.Fatal("empty conversion")
+		}
+	}
+	b.ReportMetric(float64(b.N)*float64(len(data))/b.Elapsed().Seconds()/1e6, "MB/s")
 }

@@ -120,6 +120,12 @@ func validateFlags(bug, tool string, minimize bool, traceOut, htmlOut, timeline,
 			return fault.Options{}, fmt.Errorf("-predict requires -bug")
 		}
 	}
+	if predict && dpor {
+		return fault.Options{}, fmt.Errorf("-predict and -dpor are exclusive (-predict mines one execution; -dpor is a -minimize search strategy)")
+	}
+	if predict && prune {
+		return fault.Options{}, fmt.Errorf("-predict and -prune are exclusive (-predict mines one execution; -prune is a -minimize search strategy)")
+	}
 	if prune && !minimize {
 		return fault.Options{}, fmt.Errorf("-prune requires -minimize")
 	}

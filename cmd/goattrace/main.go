@@ -8,16 +8,26 @@
 //	goattrace -profile trace.ect          # blocking/contention profile
 //	goattrace -tree trace.ect             # goroutine tree + Procedure 1
 //	goattrace -chrome trace.ect -o t.json # Chrome/Perfetto timeline export
+//
+// Native runtime/trace captures (go test -trace, runtime/trace.Start)
+// are ingested transparently — every command above accepts them — and
+// two commands exist specifically for real-binary analysis:
+//
+//	goattrace -ingest app.trace             # window census + stranded report
+//	goattrace -diff old.trace new.trace     # CI gate: newly stranded signatures
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"goat/internal/cu"
 	"goat/internal/gtree"
+	"goat/internal/ingest"
 	"goat/internal/trace"
 )
 
@@ -31,6 +41,9 @@ func main() {
 		outPath = flag.String("o", "", "with -chrome: output file (default stdout)")
 		visits  = flag.String("visits", "", "print a goatrt native visit log (GOAT_TRACE output)")
 		model   = flag.String("model", "", "with -visits: instrumented-source dir for executed-CU coverage")
+		ingestP = flag.String("ingest", "", "ingest a native runtime/trace capture: window census + stranded report")
+		diffP   = flag.Bool("diff", false, "compare two captures (old new): exit 1 when new strands goroutines old did not")
+		workers = flag.Bool("workers", false, "with -ingest/-diff: report long-lived-worker-shaped goroutines too")
 		gFilter = flag.Int64("g", 0, "with -dump: restrict to one goroutine")
 		cat     = flag.String("cat", "", "with -dump: restrict to one category prefix (Goroutine, Channel, Sync, Select, Timer, Shared)")
 		asJSON  = flag.Bool("json", false, "with -dump: newline-delimited JSON instead of text")
@@ -123,10 +136,68 @@ func main() {
 		if err := showVisits(*visits, *model); err != nil {
 			fatal(err)
 		}
+	case *ingestP != "":
+		if err := showIngest(*ingestP, *workers); err != nil {
+			fatal(err)
+		}
+	case *diffP:
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "goattrace: -diff needs two captures: old.trace new.trace")
+			os.Exit(2)
+		}
+		regressed, err := showDiff(flag.Arg(0), flag.Arg(1), *workers)
+		if err != nil {
+			fatal(err)
+		}
+		if regressed {
+			os.Exit(1) // the CI-gateable signal
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// showIngest prints the window census and the stranded-goroutine report
+// of one native capture.
+func showIngest(path string, includeWorkers bool) error {
+	run, err := ingest.ParseFile(path)
+	if err != nil {
+		return err
+	}
+	i := run.Info
+	fmt.Printf("source: %s (%d events)\n", run.Trace.SourceInfo().Name, run.Trace.Len())
+	fmt.Printf("window: %.1fms, %d goroutine(s) (%d created in-window, %d pre-existing), main ended: %v\n",
+		float64(i.WallNs)/1e6, i.Goroutines, i.Created, i.Orphans, i.MainEnded)
+	if i.DroppedWakes > 0 {
+		fmt.Printf("note: %d wake edge(s) had no attributable waker (timers/netpoll)\n", i.DroppedWakes)
+	}
+	stranded := run.StrandedGoroutines(ingest.StrandedOpts{IncludeWorkers: includeWorkers})
+	if len(stranded) == 0 {
+		fmt.Println("\nstranded goroutines: none")
+		return nil
+	}
+	fmt.Printf("\nstranded goroutines: %d\n", len(stranded))
+	for _, s := range stranded {
+		fmt.Printf("  %s\n", s)
+	}
+	return nil
+}
+
+// showDiff compares two captures signature-wise and reports whether the
+// new one regressed.
+func showDiff(oldPath, newPath string, includeWorkers bool) (bool, error) {
+	oldRun, err := ingest.ParseFile(oldPath)
+	if err != nil {
+		return false, fmt.Errorf("%s: %w", oldPath, err)
+	}
+	newRun, err := ingest.ParseFile(newPath)
+	if err != nil {
+		return false, fmt.Errorf("%s: %w", newPath, err)
+	}
+	d := ingest.DiffRuns(oldRun, newRun, ingest.StrandedOpts{IncludeWorkers: includeWorkers})
+	fmt.Print(d)
+	return d.Regressed(), nil
 }
 
 // showVisits aggregates a native visit log; with a model dir it also
@@ -157,15 +228,31 @@ func showVisits(path, modelDir string) error {
 	return nil
 }
 
+// withTrace opens a trace of either format — GOATECT or a native
+// runtime/trace capture (sniffed by header) — so every inspection
+// command works on real-binary captures too.
 func withTrace(path string, fn func(*trace.Trace) error) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
 	}
 	defer f.Close()
-	t, err := trace.Decode(f)
-	if err != nil {
+	br := bufio.NewReader(f)
+	prefix, err := br.Peek(3)
+	if err != nil && err != io.EOF {
 		fatal(err)
+	}
+	var t *trace.Trace
+	if ingest.SniffNative(prefix) {
+		run, err := ingest.Parse(br)
+		if err != nil {
+			fatal(err)
+		}
+		t = run.Trace
+	} else {
+		if t, err = trace.Decode(br); err != nil {
+			fatal(err)
+		}
 	}
 	if err := fn(t); err != nil {
 		fatal(err)

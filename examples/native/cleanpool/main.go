@@ -1,0 +1,71 @@
+// Clean worker pool: the negative control for native ingestion.
+//
+// Structurally the twin of examples/native/leakypool, but every result
+// is collected and every goroutine exits before the trace stops — an
+// ingested capture of this program must produce zero stranded
+// goroutines, which is what makes the leaky pool's report a signal
+// rather than noise.
+//
+//	go run ./examples/native/cleanpool -trace clean.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/trace"
+	"sync"
+	"time"
+)
+
+func worker(id int, jobs <-chan int, results chan<- int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for j := range jobs {
+		results <- j * j // the collector drains everything: no strand
+	}
+}
+
+func main() {
+	traceOut := flag.String("trace", "", "write execution trace to file")
+	flag.Parse()
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer trace.Stop()
+	}
+
+	const workers = 3
+	const jobsPerBatch = 4
+
+	jobs := make(chan int)
+	results := make(chan int, jobsPerBatch)
+	var wg sync.WaitGroup
+	for w := 1; w <= workers; w++ {
+		wg.Add(1)
+		go worker(w, jobs, results, &wg)
+	}
+	for i := 0; i < jobsPerBatch; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	close(results)
+
+	sum := 0
+	for r := range results {
+		sum += r
+	}
+	fmt.Println("sum of results:", sum)
+
+	// Symmetric with the leaky pool's quiesce window: the capture ends
+	// with every worker already gone.
+	time.Sleep(200 * time.Millisecond)
+}

@@ -1,0 +1,74 @@
+// Leaky worker pool: the native-ingestion demonstration bug.
+//
+// Each submitted job spawns a result-sender goroutine that sends on an
+// unbuffered channel, but the collector stops reading after the first
+// result per batch — every other sender strands forever on `results <-`.
+// This is the classic leak GoAT's goroutine-tree analysis flags and the
+// runtime's built-in detector cannot see (main keeps running).
+//
+// Run with tracing to produce an ingestable fixture:
+//
+//	go run ./examples/native/leakypool -trace leaky.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/trace"
+	"sync"
+	"time"
+)
+
+func worker(id int, jobs <-chan int, results chan<- int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for j := range jobs {
+		j := j
+		// BUG: one sender goroutine per job on an unbuffered channel;
+		// only the first per batch is ever received.
+		go func() {
+			results <- j * j // strands when the collector has moved on
+		}()
+	}
+}
+
+func main() {
+	traceOut := flag.String("trace", "", "write execution trace to file")
+	flag.Parse()
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer trace.Stop()
+	}
+
+	const workers = 3
+	const jobsPerBatch = 4
+
+	jobs := make(chan int)
+	results := make(chan int)
+	var wg sync.WaitGroup
+	for w := 1; w <= workers; w++ {
+		wg.Add(1)
+		go worker(w, jobs, results, &wg)
+	}
+	for i := 0; i < jobsPerBatch; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Collect only one result: the rest of the senders leak.
+	fmt.Println("first result:", <-results)
+
+	// Let the stranded senders reach their parked state before the
+	// trace window closes, so the leak is visible in the capture.
+	time.Sleep(200 * time.Millisecond)
+}

@@ -30,6 +30,16 @@ type RunSink struct {
 	// holder tracks, per lock resource, the CU and node of the last
 	// goroutine that acquired it — the target of AspectBlocking.
 	holder map[trace.ResID]holderInfo
+
+	// windowed (trace.SourceAware) lets goroutines that pre-existed a
+	// window trace register themselves by their own GoStart, with the
+	// same orphan key gtree assigns.
+	windowed bool
+}
+
+// SetSource implements trace.SourceAware.
+func (s *RunSink) SetSource(src trace.SourceInfo) {
+	s.windowed = !src.Has(trace.CapCreateObserved)
 }
 
 type holderInfo struct {
@@ -54,15 +64,21 @@ func (m *Model) StreamRun() *RunSink {
 func (s *RunSink) Event(e trace.Event) {
 	node, ok := s.nodeOf[e.G]
 	if !ok {
+		if s.windowed && e.Type == trace.EvGoStart && e.Aux != 1 {
+			// Orphan adoption, key-compatible with gtree.Builder.
+			s.nodeOf[e.G] = fmt.Sprintf("orphan/%s@%s:%d", e.Str, e.File, e.Line)
+		}
 		return // system goroutine (or descendant): not an application node
 	}
 	m := s.m
 	switch e.Type {
 	case trace.EvGoBlock:
 		// Contention on a lock covers the holder's "blocking" aspect.
+		// Res 0 (identity unknown) must not alias all such locks into
+		// one holder bucket.
 		reason := e.BlockReason()
 		if reason == trace.BlockMutex || reason == trace.BlockRMutex {
-			if h, ok := s.holder[e.Res]; ok {
+			if h, ok := s.holder[e.Res]; e.Res != 0 && ok {
 				m.mark(h.node, h.cu, NoCase, "", AspectBlocking)
 			}
 		}
@@ -95,10 +111,12 @@ func (s *RunSink) Event(e trace.Event) {
 		if e.Blocked {
 			m.mark(node, c, NoCase, "", AspectBlocked)
 		}
-		s.holder[e.Res] = holderInfo{node: node, cu: c}
+		if e.Res != 0 {
+			s.holder[e.Res] = holderInfo{node: node, cu: c}
+		}
 	case trace.EvMutexUnlock, trace.EvRWUnlock, trace.EvRUnlock:
 		m.mark(node, c, NoCase, "", aspectOfUnblock(e))
-		if e.Peer == 0 {
+		if e.Peer == 0 && e.Res != 0 {
 			delete(s.holder, e.Res)
 		}
 	case trace.EvChanClose, trace.EvCondSignal, trace.EvCondBroadcast, trace.EvWgAdd:

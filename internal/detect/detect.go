@@ -70,9 +70,7 @@ func (g Goat) Detect(r *sim.Result) Detection {
 		return d
 	}
 	s := g.NewStream()
-	for _, e := range r.Trace.Events {
-		s.Event(e)
-	}
+	_ = r.Trace.Replay(s) // buffered replay cannot fail; source propagates to the stream
 	return s.Finish(r)
 }
 

@@ -74,9 +74,7 @@ func (Predictive) Name() string { return "predict" }
 func (p Predictive) Detect(r *sim.Result) Detection {
 	s := p.NewStream()
 	if r.Trace != nil {
-		for _, e := range r.Trace.Events {
-			s.Event(e)
-		}
+		_ = r.Trace.Replay(s) // source propagates: op-less producers disable the mining
 	}
 	return s.Finish(r)
 }
@@ -89,9 +87,7 @@ func (Predictive) NewStream() Stream { return NewPredictStream() }
 func Predict(tr *trace.Trace) []Candidate {
 	s := NewPredictStream()
 	if tr != nil {
-		for _, e := range tr.Events {
-			s.Event(e)
-		}
+		_ = tr.Replay(s)
 	}
 	return s.Candidates()
 }
@@ -199,6 +195,21 @@ type PredictStream struct {
 
 	underLock []chanLockRec
 	ulSeen    map[[3]uint64]bool // (ch, lock, g) dedup
+
+	// disabled is latched by SetSource when the producer lacks
+	// CapOpEvents: predictive mining reasons about the full operation
+	// census (uncontended acquisitions, unlocks, completed channel ops),
+	// so on blocking-only streams its evidence would be systematically
+	// biased and it declines to predict.
+	disabled bool
+}
+
+// SetSource implements trace.SourceAware: the manifest classifier adapts
+// to the source (window verdicts, orphan adoption) while the predictive
+// mining disables itself without the full operation census.
+func (s *PredictStream) SetSource(src trace.SourceInfo) {
+	s.goat.SetSource(src)
+	s.disabled = !src.Has(trace.CapOpEvents)
 }
 
 // NewPredictStream returns a fresh single-execution predictive stream.
@@ -232,6 +243,7 @@ func (s *PredictStream) Reset() {
 	s.goat.Reset()
 	s.en.Reset()
 	s.reset()
+	s.disabled = false
 }
 
 // Event implements trace.Sink: the manifest classifier and the hb engine
@@ -439,6 +451,9 @@ func gatesDisjoint(a, b map[trace.ResID]bool) bool {
 // Candidates runs the end-of-trace judgments and returns the predicted
 // hazards in a deterministic order.
 func (s *PredictStream) Candidates() []Candidate {
+	if s.disabled {
+		return nil
+	}
 	var out []Candidate
 
 	// lock-cycle: inverted edge pairs from distinct goroutines, gate-
@@ -570,6 +585,9 @@ func (s *PredictStream) Finish(r *sim.Result) Detection {
 	}
 	cands := s.Candidates()
 	if len(cands) == 0 {
+		if s.disabled && !base.Found {
+			base.Detail = "predictive mining disabled: producer records only blocking operations"
+		}
 		return base
 	}
 	var b strings.Builder

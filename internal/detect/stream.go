@@ -79,6 +79,21 @@ type GoatStream struct {
 	err       string // malformed stream, latched (mirrors gtree.Build)
 	panicSeen bool
 	earlyStop bool
+
+	// Producer guarantees (trace.SourceAware). Without CapCreateObserved
+	// a goroutine may introduce itself by its own GoStart (window
+	// traces); without CapCompleteRun "main never ended" is the normal
+	// end-of-window state, so the verdict becomes a blocked-at-window-end
+	// census instead of Procedure 1's complete-run classification.
+	windowed   bool
+	incomplete bool
+}
+
+// SetSource implements trace.SourceAware. Streams that never learn a
+// source keep the virtual runtime's strict contract.
+func (d *GoatStream) SetSource(src trace.SourceInfo) {
+	d.windowed = !src.Has(trace.CapCreateObserved)
+	d.incomplete = !src.Has(trace.CapCompleteRun)
 }
 
 // NewStream implements Streaming.
@@ -86,13 +101,17 @@ func (Goat) NewStream() Stream {
 	return &GoatStream{gs: map[trace.GoID]goatG{1: {app: true}}}
 }
 
-// Reset implements Resettable.
+// Reset implements Resettable. Source leniency is dropped back to the
+// strict virtual-runtime contract: a replay entry point re-announces its
+// source, a live run never has one.
 func (d *GoatStream) Reset() {
 	clear(d.gs)
 	d.gs[1] = goatG{app: true}
 	d.events = 0
 	d.err = ""
 	d.panicSeen = false
+	d.windowed = false
+	d.incomplete = false
 }
 
 // EnableEarlyStop implements EarlyStopper. The blocked-goroutine verdict
@@ -113,8 +132,15 @@ func (d *GoatStream) Event(e trace.Event) {
 	d.events++
 	g, ok := d.gs[e.G]
 	if !ok {
-		d.err = fmt.Sprintf("gtree: event by unknown goroutine g%d at ts %d", e.G, e.Ts)
-		return
+		if d.windowed && e.Type == trace.EvGoStart {
+			// Orphan adoption, mirroring gtree.Builder: a goroutine that
+			// pre-existed the window introduces itself (Aux=1 marks
+			// runtime-internal provenance).
+			g = goatG{app: e.Aux != 1}
+		} else {
+			d.err = fmt.Sprintf("gtree: event by unknown goroutine g%d at ts %d", e.G, e.Ts)
+			return
+		}
 	}
 	g.last = e.Type
 	d.gs[e.G] = g
@@ -158,6 +184,25 @@ func (d *GoatStream) finish(r *sim.Result) Detection {
 	if d.events == 0 {
 		return found(det, "ERROR", trace.ErrEmpty.Error())
 	}
+	if d.incomplete {
+		// Window trace: there is no settle point, so Procedure 1's
+		// complete-run classification does not apply. The verdict is a
+		// census of application goroutines parked when the window closed
+		// — candidates, which the stranded-goroutine analysis
+		// (internal/ingest) refines with provenance and activity.
+		blocked := 0
+		for _, g := range d.gs {
+			if g.app && g.last == trace.EvGoBlock {
+				blocked++
+			}
+		}
+		if blocked > 0 {
+			return found(det, fmt.Sprintf("PDL-%d", blocked),
+				fmt.Sprintf("%d goroutine(s) blocked at the end of the trace window", blocked))
+		}
+		det.Verdict = "OK"
+		return det
+	}
 	if d.gs[1].last != trace.EvGoEnd {
 		return found(det, "GDL", "main goroutine never reached its end state")
 	}
@@ -191,6 +236,18 @@ type LockDLStream struct {
 	cycleHit  bool
 	events    int // events consumed this run
 	warnAt    int // event count when the warning latched (0 = never)
+
+	// disabled is latched by SetSource when the producer lacks
+	// CapOpEvents: without uncontended acquisitions and unlocks the
+	// locksets are fiction, so the lock-order analysis switches itself
+	// off rather than warn from unsound state.
+	disabled bool
+}
+
+// SetSource implements trace.SourceAware: the analysis needs the full
+// operation census (CapOpEvents) to be sound.
+func (d *LockDLStream) SetSource(src trace.SourceInfo) {
+	d.disabled = !src.Has(trace.CapOpEvents)
 }
 
 // NewStream implements Streaming.
@@ -203,7 +260,8 @@ func (d *LockDLStream) EnableEarlyStop() { d.earlyStop = true }
 
 // Reset implements Resettable. The goroutine lockset map is retained
 // (inner sets are rebuilt as goroutines lock); the lock-order graph is
-// rebuilt from scratch.
+// rebuilt from scratch. Source-based disablement is dropped: the next
+// replay re-announces its source.
 func (d *LockDLStream) Reset() {
 	d.graph = lockGraph{}
 	clear(d.held)
@@ -211,6 +269,7 @@ func (d *LockDLStream) Reset() {
 	d.cycleHit = false
 	d.events = 0
 	d.warnAt = 0
+	d.disabled = false
 }
 
 // StopRequested implements trace.Stopper.
@@ -238,6 +297,12 @@ func (d *LockDLStream) Event(e trace.Event) {
 	d.events++
 	if d.warn != "" {
 		return // first warning wins, like the post-hoc scan's early return
+	}
+	if d.disabled || e.Res == 0 {
+		// No op census, or an operation whose resource identity the
+		// producer could not synthesize — Res 0 would alias every such
+		// operation into one phantom lock.
+		return
 	}
 	defer func() {
 		if d.warn != "" && d.warnAt == 0 {
@@ -310,6 +375,11 @@ func (d *LockDLStream) finish(r *sim.Result) Detection {
 			return injectedCrash(det, r)
 		}
 		return found(det, "CRASH", fmt.Sprint(r.PanicVal))
+	}
+	if d.disabled {
+		det.Verdict = "N/A"
+		det.Detail = "producer records only blocking operations; lock-order analysis disabled"
+		return det
 	}
 	warn := d.warn
 	if warn == "" {

@@ -20,12 +20,18 @@ import (
 type Node struct {
 	ID         trace.GoID
 	Name       string
-	Parent     *Node // nil for the main goroutine
+	Parent     *Node // nil for the main goroutine and for orphans
 	Children   []*Node
 	Events     []trace.Event // the goroutine's own events, in order
 	CreateFile string        // CU of the go statement that spawned it
 	CreateLine int
 	System     bool // runtime-internal (timer/watchdog) goroutine
+
+	// Orphan marks a goroutine that pre-existed a window trace: its
+	// creation was never observed, so it enters the tree as an extra
+	// root, introduced by its own GoStart (sources without
+	// trace.CapCreateObserved).
+	Orphan bool
 
 	key string // equivalence key, memoized at build time
 }
@@ -63,18 +69,27 @@ func (n *Node) AppLevel() bool {
 type Tree struct {
 	Root  *Node
 	Nodes map[trace.GoID]*Node
+
+	// Orphans are the extra roots of a window trace: goroutines whose
+	// creation predates the window (empty for complete runs).
+	Orphans []*Node
+	// Windowed records that the trace came from a producer without
+	// trace.CapCompleteRun, so "main never ended" is the normal state
+	// of affairs rather than a global deadlock.
+	Windowed bool
 }
 
 // Build constructs the goroutine tree from an ECT. The main goroutine is
 // GoID 1 and becomes the root. It is the post-hoc entry point: the
-// buffered trace is replayed through the streaming Builder.
+// buffered trace is replayed through the streaming Builder, which learns
+// the trace's producer (window traces may adopt orphan goroutines).
 func Build(tr *trace.Trace) (*Tree, error) {
 	if tr == nil || tr.Len() == 0 {
 		return nil, trace.ErrEmpty
 	}
 	b := NewBuilder()
-	for _, e := range tr.Events {
-		b.Event(e)
+	if err := tr.Replay(b); err != nil {
+		return nil, err
 	}
 	return b.Tree()
 }
@@ -85,9 +100,10 @@ func Build(tr *trace.Trace) (*Tree, error) {
 // replayed from a buffered trace and a stream observed live produce
 // identical trees.
 type Builder struct {
-	t      *Tree
-	events int
-	err    error
+	t        *Tree
+	events   int
+	err      error
+	windowed bool
 }
 
 // NewBuilder returns a builder holding the implicit main-goroutine root.
@@ -96,9 +112,22 @@ func NewBuilder() *Builder {
 	return &Builder{t: &Tree{Root: root, Nodes: map[trace.GoID]*Node{1: root}}}
 }
 
+// SetSource implements trace.SourceAware: producers without full
+// goroutine provenance (window traces) relax the unknown-goroutine
+// error into orphan adoption. The default — never learning a source —
+// keeps the strict virtual-runtime contract.
+func (b *Builder) SetSource(src trace.SourceInfo) {
+	b.windowed = !src.Has(trace.CapCreateObserved)
+	b.t.Windowed = !src.Has(trace.CapCompleteRun)
+}
+
 // Event implements trace.Sink: it folds one event into the tree. After a
 // malformed event (by an unknown goroutine) the builder latches the error
-// and ignores the rest of the stream, mirroring where Build stops.
+// and ignores the rest of the stream, mirroring where Build stops. Under
+// a window source, a goroutine introduced by its own GoStart becomes an
+// orphan root instead of an error (Aux=1 marks runtime-internal
+// provenance, Str carries the root function name — the conventions the
+// native ingester synthesizes).
 func (b *Builder) Event(e trace.Event) {
 	if b.err != nil {
 		return
@@ -106,8 +135,22 @@ func (b *Builder) Event(e trace.Event) {
 	b.events++
 	n, ok := b.t.Nodes[e.G]
 	if !ok {
-		b.err = fmt.Errorf("gtree: event by unknown goroutine g%d at ts %d", e.G, e.Ts)
-		return
+		if b.windowed && e.Type == trace.EvGoStart {
+			n = &Node{
+				ID:         e.G,
+				Name:       e.Str,
+				CreateFile: e.File,
+				CreateLine: e.Line,
+				System:     e.Aux == 1,
+				Orphan:     true,
+			}
+			n.key = fmt.Sprintf("orphan/%s@%s:%d", e.Str, e.File, e.Line)
+			b.t.Orphans = append(b.t.Orphans, n)
+			b.t.Nodes[e.G] = n
+		} else {
+			b.err = fmt.Errorf("gtree: event by unknown goroutine g%d at ts %d", e.G, e.Ts)
+			return
+		}
 	}
 	n.Events = append(n.Events, e)
 	if e.Type == trace.EvGoCreate {
@@ -140,11 +183,18 @@ func (b *Builder) Tree() (*Tree, error) {
 	return b.t, nil
 }
 
+// Roots returns the tree's entry points: the main root followed by any
+// orphan roots a window trace adopted.
+func (t *Tree) Roots() []*Node {
+	return append([]*Node{t.Root}, t.Orphans...)
+}
+
 // AppNodes returns the application-level goroutines in BFS order from the
-// root — the goroutines the paper's analyses operate on.
+// roots — the goroutines the paper's analyses operate on. Orphan roots
+// of window traces are included after the main subtree.
 func (t *Tree) AppNodes() []*Node {
 	var out []*Node
-	queue := []*Node{t.Root}
+	queue := t.Roots()
 	for len(queue) > 0 {
 		n := queue[0]
 		queue = queue[1:]
@@ -153,6 +203,21 @@ func (t *Tree) AppNodes() []*Node {
 		}
 		out = append(out, n)
 		queue = append(queue, n.Children...)
+	}
+	return out
+}
+
+// BlockedAtEnd returns the application-level goroutines whose final
+// event is a block — the goroutines that were parked when the trace
+// ended. For a complete run those are exactly the leaked goroutines;
+// for a window trace they are the *candidates* the stranded-goroutine
+// analysis (internal/ingest) filters by provenance and activity.
+func (t *Tree) BlockedAtEnd() []*Node {
+	var out []*Node
+	for _, n := range t.AppNodes() {
+		if n.LastEvent().Type == trace.EvGoBlock {
+			out = append(out, n)
+		}
 	}
 	return out
 }
@@ -184,7 +249,18 @@ func (v Verdict) String() string {
 // every descendant must have GoEnd as its final event. It returns the
 // verdict together with every leaked goroutine (the paper's procedure
 // returns on the first, but reports want all of them).
+//
+// On a windowed trace (producer without CapCompleteRun) "main never
+// ended" is the expected state, not a global deadlock; the check
+// degrades to the blocked-at-window-end census over application
+// goroutines, mirroring GoatStream's PDL-n verdict.
 func (t *Tree) DeadlockCheck() (Verdict, []*Node) {
+	if t.Windowed {
+		if blocked := t.BlockedAtEnd(); len(blocked) > 0 {
+			return PartialDeadlock, blocked
+		}
+		return Pass, nil
+	}
 	if !t.Root.Ended() {
 		return GlobalDeadlock, []*Node{t.Root}
 	}

@@ -213,7 +213,9 @@ func (en *Engine) Event(e trace.Event) {
 			// receiver must inherit; its own ChanSend event is only
 			// emitted after it wakes, too late for FIFO alignment.
 			en.markKind(e.Res, kindChan)
-			en.sendVC[e.Res] = append(en.sendVC[e.Res], vc.Clone())
+			if e.Res != 0 {
+				en.sendVC[e.Res] = append(en.sendVC[e.Res], vc.Clone())
+			}
 		case trace.BlockRecv:
 			en.markKind(e.Res, kindChan)
 		case trace.BlockMutex, trace.BlockRMutex:
@@ -230,14 +232,20 @@ func (en *Engine) Event(e trace.Event) {
 		// by the EvGoUnblock edge; post-wake sends (Blocked) already
 		// pushed their clock at park time.
 		en.markKind(e.Res, kindChan)
-		if !e.Blocked && e.Peer == 0 {
+		if !e.Blocked && e.Peer == 0 && e.Res != 0 {
 			en.sendVC[e.Res] = append(en.sendVC[e.Res], vc.Clone())
 		}
 	case trace.EvChanRecv:
 		// A receiver that parked got its value by direct delivery and
 		// its ordering via EvGoUnblock; only completed-in-place
-		// receives consume a queued send clock.
+		// receives consume a queued send clock. Res 0 (identity the
+		// producer could not synthesize) derives no resource edge —
+		// joining through a shared bucket would fabricate ordering
+		// between unrelated channels.
 		en.markKind(e.Res, kindChan)
+		if e.Res == 0 {
+			break
+		}
 		if !e.Blocked && e.Aux == 1 {
 			if q := en.sendVC[e.Res]; len(q) > 0 {
 				vc.Join(q[0])
@@ -253,7 +261,7 @@ func (en *Engine) Event(e trace.Event) {
 		// Select clauses mirror the plain-channel rules; blocked
 		// clauses rely on the EvGoUnblock edge alone.
 		en.markKind(e.Res, kindChan)
-		if e.Blocked {
+		if e.Blocked || e.Res == 0 {
 			break
 		}
 		if e.Str == "send" && e.Peer == 0 {
@@ -267,10 +275,12 @@ func (en *Engine) Event(e trace.Event) {
 		}
 	case trace.EvChanClose:
 		en.markKind(e.Res, kindChan)
-		en.closeVC[e.Res] = vc.Clone()
+		if e.Res != 0 {
+			en.closeVC[e.Res] = vc.Clone()
+		}
 	case trace.EvMutexUnlock, trace.EvRWUnlock, trace.EvRUnlock:
 		en.markKind(e.Res, kindLock)
-		if en.mode == Must {
+		if en.mode == Must || e.Res == 0 {
 			break
 		}
 		acc, ok := en.lockVC[e.Res]
@@ -281,7 +291,7 @@ func (en *Engine) Event(e trace.Event) {
 		acc.Join(vc)
 	case trace.EvMutexLock, trace.EvRWLock, trace.EvRLock:
 		en.markKind(e.Res, kindLock)
-		if en.mode == Must {
+		if en.mode == Must || e.Res == 0 {
 			break
 		}
 		if acc, ok := en.lockVC[e.Res]; ok {
@@ -289,7 +299,7 @@ func (en *Engine) Event(e trace.Event) {
 		}
 	case trace.EvWgAdd:
 		en.markKind(e.Res, kindWg)
-		if e.Aux < 0 {
+		if e.Aux < 0 && e.Res != 0 {
 			acc, ok := en.wgVC[e.Res]
 			if !ok {
 				acc = VC{}
@@ -299,7 +309,7 @@ func (en *Engine) Event(e trace.Event) {
 		}
 	case trace.EvWgWait:
 		en.markKind(e.Res, kindWg)
-		if acc, ok := en.wgVC[e.Res]; ok {
+		if acc, ok := en.wgVC[e.Res]; e.Res != 0 && ok {
 			vc.Join(acc)
 		}
 	case trace.EvCondWait, trace.EvCondSignal, trace.EvCondBroadcast:
@@ -382,6 +392,8 @@ func (g *Graph) Equal(o *Graph) bool {
 func FromTrace(tr *trace.Trace, mode Mode) *Graph {
 	en := NewEngine(mode)
 	if tr != nil {
+		// Concrete-typed loop rather than tr.Replay(en): the devirtualized
+		// Event call keeps the per-event path allocation-free.
 		for _, e := range tr.Events {
 			en.Event(e)
 		}

@@ -1,0 +1,698 @@
+// Conversion of parsed native trace events into the ECT vocabulary.
+//
+// The converter runs in three passes over the timed events:
+//
+//  1. attribute: walk each M's batch stream in file order, tracking the
+//     goroutine currently running on that M, so every event gains an
+//     acting goroutine (native events are implicitly "the current g").
+//  2. correlate: derive heuristic resource identities by unioning the
+//     block site of every park with the wake site that released it —
+//     the unblock edge is the only place the runtime connects the two
+//     ends of a channel/mutex/cond rendezvous.
+//  3. emit: merge the per-M streams into one total order by timestamp
+//     and run the goroutine state machine, producing ECT events with
+//     logical timestamps 1..N.
+//
+// What the native tracer cannot tell us stays unknowable and is marked
+// as such: only *blocking* operations appear (no uncontended
+// acquisitions, no unlocks — CapOpEvents absent), goroutine creations
+// that predate the trace window are invisible (CapCreateObserved
+// absent), and resource identities are correlation buckets, not object
+// identities (CapExactResIDs absent).
+package ingest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"goat/internal/trace"
+)
+
+// rec is one attributed native event: the wire event plus the goroutine
+// that performed it (0 when no goroutine was running on the M).
+type rec struct {
+	wireEvent
+	g uint64
+}
+
+// gState tracks one native goroutine through conversion.
+type gState struct {
+	introduced bool
+	started    bool
+	system     bool
+	orphan     bool // entered the trace without an observed creation
+	name       string
+	createFile string
+	createLine int
+
+	// Current park, when blocked.
+	blocked     bool
+	blockReason trace.BlockReason
+	blockFile   string
+	blockLine   int
+	blockKey    string // correlation key ("" when the reason carries no resource)
+	blockTs     uint64 // ticks at park
+
+	// A wake arrived; the next GoStart emits the completion event.
+	pendingCompletion trace.Type
+	wakes             int // times this goroutine was woken during the window
+	ended             bool
+}
+
+// converter holds the cross-pass state.
+type converter struct {
+	w   *wireTrace
+	gs  map[uint64]*gState
+	uf  map[string]string       // union-find parent, site-correlation keys
+	res map[string]trace.ResID  // canonical key → assigned ResID
+	out *trace.Trace
+
+	minTs, maxTs uint64 // observed tick range
+	created      int    // creations observed in-window
+	orphans      int
+	droppedWakes int // unblocks with no attributable waker
+}
+
+func (c *converter) gOf(id uint64) *gState {
+	g, ok := c.gs[id]
+	if !ok {
+		g = &gState{}
+		c.gs[id] = g
+	}
+	return g
+}
+
+// ---------------------------------------------------------------------
+// Pass 1: per-M goroutine attribution.
+
+func (c *converter) attribute() []rec {
+	curG := map[uint64]uint64{} // M → running goroutine
+	out := make([]rec, 0, len(c.w.events))
+	for _, ev := range c.w.events {
+		g := curG[ev.m]
+		switch ev.typ {
+		case wevGoStart, wevGoCreateSyscall:
+			// [g, ...]: the named goroutine takes the M.
+			curG[ev.m] = ev.args[0]
+			g = ev.args[0]
+		case wevGoStatus, wevGoStatusStack:
+			// [g, m, status, ...]: a Running status re-establishes the
+			// M binding at a generation boundary.
+			if goStatus(ev.args[2]) == statusRunning && ev.args[1] == ev.m {
+				curG[ev.m] = ev.args[0]
+			}
+			g = ev.args[0]
+		case wevGoBlock, wevGoStop, wevGoDestroy, wevGoDestroySysc, wevGoSyscallEndBl:
+			// The acting goroutine was captured above; it leaves the M.
+			curG[ev.m] = 0
+		case wevGoSwitch, wevGoSwitchDestroy:
+			// The current goroutine yields directly to args[0].
+			curG[ev.m] = ev.args[0]
+		}
+		out = append(out, rec{wireEvent: ev, g: g})
+		if ev.ts > 0 {
+			if c.minTs == 0 || ev.ts < c.minTs {
+				c.minTs = ev.ts
+			}
+			if ev.ts > c.maxTs {
+				c.maxTs = ev.ts
+			}
+		}
+	}
+	// The emission pass needs one global order; native timestamps come
+	// from one monotonic clock, so a stable sort by ticks (file order
+	// breaking ties) reconstructs it faithfully enough for blocking
+	// analysis.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].ts != out[j].ts {
+			return out[i].ts < out[j].ts
+		}
+		return out[i].seq < out[j].seq
+	})
+	return out
+}
+
+// goroutine status values of GoStatus events (go122.GoStatus).
+type goStatus uint64
+
+const (
+	statusBad goStatus = iota
+	statusRunnable
+	statusRunning
+	statusSyscall
+	statusWaiting
+)
+
+// ---------------------------------------------------------------------
+// Block-reason mapping.
+
+// blockReasonOf maps the runtime's block-reason string (plus the
+// blocking stack, which disambiguates the generic "sync" reason) to the
+// ECT vocabulary.
+func blockReasonOf(reason string, frames []frameInfo) trace.BlockReason {
+	switch reason {
+	case "chan send":
+		return trace.BlockSend
+	case "chan receive":
+		return trace.BlockRecv
+	case "select":
+		return trace.BlockSelect
+	case "sync.(*Cond).Wait":
+		return trace.BlockCond
+	case "sleep":
+		return trace.BlockSleep
+	case "network":
+		return trace.BlockNet
+	case "sync":
+		// The runtime lumps every semaphore-based primitive here; the
+		// stack says which one.
+		for _, f := range frames {
+			switch {
+			case strings.HasPrefix(f.fn, "sync.(*RWMutex).RLock"):
+				return trace.BlockRMutex
+			case strings.HasPrefix(f.fn, "sync.(*RWMutex).Lock"),
+				strings.HasPrefix(f.fn, "sync.(*Mutex).Lock"):
+				return trace.BlockMutex
+			case strings.HasPrefix(f.fn, "sync.(*WaitGroup).Wait"):
+				return trace.BlockWaitGroup
+			case strings.HasPrefix(f.fn, "sync.(*Cond).Wait"):
+				return trace.BlockCond
+			case strings.HasPrefix(f.fn, "sync.(*Once)"):
+				return trace.BlockSync
+			}
+		}
+		return trace.BlockSync
+	default:
+		return trace.BlockNone
+	}
+}
+
+// stackBlockReason infers why an already-parked goroutine (introduced
+// by a GoStatusStack at a generation boundary) is waiting, from its
+// current stack alone.
+func stackBlockReason(frames []frameInfo) trace.BlockReason {
+	for _, f := range frames {
+		switch {
+		case strings.HasPrefix(f.fn, "runtime.chansend"):
+			return trace.BlockSend
+		case strings.HasPrefix(f.fn, "runtime.chanrecv"):
+			return trace.BlockRecv
+		case strings.HasPrefix(f.fn, "runtime.selectgo"):
+			return trace.BlockSelect
+		case strings.HasPrefix(f.fn, "sync.(*RWMutex).RLock"):
+			return trace.BlockRMutex
+		case strings.HasPrefix(f.fn, "sync.(*RWMutex).Lock"),
+			strings.HasPrefix(f.fn, "sync.(*Mutex).Lock"):
+			return trace.BlockMutex
+		case strings.HasPrefix(f.fn, "sync.(*WaitGroup).Wait"):
+			return trace.BlockWaitGroup
+		case strings.HasPrefix(f.fn, "sync.(*Cond).Wait"):
+			return trace.BlockCond
+		case strings.HasPrefix(f.fn, "time.Sleep"):
+			return trace.BlockSleep
+		}
+	}
+	return trace.BlockNone
+}
+
+// completionFor returns the ECT operation event a woken goroutine
+// completes when it resumes — the native tracer only showed the park,
+// so the operation itself is synthesized (Blocked: true, the same shape
+// the virtual runtime emits for an op that parked before completing).
+func completionFor(r trace.BlockReason) trace.Type {
+	switch r {
+	case trace.BlockSend:
+		return trace.EvChanSend
+	case trace.BlockRecv:
+		return trace.EvChanRecv
+	case trace.BlockMutex:
+		return trace.EvMutexLock
+	case trace.BlockRMutex:
+		return trace.EvRLock
+	case trace.BlockWaitGroup:
+		return trace.EvWgWait
+	case trace.BlockCond:
+		return trace.EvCondWait
+	case trace.BlockSelect:
+		return trace.EvSelect
+	case trace.BlockSleep:
+		return trace.EvSleep
+	default:
+		return trace.EvNone
+	}
+}
+
+// resFamily groups block reasons whose sites may name the same object:
+// channel operations meet at one channel whichever side parked.
+func resFamily(r trace.BlockReason) string {
+	switch r {
+	case trace.BlockSend, trace.BlockRecv, trace.BlockSelect:
+		return "chan"
+	case trace.BlockMutex, trace.BlockRMutex:
+		return "lock"
+	case trace.BlockWaitGroup:
+		return "wg"
+	case trace.BlockCond:
+		return "cond"
+	default:
+		return "" // no resource identity to synthesize
+	}
+}
+
+// userFrame picks the frame of the user statement that performed the
+// operation: the first frame that is neither runtime internals nor the
+// standard concurrency wrappers.
+func userFrame(frames []frameInfo) (string, int) {
+	for _, f := range frames {
+		if f.fn == "" {
+			continue
+		}
+		if strings.HasPrefix(f.fn, "runtime.") ||
+			strings.HasPrefix(f.fn, "runtime/") ||
+			strings.HasPrefix(f.fn, "sync.") ||
+			strings.HasPrefix(f.fn, "internal/") ||
+			strings.HasPrefix(f.fn, "time.Sleep") {
+			continue
+		}
+		return f.file, f.line
+	}
+	if len(frames) > 0 {
+		return frames[0].file, frames[0].line
+	}
+	return "", 0
+}
+
+// rootFrame returns the outermost frame — the goroutine's entry
+// function for creation stacks and status stacks.
+func rootFrame(frames []frameInfo) frameInfo {
+	if len(frames) == 0 {
+		return frameInfo{}
+	}
+	return frames[len(frames)-1]
+}
+
+// systemRoot reports whether a goroutine whose root function is fn is
+// runtime infrastructure rather than application code.
+func systemRoot(fn string) bool {
+	return strings.HasPrefix(fn, "runtime.") || strings.HasPrefix(fn, "runtime/trace.")
+}
+
+// systemBlockReason reports whether a native block-reason string only
+// ever occurs on runtime-internal goroutines (GC workers, the
+// finalizer, the trace reader) — never on application code.
+func systemBlockReason(reason string) bool {
+	switch reason {
+	case "system goroutine wait",
+		"GC background sweeper wait",
+		"GC scavenge wait",
+		"GC worker (idle)",
+		"finalizer wait",
+		"trace reader (blocked)",
+		"wait for debug call":
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Pass 2: resource-identity correlation (union-find over sites).
+
+func (c *converter) find(k string) string {
+	p, ok := c.uf[k]
+	if !ok || p == k {
+		return k
+	}
+	root := c.find(p)
+	c.uf[k] = root
+	return root
+}
+
+func (c *converter) union(a, b string) {
+	ra, rb := c.find(a), c.find(b)
+	if ra != rb {
+		// Deterministic orientation: the lexicographically smaller root
+		// wins, so the assignment is independent of discovery order.
+		if rb < ra {
+			ra, rb = rb, ra
+		}
+		c.uf[rb] = ra
+	}
+}
+
+// blockKey is the correlation key of a park: reason family + site.
+func blockKey(family, file string, line int) string {
+	if family == "" || file == "" {
+		return ""
+	}
+	return fmt.Sprintf("%s|%s:%d", family, file, line)
+}
+
+// correlate walks the attributed records, pairing each unblock edge's
+// wake site with the target's current block site. The two sites touched
+// the same runtime object, so they fall into one identity bucket.
+func (c *converter) correlate(recs []rec) {
+	type park struct {
+		key    string
+		family string
+	}
+	parked := map[uint64]park{}
+	for _, r := range recs {
+		switch r.typ {
+		case wevGoBlock:
+			if r.g == 0 {
+				continue
+			}
+			frames := c.w.resolveStack(r.gen, r.args[1])
+			reason := blockReasonOf(c.w.str(r.gen, r.args[0]), frames)
+			family := resFamily(reason)
+			file, line := userFrame(frames)
+			key := blockKey(family, file, line)
+			if key != "" {
+				if _, ok := c.uf[key]; !ok {
+					c.uf[key] = key
+				}
+				parked[r.g] = park{key: key, family: family}
+			} else {
+				delete(parked, r.g)
+			}
+		case wevGoStatusStack:
+			if goStatus(r.args[2]) != statusWaiting {
+				continue
+			}
+			frames := c.w.resolveStack(r.gen, r.args[3])
+			reason := stackBlockReason(frames)
+			family := resFamily(reason)
+			file, line := userFrame(frames)
+			key := blockKey(family, file, line)
+			if key != "" {
+				if _, ok := c.uf[key]; !ok {
+					c.uf[key] = key
+				}
+				if _, have := parked[r.args[0]]; !have {
+					parked[r.args[0]] = park{key: key, family: family}
+				}
+			}
+		case wevGoUnblock:
+			target := r.args[0]
+			p, ok := parked[target]
+			if !ok || r.g == 0 {
+				continue
+			}
+			frames := c.w.resolveStack(r.gen, r.args[2])
+			file, line := userFrame(frames)
+			wkey := blockKey(p.family, file, line)
+			if wkey != "" {
+				if _, okW := c.uf[wkey]; !okW {
+					c.uf[wkey] = wkey
+				}
+				c.union(p.key, wkey)
+			}
+			delete(parked, target)
+		}
+	}
+}
+
+// resOf assigns stable ResIDs to correlation buckets in first-use
+// order during emission.
+func (c *converter) resOf(key string) trace.ResID {
+	if key == "" {
+		return 0
+	}
+	root := c.find(key)
+	if id, ok := c.res[root]; ok {
+		return id
+	}
+	id := trace.ResID(len(c.res) + 1)
+	c.res[root] = id
+	return id
+}
+
+// ---------------------------------------------------------------------
+// Pass 3: emission.
+
+// emit appends an ECT event, stamping the next logical timestamp.
+func (c *converter) emit(e trace.Event) {
+	e.Ts = int64(c.out.Len() + 1)
+	c.out.Append(e)
+}
+
+// introduce makes sure g exists in the ECT, synthesizing the orphan
+// GoStart the window contract (trace.CapCreateObserved absent) allows.
+func (c *converter) introduce(id uint64, st *gState) {
+	if st.started {
+		return
+	}
+	st.started = true
+	st.introduced = true
+	aux := int64(0)
+	if st.system {
+		aux = 1
+	}
+	if !st.orphan && st.createFile != "" {
+		// Created in-window: the ECT GoCreate already introduced it; the
+		// GoStart is informational.
+		c.emit(trace.Event{G: trace.GoID(id), Type: trace.EvGoStart,
+			File: st.createFile, Line: st.createLine, Aux: aux, Str: st.name})
+		return
+	}
+	c.orphans++
+	c.emit(trace.Event{G: trace.GoID(id), Type: trace.EvGoStart,
+		File: st.createFile, Line: st.createLine, Aux: aux, Str: st.name})
+}
+
+// park records a block and emits its EvGoBlock.
+func (c *converter) park(id uint64, st *gState, reason trace.BlockReason, file string, line int, ts uint64) {
+	st.blocked = true
+	st.blockReason = reason
+	st.blockFile = file
+	st.blockLine = line
+	st.blockKey = blockKey(resFamily(reason), file, line)
+	st.blockTs = ts
+	c.emit(trace.Event{G: trace.GoID(id), Type: trace.EvGoBlock,
+		Aux: int64(reason), Res: c.resOf(st.blockKey), File: file, Line: line})
+}
+
+// convert runs all three passes and returns the finished artifacts.
+func (c *converter) convert() {
+	recs := c.attribute()
+	c.correlate(recs)
+
+	for _, r := range recs {
+		switch r.typ {
+		case wevGoCreate, wevGoCreateBlocked:
+			child := r.args[0]
+			childFrames := c.w.resolveStack(r.gen, r.args[1])
+			parentFrames := c.w.resolveStack(r.gen, r.args[2])
+			entry := rootFrame(childFrames)
+			cs := c.gOf(child)
+			cs.name = entry.fn
+			cs.system = systemRoot(entry.fn)
+			file, line := userFrame(parentFrames)
+			cs.createFile, cs.createLine = file, line
+			if r.g == 0 {
+				// Creator unknown (no goroutine attributed to this M):
+				// the child will introduce itself as an orphan.
+				cs.orphan = true
+				continue
+			}
+			ps := c.gOf(r.g)
+			c.ensureRunning(r.g, ps)
+			cs.introduced = true
+			c.created++
+			aux := int64(0)
+			if cs.system {
+				aux = 1
+			}
+			c.emit(trace.Event{G: trace.GoID(r.g), Type: trace.EvGoCreate,
+				Peer: trace.GoID(child), File: file, Line: line, Aux: aux, Str: entry.fn})
+
+		case wevGoStart:
+			id := r.args[0]
+			st := c.gOf(id)
+			if !st.started {
+				if !st.introduced {
+					st.orphan = true
+				}
+				c.introduce(id, st)
+			}
+			if st.pendingCompletion != trace.EvNone {
+				e := trace.Event{G: trace.GoID(id), Type: st.pendingCompletion,
+					Res: c.resOf(st.blockKey), Blocked: true,
+					File: st.blockFile, Line: st.blockLine}
+				if st.pendingCompletion == trace.EvChanRecv {
+					e.Aux = 1 // value received (close-observation is unknowable)
+				}
+				c.emit(e)
+				st.pendingCompletion = trace.EvNone
+			}
+			st.blocked = false
+
+		case wevGoBlock:
+			if r.g == 0 {
+				continue
+			}
+			st := c.gOf(r.g)
+			c.ensureRunning(r.g, st)
+			frames := c.w.resolveStack(r.gen, r.args[1])
+			reasonStr := c.w.str(r.gen, r.args[0])
+			reason := blockReasonOf(reasonStr, frames)
+			// A goroutine introduced without a stack (plain GoStatus)
+			// reveals itself at its first park: the block stack's root
+			// is its entry function, and runtime-infrastructure block
+			// reasons mark runtime-internal goroutines.
+			if root := rootFrame(frames); st.name == "" && root.fn != "" {
+				st.name = root.fn
+			}
+			if r.g != 1 && !st.system &&
+				(systemBlockReason(reasonStr) || systemRoot(rootFrame(frames).fn)) {
+				st.system = true
+			}
+			file, line := userFrame(frames)
+			c.park(r.g, st, reason, file, line, r.ts)
+
+		case wevGoUnblock:
+			target := r.args[0]
+			ts := c.gOf(target)
+			ts.pendingCompletion = completionFor(ts.blockReason)
+			ts.wakes++
+			if r.g == 0 {
+				// Runtime-internal wake (netpoll, timer): no attributable
+				// waker, so the HB edge is dropped.
+				c.droppedWakes++
+				continue
+			}
+			st := c.gOf(r.g)
+			c.ensureRunning(r.g, st)
+			frames := c.w.resolveStack(r.gen, r.args[2])
+			file, line := userFrame(frames)
+			res := trace.ResID(0)
+			if ts.blockKey != "" {
+				res = c.resOf(ts.blockKey)
+			}
+			c.emit(trace.Event{G: trace.GoID(r.g), Type: trace.EvGoUnblock,
+				Peer: trace.GoID(target), Res: res, File: file, Line: line})
+
+		case wevGoDestroy, wevGoDestroySysc:
+			if r.g == 0 {
+				continue
+			}
+			st := c.gOf(r.g)
+			c.ensureRunning(r.g, st)
+			st.ended = true
+			st.blocked = false
+			c.emit(trace.Event{G: trace.GoID(r.g), Type: trace.EvGoEnd})
+
+		case wevGoSwitch, wevGoSwitchDestroy:
+			// Coroutine switch: the target continues immediately; the
+			// yielding goroutine's park (and, for switch-destroy, its
+			// end) is not separately recorded by the native tracer, so
+			// only the target's introduction is reconstructible.
+			id := r.args[0]
+			st := c.gOf(id)
+			c.ensureRunning(id, st)
+
+		case wevGoStop:
+			if r.g == 0 {
+				continue
+			}
+			st := c.gOf(r.g)
+			c.ensureRunning(r.g, st)
+			typ := trace.EvGoSched
+			if c.w.str(r.gen, r.args[0]) == "preempted" {
+				typ = trace.EvGoPreempt
+			}
+			c.emit(trace.Event{G: trace.GoID(r.g), Type: typ})
+
+		case wevGoStatus, wevGoStatusStack:
+			id := r.args[0]
+			st := c.gOf(id)
+			if st.started {
+				continue // later-generation re-announcement
+			}
+			var frames []frameInfo
+			if r.typ == wevGoStatusStack {
+				frames = c.w.resolveStack(r.gen, r.args[3])
+				root := rootFrame(frames)
+				if st.name == "" {
+					st.name = root.fn
+				}
+				st.system = systemRoot(root.fn) && id != 1
+			}
+			st.orphan = !st.introduced
+			c.introduce(id, st)
+			if goStatus(r.args[2]) == statusWaiting {
+				reason := stackBlockReason(frames)
+				file, line := userFrame(frames)
+				c.park(id, st, reason, file, line, r.ts)
+			}
+
+		case wevUserLog:
+			if r.g == 0 {
+				continue
+			}
+			st := c.gOf(r.g)
+			c.ensureRunning(r.g, st)
+			frames := c.w.resolveStack(r.gen, r.args[3])
+			file, line := userFrame(frames)
+			key := c.w.str(r.gen, r.args[1])
+			val := c.w.str(r.gen, r.args[2])
+			msg := val
+			if key != "" {
+				msg = key + "=" + val
+			}
+			c.emit(trace.Event{G: trace.GoID(r.g), Type: trace.EvUserLog,
+				File: file, Line: line, Str: msg})
+
+		case wevUserRegionBegin, wevUserRegionEnd:
+			if r.g == 0 {
+				continue
+			}
+			st := c.gOf(r.g)
+			c.ensureRunning(r.g, st)
+			frames := c.w.resolveStack(r.gen, r.args[2])
+			file, line := userFrame(frames)
+			name := c.w.str(r.gen, r.args[1])
+			edge := "begin"
+			if r.typ == wevUserRegionEnd {
+				edge = "end"
+			}
+			c.emit(trace.Event{G: trace.GoID(r.g), Type: trace.EvUserLog,
+				File: file, Line: line, Str: "region " + edge + ": " + name})
+		}
+	}
+
+	// Some goroutines reveal their system-ness only after their
+	// introduction was emitted (a stackless GoStatus followed by a park
+	// with a runtime-infrastructure reason). Re-stamp the provenance
+	// marker on their introduction events so consumers that classify at
+	// adoption time (GoatStream, the goroutine tree) agree.
+	for i := range c.out.Events {
+		e := &c.out.Events[i]
+		switch e.Type {
+		case trace.EvGoStart:
+			if st, ok := c.gs[uint64(e.G)]; ok && st.system {
+				e.Aux = 1
+				if e.Str == "" {
+					e.Str = st.name
+				}
+			}
+		case trace.EvGoCreate:
+			if st, ok := c.gs[uint64(e.Peer)]; ok && st.system {
+				e.Aux = 1
+			}
+		}
+	}
+}
+
+// ensureRunning introduces a goroutine the attribution saw acting
+// before any explicit start (possible at a window edge where the
+// GoStart fell into the previous, unrecorded generation).
+func (c *converter) ensureRunning(id uint64, st *gState) {
+	if !st.started {
+		if !st.introduced {
+			st.orphan = true
+		}
+		c.introduce(id, st)
+	}
+}

@@ -1,0 +1,91 @@
+// Window/baseline diffing: the CI gate for native captures.
+//
+// Absolute stranded-goroutine reports on a real system are noisy — some
+// parked goroutines are load-bearing. Differential reports are not: if
+// a signature (root function + block site + creation site + reason) is
+// stranded in the new capture and was not in the baseline, the change
+// under test introduced it. That is the verdict `goattrace -diff`
+// gates on.
+package ingest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DiffEntry is one signature whose stranded population changed.
+type DiffEntry struct {
+	Signature string
+	Old, New  int      // stranded goroutines with this signature per side
+	Example   Stranded // a representative from the side that grew (or shrank)
+}
+
+// Diff is the comparison of two ingested windows.
+type Diff struct {
+	Grown  []DiffEntry // signatures with more stranded goroutines than baseline
+	Shrunk []DiffEntry // signatures that improved (informational)
+}
+
+// Regressed reports whether the new window strands goroutines the
+// baseline did not — the condition a CI gate fails on.
+func (d *Diff) Regressed() bool { return len(d.Grown) > 0 }
+
+// Verdict renders the CI-facing one-liner.
+func (d *Diff) Verdict() string {
+	if !d.Regressed() {
+		return "OK"
+	}
+	n := 0
+	for _, e := range d.Grown {
+		n += e.New - e.Old
+	}
+	return fmt.Sprintf("LEAK-%d", n)
+}
+
+func (d *Diff) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "verdict: %s\n", d.Verdict())
+	for _, e := range d.Grown {
+		fmt.Fprintf(&b, "  new: %s (%d -> %d)\n", e.Example.String(), e.Old, e.New)
+	}
+	for _, e := range d.Shrunk {
+		fmt.Fprintf(&b, "  fixed: %s (%d -> %d)\n", e.Signature, e.Old, e.New)
+	}
+	return b.String()
+}
+
+// DiffRuns compares a baseline window against a new one signature-wise.
+// Both sides are classified with the same options so the comparison is
+// apples-to-apples.
+func DiffRuns(baseline, current *Run, opts StrandedOpts) *Diff {
+	oldBy := bySignature(baseline.StrandedGoroutines(opts))
+	newBy := bySignature(current.StrandedGoroutines(opts))
+
+	d := &Diff{}
+	for sig, group := range newBy {
+		old := len(oldBy[sig])
+		if len(group) > old {
+			d.Grown = append(d.Grown, DiffEntry{
+				Signature: sig, Old: old, New: len(group), Example: group[0]})
+		}
+	}
+	for sig, group := range oldBy {
+		cur := len(newBy[sig])
+		if cur < len(group) {
+			d.Shrunk = append(d.Shrunk, DiffEntry{
+				Signature: sig, Old: len(group), New: cur, Example: group[0]})
+		}
+	}
+	sort.Slice(d.Grown, func(i, j int) bool { return d.Grown[i].Signature < d.Grown[j].Signature })
+	sort.Slice(d.Shrunk, func(i, j int) bool { return d.Shrunk[i].Signature < d.Shrunk[j].Signature })
+	return d
+}
+
+func bySignature(list []Stranded) map[string][]Stranded {
+	m := map[string][]Stranded{}
+	for _, s := range list {
+		m[s.Signature()] = append(m[s.Signature()], s)
+	}
+	return m
+}

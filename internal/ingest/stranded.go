@@ -1,0 +1,145 @@
+// Stranded-goroutine analysis over an ingested native window.
+//
+// A window has no settle point: "blocked at the end of the trace" is
+// the observable fact, and whether that is a leak depends on
+// provenance. A long-lived worker parked on its job channel is idle; a
+// per-request goroutine parked on a send nobody will receive is
+// stranded. The classification below uses the goroutine-tree provenance
+// the converter reconstructed — creation site, root function, wake
+// history, park duration — to separate the two, which is what keeps the
+// report CI-gateable instead of noisy.
+package ingest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"goat/internal/trace"
+)
+
+// Stranded is one goroutine flagged as likely leaked at window end.
+type Stranded struct {
+	G         trace.GoID
+	Name      string            // root function
+	Reason    trace.BlockReason // why it is parked
+	File      string            // block site
+	Line      int
+	CreateFile string // go-statement site ("" for orphans)
+	CreateLine int
+	BlockedNs  int64 // park duration at window end
+	Wakes      int   // wakes observed during the window
+	Siblings   int   // goroutines sharing this signature (incl. itself)
+}
+
+// Signature is the stable identity of a stranded-goroutine class:
+// goroutines are ephemeral (IDs differ run to run) but the code paths
+// that strand them are not. Two runs are compared signature-wise.
+func (s Stranded) Signature() string {
+	return fmt.Sprintf("%s|%s|%s:%d|%s:%d",
+		s.Name, s.Reason, trimPath(s.File), s.Line, trimPath(s.CreateFile), s.CreateLine)
+}
+
+func (s Stranded) String() string {
+	site := fmt.Sprintf("%s:%d", trimPath(s.File), s.Line)
+	created := "pre-existing"
+	if s.CreateFile != "" {
+		created = fmt.Sprintf("created at %s:%d", trimPath(s.CreateFile), s.CreateLine)
+	}
+	return fmt.Sprintf("g%d %s blocked on %s at %s (%s, parked %.0fms, %d wake(s))",
+		s.G, s.Name, s.Reason, site, created, float64(s.BlockedNs)/1e6, s.Wakes)
+}
+
+// trimPath keeps the last two path components — enough to identify the
+// site, stable across checkouts and build machines.
+func trimPath(p string) string {
+	if p == "" {
+		return ""
+	}
+	parts := strings.Split(p, "/")
+	if len(parts) <= 2 {
+		return p
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
+}
+
+// StrandedOpts tunes the classifier.
+type StrandedOpts struct {
+	// MinBlockedNs suppresses goroutines parked for less than this at
+	// window end — they may simply not have been scheduled yet. Zero
+	// means no duration filter.
+	MinBlockedNs int64
+
+	// IncludeWorkers reports long-lived-worker-shaped goroutines too
+	// (normally suppressed, see isWorkerShaped).
+	IncludeWorkers bool
+}
+
+// StrandedGoroutines classifies the window's end-state. The suppression
+// rules, in order:
+//
+//   - system goroutines (runtime infrastructure) never count;
+//   - goroutines parked on sleep or with no reason are idle, not stuck;
+//   - worker-shaped goroutines — orphans or receive/select-parked
+//     goroutines that were woken during the window — are presumed to be
+//     long-lived pools waiting for more work (the classic native-trace
+//     false positive), unless IncludeWorkers asks for them.
+//
+// Everything else blocked at window end is reported, grouped and
+// ordered by signature so output is deterministic.
+func (r *Run) StrandedGoroutines(opts StrandedOpts) []Stranded {
+	var out []Stranded
+	for _, gi := range r.Gs {
+		if !gi.Blocked || gi.System || gi.Ended {
+			continue
+		}
+		if gi.Reason == trace.BlockSleep || gi.Reason == trace.BlockNone ||
+			gi.Reason == trace.BlockNet {
+			continue
+		}
+		if opts.MinBlockedNs > 0 && gi.BlockedNs < opts.MinBlockedNs {
+			continue
+		}
+		s := Stranded{
+			G: gi.ID, Name: gi.Name, Reason: gi.Reason,
+			File: gi.File, Line: gi.Line,
+			CreateFile: gi.CreateFile, CreateLine: gi.CreateLine,
+			BlockedNs: gi.BlockedNs, Wakes: gi.Wakes,
+		}
+		if !opts.IncludeWorkers && isWorkerShaped(gi) {
+			continue
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := out[i].Signature(), out[j].Signature()
+		if si != sj {
+			return si < sj
+		}
+		return out[i].G < out[j].G
+	})
+	// Sibling counts: how many goroutines share each signature.
+	counts := map[string]int{}
+	for _, s := range out {
+		counts[s.Signature()]++
+	}
+	for i := range out {
+		out[i].Siblings = counts[out[i].Signature()]
+	}
+	return out
+}
+
+// isWorkerShaped reports whether a blocked goroutine matches the
+// long-lived-worker pattern: parked on the *consuming* end of a
+// rendezvous (receive, select, cond-wait) after having been productive
+// (woken at least once in-window), or pre-existing the window entirely.
+// Senders are never worker-shaped — a parked send means a value nobody
+// is taking, which is a leak whatever the goroutine's history.
+func isWorkerShaped(gi *GInfo) bool {
+	switch gi.Reason {
+	case trace.BlockRecv, trace.BlockSelect, trace.BlockCond:
+	default:
+		return false
+	}
+	return gi.Orphan || gi.Wakes > 0
+}

@@ -1,0 +1,371 @@
+// Native runtime/trace wire-format parsing.
+//
+// This file reads the Go execution trace format (the go122/go123 wire
+// encoding written by runtime/trace since Go 1.22) with only the
+// fidelity the concurrency analyses need: the per-M batch structure,
+// the per-generation string and stack tables, the tick frequency, and
+// every timed event with its arguments. It deliberately does not
+// implement the full ordering-validation machinery of the upstream
+// parser — the converter (convert.go) re-derives the total order from
+// timestamps, which is sufficient for blocking analysis and keeps this
+// reader dependency-free.
+package ingest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Event type bytes of the go122/go123 wire format, in the upstream
+// numbering (internal/trace/event/go122). Only the events the converter
+// interprets are named; everything else is skipped by spec arity.
+const (
+	wevNone             = 0
+	wevEventBatch       = 1
+	wevStacks           = 2
+	wevStack            = 3
+	wevStrings          = 4
+	wevString           = 5
+	wevCPUSamples       = 6
+	wevCPUSample        = 7
+	wevFrequency        = 8
+	wevProcsChange      = 9
+	wevProcStart        = 10
+	wevProcStop         = 11
+	wevProcSteal        = 12
+	wevProcStatus       = 13
+	wevGoCreate         = 14
+	wevGoCreateSyscall  = 15
+	wevGoStart          = 16
+	wevGoDestroy        = 17
+	wevGoDestroySysc    = 18
+	wevGoStop           = 19
+	wevGoBlock          = 20
+	wevGoUnblock        = 21
+	wevGoSyscallBegin   = 22
+	wevGoSyscallEnd     = 23
+	wevGoSyscallEndBl   = 24
+	wevGoStatus         = 25
+	wevSTWBegin         = 26
+	wevSTWEnd           = 27
+	wevGCActive         = 28
+	wevGCBegin          = 29
+	wevGCEnd            = 30
+	wevGCSweepActive    = 31
+	wevGCSweepBegin     = 32
+	wevGCSweepEnd       = 33
+	wevGCMarkAssistAct  = 34
+	wevGCMarkAssistBeg  = 35
+	wevGCMarkAssistEnd  = 36
+	wevHeapAlloc        = 37
+	wevHeapGoal         = 38
+	wevGoLabel          = 39
+	wevUserTaskBegin    = 40
+	wevUserTaskEnd      = 41
+	wevUserRegionBegin  = 42
+	wevUserRegionEnd    = 43
+	wevUserLog          = 44
+	wevGoSwitch         = 45
+	wevGoSwitchDestroy  = 46
+	wevGoCreateBlocked  = 47
+	wevGoStatusStack    = 48
+	wevExperimentBatch  = 49
+	wevMax              = 50
+)
+
+// wireSpec describes how to read one event: its uvarint argument count
+// and whether it carries a stack payload (frames) or a data payload
+// (length-prefixed bytes). Mirrors the upstream go122 specs table.
+type wireSpec struct {
+	args    int
+	isStack bool
+	hasData bool
+	timed   bool // first arg is a dt relative to the batch cursor
+}
+
+var wireSpecs = [wevMax]wireSpec{
+	wevEventBatch:      {args: 4},
+	wevStacks:          {},
+	wevStack:           {args: 2, isStack: true},
+	wevStrings:         {},
+	wevString:          {args: 1, hasData: true},
+	wevCPUSamples:      {},
+	wevCPUSample:       {args: 5},
+	wevFrequency:       {args: 1},
+	wevProcsChange:     {args: 3, timed: true},
+	wevProcStart:       {args: 3, timed: true},
+	wevProcStop:        {args: 1, timed: true},
+	wevProcSteal:       {args: 4, timed: true},
+	wevProcStatus:      {args: 3, timed: true},
+	wevGoCreate:        {args: 4, timed: true},
+	wevGoCreateSyscall: {args: 2, timed: true},
+	wevGoStart:         {args: 3, timed: true},
+	wevGoDestroy:       {args: 1, timed: true},
+	wevGoDestroySysc:   {args: 1, timed: true},
+	wevGoStop:          {args: 3, timed: true},
+	wevGoBlock:         {args: 3, timed: true},
+	wevGoUnblock:       {args: 4, timed: true},
+	wevGoSyscallBegin:  {args: 3, timed: true},
+	wevGoSyscallEnd:    {args: 1, timed: true},
+	wevGoSyscallEndBl:  {args: 1, timed: true},
+	wevGoStatus:        {args: 4, timed: true},
+	wevSTWBegin:        {args: 3, timed: true},
+	wevSTWEnd:          {args: 1, timed: true},
+	wevGCActive:        {args: 2, timed: true},
+	wevGCBegin:         {args: 3, timed: true},
+	wevGCEnd:           {args: 2, timed: true},
+	wevGCSweepActive:   {args: 2, timed: true},
+	wevGCSweepBegin:    {args: 2, timed: true},
+	wevGCSweepEnd:      {args: 3, timed: true},
+	wevGCMarkAssistAct: {args: 2, timed: true},
+	wevGCMarkAssistBeg: {args: 2, timed: true},
+	wevGCMarkAssistEnd: {args: 1, timed: true},
+	wevHeapAlloc:       {args: 2, timed: true},
+	wevHeapGoal:        {args: 2, timed: true},
+	wevGoLabel:         {args: 2, timed: true},
+	wevUserTaskBegin:   {args: 5, timed: true},
+	wevUserTaskEnd:     {args: 3, timed: true},
+	wevUserRegionBegin: {args: 4, timed: true},
+	wevUserRegionEnd:   {args: 4, timed: true},
+	wevUserLog:         {args: 5, timed: true},
+	wevGoSwitch:        {args: 3, timed: true},
+	wevGoSwitchDestroy: {args: 3, timed: true},
+	wevGoCreateBlocked: {args: 4, timed: true},
+	wevGoStatusStack:   {args: 5, timed: true},
+	wevExperimentBatch: {args: 4, hasData: true},
+}
+
+// wireFrame is one stack frame: PC plus string-table references into
+// the frame's generation.
+type wireFrame struct {
+	pc     uint64
+	funcID uint64
+	fileID uint64
+	line   uint64
+}
+
+// wireEvent is one timed event attributed to its batch: generation, M,
+// absolute timestamp in ticks, and the raw argument vector (dt
+// replaced by the absolute timestamp).
+type wireEvent struct {
+	gen  uint64
+	m    uint64
+	ts   uint64 // absolute ticks
+	typ  byte
+	args []uint64 // spec args minus dt
+	seq  int      // arrival index, the tie-break of the merge sort
+}
+
+// generation groups one generation's tables.
+type generation struct {
+	strings map[uint64]string
+	stacks  map[uint64][]wireFrame
+}
+
+// wireTrace is the parsed file: every timed event plus the
+// per-generation tables needed to resolve them.
+type wireTrace struct {
+	version int // 22 or 23 (the "go 1.N trace" header)
+	freq    float64
+	events  []wireEvent
+	gens    map[uint64]*generation
+}
+
+func (w *wireTrace) gen(id uint64) *generation {
+	g, ok := w.gens[id]
+	if !ok {
+		g = &generation{strings: map[uint64]string{}, stacks: map[uint64][]wireFrame{}}
+		w.gens[id] = g
+	}
+	return g
+}
+
+// maxWireEvents bounds parsing so a corrupt size field cannot allocate
+// unboundedly: 64M timed events is far beyond any fixture or CI trace.
+const maxWireEvents = 64 << 20
+
+// parseWire reads a complete native execution trace.
+func parseWire(r io.Reader) (*wireTrace, error) {
+	br := bufio.NewReader(r)
+	var version int
+	if _, err := fmt.Fscanf(br, "go 1.%d trace\x00\x00\x00", &version); err != nil {
+		return nil, fmt.Errorf("ingest: not a Go execution trace (bad header): %w", err)
+	}
+	if version != 22 && version != 23 {
+		return nil, fmt.Errorf("ingest: unsupported trace version go 1.%d (want 1.22 or 1.23)", version)
+	}
+	w := &wireTrace{version: version, gens: map[uint64]*generation{}}
+
+	// Batch cursor: the current batch's generation and M, and the
+	// cumulative timestamp of the last timed event read from it.
+	var curGen, curM, lastTs uint64
+	inBatch := false
+	seq := 0
+
+	for {
+		typ, err := br.ReadByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ingest: reading event type: %w", err)
+		}
+		if typ == wevNone || int(typ) >= wevMax {
+			return nil, fmt.Errorf("ingest: invalid event type byte %d at event %d", typ, seq)
+		}
+		spec := wireSpecs[typ]
+		args := make([]uint64, spec.args)
+		for i := range args {
+			if args[i], err = readUvarint(br); err != nil {
+				return nil, fmt.Errorf("ingest: event %d (type %d) arg %d: %w", seq, typ, i, err)
+			}
+		}
+		switch typ {
+		case wevEventBatch:
+			// [gen, m, time, size]
+			curGen, curM, lastTs = args[0], args[1], args[2]
+			inBatch = true
+		case wevExperimentBatch:
+			// [exp, gen, m, time] + data payload: opaque, skip.
+			if err := skipData(br); err != nil {
+				return nil, fmt.Errorf("ingest: experimental batch payload: %w", err)
+			}
+		case wevFrequency:
+			w.freq = 1e9 / float64(args[0]) // ticks/sec → ns per tick
+		case wevString:
+			// [id] + data payload.
+			data, err := readData(br)
+			if err != nil {
+				return nil, fmt.Errorf("ingest: string %d payload: %w", args[0], err)
+			}
+			w.gen(curGen).strings[args[0]] = string(data)
+		case wevStack:
+			// [id, nframes] + nframes × {pc, funcID, fileID, line}.
+			n := int(args[1])
+			if n > 1024 {
+				return nil, fmt.Errorf("ingest: stack %d has implausible frame count %d", args[0], n)
+			}
+			frames := make([]wireFrame, n)
+			for i := range frames {
+				var f [4]uint64
+				for j := range f {
+					if f[j], err = readUvarint(br); err != nil {
+						return nil, fmt.Errorf("ingest: stack %d frame %d: %w", args[0], i, err)
+					}
+				}
+				frames[i] = wireFrame{pc: f[0], funcID: f[1], fileID: f[2], line: f[3]}
+			}
+			w.gen(curGen).stacks[args[0]] = frames
+		default:
+			if !spec.timed {
+				break // section headers (Stacks/Strings/CPUSamples), CPU samples
+			}
+			if !inBatch {
+				return nil, fmt.Errorf("ingest: timed event (type %d) outside any batch", typ)
+			}
+			lastTs += args[0] // dt accumulates along the batch
+			if len(w.events) >= maxWireEvents {
+				return nil, fmt.Errorf("ingest: more than %d timed events; refusing", maxWireEvents)
+			}
+			w.events = append(w.events, wireEvent{
+				gen: curGen, m: curM, ts: lastTs, typ: typ, args: args[1:], seq: seq,
+			})
+		}
+		seq++
+	}
+	if w.freq == 0 {
+		return nil, fmt.Errorf("ingest: trace carries no frequency event")
+	}
+	if len(w.events) == 0 {
+		return nil, fmt.Errorf("ingest: trace carries no timed events")
+	}
+	return w, nil
+}
+
+// readUvarint is binary.ReadUvarint without the interface indirection.
+func readUvarint(br *bufio.Reader) (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		if b < 0x80 {
+			if i == 9 && b > 1 {
+				return 0, fmt.Errorf("uvarint overflows 64 bits")
+			}
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+		if s >= 64 {
+			return 0, fmt.Errorf("uvarint overflows 64 bits")
+		}
+	}
+}
+
+func readData(br *bufio.Reader) ([]byte, error) {
+	n, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<24 {
+		return nil, fmt.Errorf("payload too long (%d)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func skipData(br *bufio.Reader) error {
+	n, err := readUvarint(br)
+	if err != nil {
+		return err
+	}
+	if n > 1<<30 {
+		return fmt.Errorf("payload too long (%d)", n)
+	}
+	_, err = io.CopyN(io.Discard, br, int64(n))
+	return err
+}
+
+// frameInfo is a resolved stack frame.
+type frameInfo struct {
+	fn   string
+	file string
+	line int
+}
+
+// resolveStack maps a stack ID to resolved frames, leaf first. Stack 0
+// means "no stack".
+func (w *wireTrace) resolveStack(gen, id uint64) []frameInfo {
+	if id == 0 {
+		return nil
+	}
+	g, ok := w.gens[gen]
+	if !ok {
+		return nil
+	}
+	frames := g.stacks[id]
+	out := make([]frameInfo, 0, len(frames))
+	for _, f := range frames {
+		out = append(out, frameInfo{
+			fn:   g.strings[f.funcID],
+			file: g.strings[f.fileID],
+			line: int(f.line),
+		})
+	}
+	return out
+}
+
+// str resolves a string-table reference.
+func (w *wireTrace) str(gen, id uint64) string {
+	if g, ok := w.gens[gen]; ok {
+		return g.strings[id]
+	}
+	return ""
+}

@@ -106,6 +106,11 @@ func newScheduler(opts Options) *Scheduler {
 		} else {
 			s.ect = trace.New(1024)
 		}
+		// The scheduler is the virtual-runtime producer: stamp its full
+		// guarantee set so consumers of the buffered ECT see the same
+		// source a live sink would. (SimSource still encodes as the
+		// original GOATECT1 format — byte-identical to pre-source traces.)
+		s.ect.Source = trace.SimSource
 	}
 	s.sinks = opts.Sinks
 	s.stoppers = s.stopArr[:0]

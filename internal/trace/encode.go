@@ -14,14 +14,31 @@ import (
 //	per event: varint-encoded fields in a fixed order, strings as
 //	(uvarint length, bytes).
 //
+// Traces whose producer is not the virtual runtime carry a source
+// record, versioned by a second magic:
+//
+//	magic "GOATECT2" (8 bytes)
+//	source name (uvarint length, bytes), source caps (uvarint)
+//	uint64 event count + events as in GOATECT1
+//
+// Virtual-runtime traces keep encoding byte-identically to the original
+// format: the source record is only written when there is one to write.
+//
 // The format is self-contained and versioned by the magic string.
 
-const magic = "GOATECT1"
+const (
+	magic   = "GOATECT1"
+	magicV2 = "GOATECT2"
+)
 
 // Encode writes the trace to w in the binary ECT format.
 func (t *Trace) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(magic); err != nil {
+	head := magic
+	if !t.Source.IsZero() && t.Source != SimSource {
+		head = magicV2
+	}
+	if _, err := bw.WriteString(head); err != nil {
 		return err
 	}
 	var scratch [binary.MaxVarintLen64]byte
@@ -41,6 +58,14 @@ func (t *Trace) Encode(w io.Writer) error {
 		}
 		_, err := bw.WriteString(s)
 		return err
+	}
+	if head == magicV2 {
+		if err := putString(t.Source.Name); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(t.Source.Caps)); err != nil {
+			return err
+		}
 	}
 	if err := putUvarint(uint64(len(t.Events))); err != nil {
 		return err
@@ -70,14 +95,19 @@ func (t *Trace) Encode(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Decode reads a trace previously written by Encode.
+// Decode reads a trace previously written by Encode. Beyond the wire
+// format it enforces the goroutine-introduction contract: every event
+// must belong to a goroutine that already appeared in a GoCreate (as
+// the child) or introduced itself with its own GoStart — a stream
+// violating it would silently build a partial goroutine tree, so it is
+// rejected with a clear error instead.
 func Decode(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
-	if string(head) != magic {
+	if string(head) != magic && string(head) != magicV2 {
 		return nil, fmt.Errorf("trace: bad magic %q", head)
 	}
 	getString := func() (string, error) {
@@ -94,6 +124,18 @@ func Decode(r io.Reader) (*Trace, error) {
 		}
 		return string(buf), nil
 	}
+	var src SourceInfo
+	if string(head) == magicV2 {
+		name, err := getString()
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading source name: %w", err)
+		}
+		caps, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading source caps: %w", err)
+		}
+		src = SourceInfo{Name: name, Caps: Caps(caps)}
+	}
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading count: %w", err)
@@ -109,6 +151,8 @@ func Decode(r io.Reader) (*Trace, error) {
 		prealloc = 1 << 16
 	}
 	t := New(prealloc)
+	t.Source = src
+	known := map[GoID]bool{1: true} // main exists implicitly
 	for i := uint64(0); i < count; i++ {
 		var e Event
 		if e.Ts, err = binary.ReadVarint(br); err != nil {
@@ -152,6 +196,15 @@ func Decode(r io.Reader) (*Trace, error) {
 		e.Blocked = blocked != 0
 		if e.Str, err = getString(); err != nil {
 			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		if e.Type == EvGoStart {
+			known[e.G] = true
+		}
+		if e.G != 0 && !known[e.G] {
+			return nil, fmt.Errorf("trace: event %d (%s) by goroutine g%d which never appeared in a GoCreate/GoStart", i, e.Type, e.G)
+		}
+		if e.Type == EvGoCreate {
+			known[e.Peer] = true
 		}
 		t.Append(e)
 	}

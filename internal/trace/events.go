@@ -114,6 +114,7 @@ const (
 	BlockSync                  // blocked on another sync primitive (Once, semaphore)
 	BlockGoatDone              // blocked in the goat watchdog handshake
 	BlockFault                 // held unrunnable by an injected stall fault
+	BlockNet                   // blocked on network I/O (native traces only)
 )
 
 var blockReasonNames = map[BlockReason]string{
@@ -129,6 +130,7 @@ var blockReasonNames = map[BlockReason]string{
 	BlockSync:      "sync",
 	BlockGoatDone:  "goat-done",
 	BlockFault:     "fault-stall",
+	BlockNet:       "net",
 }
 
 // String returns the human-readable block reason.

@@ -21,7 +21,29 @@ func fuzzSeedTraces() []*Trace {
 	wide.Append(Event{Ts: 7, G: 1, Type: EvGoBlock, File: "", Line: 0, Aux: int64(BlockSend)})
 	wide.Append(Event{Ts: 8, G: 1, Type: EvUserLog, File: "c.go", Line: 3, Str: "hello \x00 world"})
 
-	return []*Trace{New(0), small, wide}
+	// A goroutine introduced by its own GoStart (no GoCreate): valid per
+	// the introduction contract, exercised by native-trace ingestion.
+	window := New(2)
+	window.Source = SourceInfo{Name: "native test", Caps: CapSourceLoc}
+	window.Append(Event{Ts: 1, G: 9, Type: EvGoStart})
+	window.Append(Event{Ts: 2, G: 9, Type: EvGoBlock, Aux: int64(BlockRecv)})
+
+	return []*Trace{New(0), small, wide, window}
+}
+
+// fuzzRejectSeeds builds encodings Decode must reject without panicking.
+// The partial-goroutine-tree case regressed once: an event by a
+// goroutine that never appeared in a GoCreate/GoStart used to decode
+// silently into a trace whose tree was missing the goroutine.
+func fuzzRejectSeeds() [][]byte {
+	orphan := New(2)
+	orphan.Append(Event{Ts: 1, G: 1, Type: EvGoCreate, Peer: 2})
+	orphan.Append(Event{Ts: 2, G: 3, Type: EvChanSend, Res: 1})
+	var buf bytes.Buffer
+	if err := orphan.Encode(&buf); err != nil {
+		panic(err)
+	}
+	return [][]byte{buf.Bytes()}
 }
 
 // FuzzECTRoundTrip checks the ECT binary codec on arbitrary inputs.
@@ -46,6 +68,9 @@ func FuzzECTRoundTrip(f *testing.F) {
 	f.Add([]byte("NOTATRACE"))
 	// Valid magic, implausibly huge event count.
 	f.Add(append([]byte(magic), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01))
+	for _, b := range fuzzRejectSeeds() {
+		f.Add(b)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := Decode(bytes.NewReader(data))

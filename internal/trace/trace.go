@@ -11,6 +11,12 @@ import (
 // sequence of events captured from one program execution.
 type Trace struct {
 	Events []Event
+
+	// Source describes the producer that emitted the events and the
+	// guarantees it makes (see SourceInfo). The zero value means the
+	// virtual runtime: use SourceInfo() to read it with that default
+	// applied.
+	Source SourceInfo
 }
 
 // New returns an empty trace with room for n events.
@@ -27,9 +33,13 @@ func (t *Trace) Len() int { return len(t.Events) }
 // Validate checks the well-formedness invariants of an ECT:
 // timestamps strictly increase, every event has a valid type and a
 // goroutine, and every goroutine other than the main goroutine is created
-// (EvGoCreate with Peer=g) before its first own event.
+// (EvGoCreate with Peer=g) before its first own event. For sources
+// without CapCreateObserved (window traces), a goroutine may instead be
+// introduced by its own EvGoStart — goroutines legitimately pre-exist
+// such a trace.
 func (t *Trace) Validate() error {
 	var lastTs int64
+	windowed := !t.SourceInfo().Has(CapCreateObserved)
 	created := map[GoID]bool{1: true} // main goroutine exists implicitly
 	started := map[GoID]bool{}
 	for i, e := range t.Events {
@@ -51,6 +61,9 @@ func (t *Trace) Validate() error {
 				return fmt.Errorf("trace: goroutine g%d created twice", e.Peer)
 			}
 			created[e.Peer] = true
+		}
+		if windowed && e.Type == EvGoStart {
+			created[e.G] = true
 		}
 		if !created[e.G] {
 			return fmt.Errorf("trace: event %d (%s) by g%d before its creation", i, e.Type, e.G)

@@ -223,13 +223,30 @@ func randomEvent(r *rand.Rand) Event {
 	}
 }
 
-// Property: Encode/Decode is lossless for arbitrary event sequences.
+// Property: Encode/Decode is lossless for arbitrary event sequences
+// that respect the goroutine-introduction contract (Decode rejects the
+// rest by design — see TestDecodeRejectsUnknownGoroutine).
 func TestQuickEncodeDecode(t *testing.T) {
 	f := func(seed int64, n uint8) bool {
 		r := rand.New(rand.NewSource(seed))
 		tr := New(int(n))
+		known := []GoID{1}
 		for i := 0; i < int(n); i++ {
-			tr.Append(randomEvent(r))
+			e := randomEvent(r)
+			switch r.Intn(4) {
+			case 0: // introduce a fresh goroutine by GoCreate
+				e.Type = EvGoCreate
+				e.G = known[r.Intn(len(known))]
+				e.Peer = GoID(1000 + len(known))
+				known = append(known, e.Peer)
+			case 1: // introduce a fresh goroutine by its own GoStart
+				e.Type = EvGoStart
+				e.G = GoID(1000 + len(known))
+				known = append(known, e.G)
+			default:
+				e.G = known[r.Intn(len(known))]
+			}
+			tr.Append(e)
 		}
 		var buf bytes.Buffer
 		if err := tr.Encode(&buf); err != nil {
@@ -289,5 +306,106 @@ func TestEncodeJSONShape(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), `"reason":"select"`) {
 		t.Fatalf("reason not symbolic: %s", buf.String())
+	}
+}
+
+// ---------------------------------------------------------------------
+// Event sources: capability declarations and the codec's source record.
+
+func TestSourceInfoDefaultsToSim(t *testing.T) {
+	tr := New(0)
+	if got := tr.SourceInfo(); got != SimSource {
+		t.Fatalf("unstamped trace source = %+v, want SimSource", got)
+	}
+	if !tr.SourceInfo().Has(CapOpEvents | CapCompleteRun) {
+		t.Fatal("SimSource must carry every capability")
+	}
+}
+
+func TestValidateWindowSourceIntroducesByGoStart(t *testing.T) {
+	tr := New(2)
+	tr.Source = SourceInfo{Name: "native test", Caps: CapSourceLoc}
+	tr.Append(Event{Ts: 1, G: 5, Type: EvGoStart})
+	tr.Append(Event{Ts: 2, G: 5, Type: EvGoBlock, Aux: int64(BlockRecv)})
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("window trace with GoStart introduction rejected: %v", err)
+	}
+	// An event by a goroutine with no introduction at all stays invalid
+	// even for window sources.
+	bad := New(1)
+	bad.Source = tr.Source
+	bad.Append(Event{Ts: 1, G: 5, Type: EvChanSend})
+	if err := bad.Validate(); err == nil {
+		t.Fatal("window trace accepted event with no introduction")
+	}
+}
+
+func TestEncodeDecodeSourceRecord(t *testing.T) {
+	tr := New(1)
+	tr.Source = SourceInfo{Name: "native go1.23", Caps: CapSourceLoc | CapCreateObserved}
+	tr.Append(Event{Ts: 1, G: 1, Type: EvGoEnd})
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("GOATECT2")) {
+		t.Fatalf("sourced trace not encoded as v2: %q", buf.Bytes()[:8])
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source != tr.Source {
+		t.Fatalf("source record lost: %+v vs %+v", got.Source, tr.Source)
+	}
+	// Sim traces keep the original byte format exactly.
+	sim := sampleTrace()
+	buf.Reset()
+	if err := sim.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("GOATECT1")) {
+		t.Fatalf("sim trace not encoded as v1: %q", buf.Bytes()[:8])
+	}
+}
+
+func TestDecodeRejectsUnknownGoroutine(t *testing.T) {
+	// g3 never appears in a GoCreate or GoStart: Decode must reject the
+	// stream instead of silently building a partial goroutine tree.
+	tr := New(2)
+	tr.Append(Event{Ts: 1, G: 1, Type: EvGoCreate, Peer: 2})
+	tr.Append(Event{Ts: 2, G: 3, Type: EvChanSend, Res: 1})
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Decode(&buf)
+	if err == nil || !strings.Contains(err.Error(), "never appeared in a GoCreate/GoStart") {
+		t.Fatalf("partial-tree stream not rejected clearly: %v", err)
+	}
+	// The introductions themselves are accepted: created peers and
+	// self-starting goroutines.
+	ok := New(3)
+	ok.Append(Event{Ts: 1, G: 1, Type: EvGoCreate, Peer: 2})
+	ok.Append(Event{Ts: 2, G: 3, Type: EvGoStart})
+	ok.Append(Event{Ts: 3, G: 2, Type: EvChanRecv, Res: 1})
+	buf.Reset()
+	if err := ok.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(&buf); err != nil {
+		t.Fatalf("introduced goroutines rejected: %v", err)
+	}
+}
+
+func TestTraceReplayIsEventSource(t *testing.T) {
+	var _ EventSource = (*Trace)(nil)
+	tr := sampleTrace()
+	out := New(tr.Len())
+	if err := tr.Replay(out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Events, tr.Events) {
+		t.Fatal("replay did not deliver the identical stream")
 	}
 }
