@@ -22,6 +22,7 @@ import (
 	"goat/internal/harness"
 	"goat/internal/hb"
 	"goat/internal/ingest"
+	"goat/internal/kernelgen"
 	"goat/internal/sim"
 	"goat/internal/systematic"
 	"goat/internal/telemetry"
@@ -233,6 +234,32 @@ func BenchmarkCampaignCellBuffered(b *testing.B) { benchCampaignCell(b, true) }
 // BenchmarkCampaignCellStreaming is the streaming pipeline: executions
 // run trace-free with the online GoAT detector attached as an event sink.
 func BenchmarkCampaignCellStreaming(b *testing.B) { benchCampaignCell(b, false) }
+
+// BenchmarkServiceCell times one service-soak execution cell: a leaky
+// worker-pool service (one stranded goroutine per 128 requests) run
+// trace-free with the windowed leak detector on the batched sink path —
+// the unit of work the soak and service campaigns scale up.
+func BenchmarkServiceCell(b *testing.B) {
+	p := &kernelgen.ServiceProg{
+		Shape: kernelgen.ShapeWorkerPool, Requests: 1024,
+		Workers: 4, Pool: 2, Stages: 2, ChanCap: 4,
+		LeakKind: kernelgen.LeakSendNoRecv, LeakEvery: 128,
+	}
+	det := detect.Leak{Window: 1024}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := det.NewStream()
+		r := sim.Run(sim.Options{
+			Seed: 1 + int64(i), MaxSteps: p.MinSteps(), NoTrace: true,
+			Sinks: []trace.Sink{s},
+		}, p.Main())
+		if d := s.Finish(r); !d.Found {
+			b.Fatalf("planted leak not reported: %s", d.Detail)
+		}
+	}
+	b.ReportMetric(float64(p.Requests)*float64(b.N)/b.Elapsed().Seconds(), "requests/s")
+}
 
 // benchTelemetryOverhead is BenchmarkCampaignCellStreaming with the
 // telemetry registry in a chosen state, for the on-vs-off overhead

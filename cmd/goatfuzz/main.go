@@ -9,6 +9,14 @@
 //	goatfuzz -n 5000 -dmax 3 -sweep 5   # a deeper campaign
 //	goatfuzz -n 1000 -emit repro/       # write reproducer sources
 //
+// Service mode swaps the bug-kernel generator for service-shaped
+// workloads (request loops, worker pools, pipelines) and checks the
+// windowed slow-leak detector against each kernel's planted oracle;
+// soak mode runs one long leaky/clean pair instead of a sweep:
+//
+//	goatfuzz -service 200 -seed 1       # service differential smoke
+//	goatfuzz -soak 100000 -dump out/    # 100k-request soak pair
+//
 // The exit status is 1 when the campaign found at least one
 // disagreement, so the command slots directly into CI.
 package main
@@ -20,6 +28,7 @@ import (
 	"path/filepath"
 
 	"goat/internal/kernelgen"
+	"goat/internal/trace"
 )
 
 func main() {
@@ -32,8 +41,25 @@ func main() {
 		noshrink = flag.Bool("noshrink", false, "report findings without minimizing them")
 		maxFind  = flag.Int("maxfindings", 0, "stop after this many findings (0 = no limit)")
 		emit     = flag.String("emit", "", "directory to write reproducer sources into")
+		service  = flag.Int("service", 0, "run a service campaign of this many kernels instead")
+		soak     = flag.Int("soak", 0, "run one leaky/clean service soak pair at this request count")
+		requests = flag.Int("requests", 0, "service mode: per-kernel request count override")
+		dump     = flag.String("dump", "", "soak mode: directory for flight-recorder dumps on failure")
 	)
 	flag.Parse()
+	if *soak > 0 {
+		os.Exit(runSoak(*soak, *seed, *dump))
+	}
+	if *service > 0 {
+		rep := kernelgen.RunService(kernelgen.ServiceConfig{
+			N: *service, Seed: *seed, LeakyFrac: *buggy, Requests: *requests,
+		})
+		fmt.Println(rep)
+		if len(rep.Findings) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	if *n <= 0 {
 		fmt.Fprintln(os.Stderr, "goatfuzz: -n must be positive")
 		os.Exit(2)
@@ -87,4 +113,47 @@ func emitFindings(dir string, findings []*kernelgen.Finding) error {
 		fmt.Printf("wrote %s\n", path)
 	}
 	return nil
+}
+
+// runSoak runs the leaky/clean service soak pair, reports both
+// verdicts, and on failure writes each run's flight-recorder window as
+// Chrome JSON under dumpDir for post-mortem.
+func runSoak(requests int, seed int64, dumpDir string) int {
+	rep := kernelgen.RunServiceSoak(requests, seed)
+	fmt.Printf("soak: %d requests in %v\n", rep.Requests, rep.Elapsed)
+	fmt.Printf("leaky: %s (%s)\n", rep.LeakyVerdict.Verdict, rep.LeakyVerdict.Detail)
+	fmt.Printf("clean: %s\n", rep.CleanVerdict.Verdict)
+	err := rep.OK()
+	if err == nil {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "goatfuzz: soak failed: %v\n", err)
+	if dumpDir != "" {
+		dumpRing(dumpDir, "soak-leaky.json", rep.LeakyRing)
+		dumpRing(dumpDir, "soak-clean.json", rep.CleanRing)
+	}
+	return 1
+}
+
+// dumpRing writes a flight-recorder window as Chrome trace JSON.
+func dumpRing(dir, name string, ring *trace.RingSink) {
+	if ring == nil || ring.Len() == 0 {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "goatfuzz: %v\n", err)
+		return
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goatfuzz: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := ring.Snapshot().EncodeChrome(f, trace.ChromeOptions{Dropped: ring.Dropped()}); err != nil {
+		fmt.Fprintf(os.Stderr, "goatfuzz: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "goatfuzz: flight-recorder dump written to %s\n", path)
 }

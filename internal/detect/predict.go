@@ -253,6 +253,15 @@ func (s *PredictStream) Event(e trace.Event) {
 	s.en.Event(e)
 }
 
+// EventBatch implements trace.BatchSink, forwarding the block to both
+// member streams in one dispatch each.
+func (s *PredictStream) EventBatch(evs []trace.Event) {
+	s.goat.EventBatch(evs)
+	for i := range evs {
+		s.en.Event(evs[i])
+	}
+}
+
 // Close implements trace.Sink.
 func (s *PredictStream) Close() {}
 

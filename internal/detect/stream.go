@@ -152,6 +152,14 @@ func (d *GoatStream) Event(e trace.Event) {
 	}
 }
 
+// EventBatch implements trace.BatchSink: one virtual dispatch per
+// emission block instead of per event. The block is not retained.
+func (d *GoatStream) EventBatch(evs []trace.Event) {
+	for i := range evs {
+		d.Event(evs[i])
+	}
+}
+
 // Close implements trace.Sink.
 func (d *GoatStream) Close() {}
 
@@ -353,6 +361,13 @@ func (d *LockDLStream) Event(e trace.Event) {
 	}
 }
 
+// EventBatch implements trace.BatchSink.
+func (d *LockDLStream) EventBatch(evs []trace.Event) {
+	for i := range evs {
+		d.Event(evs[i])
+	}
+}
+
 // Close implements trace.Sink.
 func (d *LockDLStream) Close() {}
 
@@ -423,6 +438,7 @@ func flushStreamTelemetry(events, stopLag int, det Detection) {
 type resultStream struct{ d Detector }
 
 func (resultStream) Event(trace.Event)                {}
+func (resultStream) EventBatch([]trace.Event)         {}
 func (resultStream) Close()                           {}
 func (resultStream) Reset()                           {}
 func (s resultStream) Finish(r *sim.Result) Detection { return s.d.Detect(r) }

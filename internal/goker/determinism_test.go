@@ -1,9 +1,15 @@
-package goker
+package goker_test
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
+	"goat/internal/detect"
+	"goat/internal/kernelgen"
+	"goat/internal/trace"
+
+	"goat/internal/goker"
 	"goat/internal/sim"
 )
 
@@ -20,12 +26,12 @@ func determinismOptions(seed int64) sim.Options {
 // hidden host-level nondeterminism (map iteration, real time, real
 // channels) in a kernel or the scheduler shows up here first.
 func TestEveryKernelIsDeterministic(t *testing.T) {
-	for _, k := range All() {
+	for _, k := range goker.All() {
 		k := k
 		t.Run(k.ID, func(t *testing.T) {
 			t.Parallel()
-			r1 := Run(k, determinismOptions(7))
-			r2 := Run(k, determinismOptions(7))
+			r1 := goker.Run(k, determinismOptions(7))
+			r2 := goker.Run(k, determinismOptions(7))
 			if r1.Outcome != r2.Outcome {
 				t.Fatalf("outcome differs across identical runs: %v vs %v", r1.Outcome, r2.Outcome)
 			}
@@ -48,22 +54,112 @@ func TestEveryKernelIsDeterministic(t *testing.T) {
 // divergence, the property the paper's debugging workflow (record one
 // failing schedule, replay it under the inspector) rests on.
 func TestEveryKernelReplays(t *testing.T) {
-	for _, k := range All() {
+	for _, k := range goker.All() {
 		k := k
 		t.Run(k.ID, func(t *testing.T) {
 			t.Parallel()
 			opts := determinismOptions(11)
 			opts.Record = true
-			rec := Run(k, opts)
+			rec := goker.Run(k, opts)
 
 			replayOpts := determinismOptions(11)
 			replayOpts.Replay = rec.Schedule
-			rep := Run(k, replayOpts)
+			rep := goker.Run(k, replayOpts)
 			if rep.ReplayDiverged {
 				t.Fatalf("replay diverged from recorded schedule (outcome %v, recorded %v)", rep.Outcome, rec.Outcome)
 			}
 			if rep.Outcome != rec.Outcome {
 				t.Fatalf("replay outcome %v, recorded %v", rep.Outcome, rec.Outcome)
+			}
+		})
+	}
+}
+
+// serviceSweep is the service-kernel battery: every shape, clean and
+// with a planted slow leak, sized so the sweep stays fast.
+func serviceSweep() []*kernelgen.ServiceProg {
+	return []*kernelgen.ServiceProg{
+		{Shape: kernelgen.ShapeHandler, Requests: 96, Workers: 3, Pool: 2, Stages: 2, ChanCap: 1},
+		{Shape: kernelgen.ShapeHandler, Requests: 96, Workers: 3, Pool: 2, Stages: 2, ChanCap: 1,
+			LeakKind: kernelgen.LeakPoolExhaust, LeakEvery: 16},
+		{Shape: kernelgen.ShapeWorkerPool, Requests: 96, Workers: 2, Pool: 2, Stages: 2, ChanCap: 2},
+		{Shape: kernelgen.ShapeWorkerPool, Requests: 96, Workers: 2, Pool: 2, Stages: 2, ChanCap: 2,
+			LeakKind: kernelgen.LeakHandlerAbandon, LeakEvery: 16},
+		{Shape: kernelgen.ShapePipeline, Requests: 96, Workers: 2, Pool: 2, Stages: 3, ChanCap: 1},
+		{Shape: kernelgen.ShapePipeline, Requests: 96, Workers: 2, Pool: 2, Stages: 3, ChanCap: 1,
+			LeakKind: kernelgen.LeakSendNoRecv, LeakEvery: 16},
+	}
+}
+
+// serviceOpts builds the sweep options: full ECT, a detector panel on
+// the sink path, and the requested batch mode.
+func serviceOpts(p *kernelgen.ServiceProg, seed int64, batch int) (sim.Options, []detect.Stream) {
+	streams := []detect.Stream{
+		detect.Goat{}.NewStream(),
+		detect.Leak{Window: 512}.NewStream(),
+	}
+	sinks := make([]trace.Sink, len(streams))
+	for i, s := range streams {
+		sinks[i] = s
+	}
+	return sim.Options{Seed: seed, MaxSteps: p.MinSteps(), SinkBatch: batch, Sinks: sinks}, streams
+}
+
+// TestServiceKernelDeterminism extends the determinism sweep to the
+// service kernels: for three seeds each, the encoded ECT must be
+// byte-identical with batched sink emission on and off, every streaming
+// detector must return the same verdict in both modes, and a recorded
+// schedule must replay without divergence. This is the invariant the
+// campaign-throughput batching rides on — flushing sinks at dispatch
+// boundaries is a delivery optimization, never an observable change.
+func TestServiceKernelDeterminism(t *testing.T) {
+	for _, p := range serviceSweep() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(3); seed <= 11; seed += 4 {
+				offOpts, offStreams := serviceOpts(p, seed, -1)
+				onOpts, onStreams := serviceOpts(p, seed, 256)
+				rOff := sim.Run(offOpts, p.Main())
+				rOn := sim.Run(onOpts, p.Main())
+				if rOff.Outcome != rOn.Outcome {
+					t.Fatalf("seed %d: outcome differs batch off/on: %v vs %v", seed, rOff.Outcome, rOn.Outcome)
+				}
+				if err := p.Check(rOff); err != nil {
+					t.Fatalf("seed %d: oracle: %v", seed, err)
+				}
+				var bOff, bOn bytes.Buffer
+				if err := rOff.Trace.Encode(&bOff); err != nil {
+					t.Fatalf("seed %d: encode: %v", seed, err)
+				}
+				if err := rOn.Trace.Encode(&bOn); err != nil {
+					t.Fatalf("seed %d: encode: %v", seed, err)
+				}
+				if !bytes.Equal(bOff.Bytes(), bOn.Bytes()) {
+					t.Fatalf("seed %d: ECT differs between batch off (%d bytes) and on (%d bytes)",
+						seed, bOff.Len(), bOn.Len())
+				}
+				for i := range offStreams {
+					dOff := offStreams[i].Finish(rOff)
+					dOn := onStreams[i].Finish(rOn)
+					if !reflect.DeepEqual(dOff, dOn) {
+						t.Fatalf("seed %d: %s verdict differs batch off/on:\n%+v\n%+v",
+							seed, dOff.Tool, dOff, dOn)
+					}
+				}
+
+				// Record under batched emission, replay, require structural
+				// agreement — the debugging workflow must survive batching.
+				recOpts := sim.Options{Seed: seed, MaxSteps: p.MinSteps(), SinkBatch: 256, Record: true}
+				rec := sim.Run(recOpts, p.Main())
+				repOpts := sim.Options{Seed: seed, MaxSteps: p.MinSteps(), SinkBatch: 256, Replay: rec.Schedule}
+				rep := sim.Run(repOpts, p.Main())
+				if rep.ReplayDiverged {
+					t.Fatalf("seed %d: replay diverged (outcome %v, recorded %v)", seed, rep.Outcome, rec.Outcome)
+				}
+				if rep.Outcome != rec.Outcome {
+					t.Fatalf("seed %d: replay outcome %v, recorded %v", seed, rep.Outcome, rec.Outcome)
+				}
 			}
 		})
 	}

@@ -363,6 +363,12 @@ func (f *flightRing) Close() {
 	f.mu.Unlock()
 }
 
+// Unbatched implements the trace.Unbatched marker: the recorder must see
+// events as they are emitted — the watchdog snapshots it while a hung
+// run is still in flight, when batched delivery would hold exactly the
+// events that matter.
+func (f *flightRing) Unbatched() {}
+
 // snapshot copies the recorded window and its drop count.
 func (f *flightRing) snapshot() (*trace.Trace, int64) {
 	f.mu.Lock()

@@ -13,7 +13,6 @@ package ingest
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"goat/internal/trace"
 )
@@ -34,10 +33,16 @@ type Stranded struct {
 
 // Signature is the stable identity of a stranded-goroutine class:
 // goroutines are ephemeral (IDs differ run to run) but the code paths
-// that strand them are not. Two runs are compared signature-wise.
+// that strand them are not. Two runs are compared signature-wise. The
+// format is trace.StrandSig — shared with the streaming leak detector,
+// so a leak found in a simulated service kernel and the same leak in a
+// native capture carry identical signatures.
 func (s Stranded) Signature() string {
-	return fmt.Sprintf("%s|%s|%s:%d|%s:%d",
-		s.Name, s.Reason, trimPath(s.File), s.Line, trimPath(s.CreateFile), s.CreateLine)
+	return trace.StrandSig{
+		Name: s.Name, Reason: s.Reason,
+		File: s.File, Line: s.Line,
+		CreateFile: s.CreateFile, CreateLine: s.CreateLine,
+	}.String()
 }
 
 func (s Stranded) String() string {
@@ -50,18 +55,9 @@ func (s Stranded) String() string {
 		s.G, s.Name, s.Reason, site, created, float64(s.BlockedNs)/1e6, s.Wakes)
 }
 
-// trimPath keeps the last two path components — enough to identify the
-// site, stable across checkouts and build machines.
-func trimPath(p string) string {
-	if p == "" {
-		return ""
-	}
-	parts := strings.Split(p, "/")
-	if len(parts) <= 2 {
-		return p
-	}
-	return strings.Join(parts[len(parts)-2:], "/")
-}
+// trimPath is trace.TrimPath (kept as a local name for the callers
+// above).
+func trimPath(p string) string { return trace.TrimPath(p) }
 
 // StrandedOpts tunes the classifier.
 type StrandedOpts struct {
@@ -129,17 +125,8 @@ func (r *Run) StrandedGoroutines(opts StrandedOpts) []Stranded {
 	return out
 }
 
-// isWorkerShaped reports whether a blocked goroutine matches the
-// long-lived-worker pattern: parked on the *consuming* end of a
-// rendezvous (receive, select, cond-wait) after having been productive
-// (woken at least once in-window), or pre-existing the window entirely.
-// Senders are never worker-shaped — a parked send means a value nobody
-// is taking, which is a leak whatever the goroutine's history.
+// isWorkerShaped applies the shared long-lived-worker suppression rule
+// (trace.WorkerShaped) to an ingested goroutine.
 func isWorkerShaped(gi *GInfo) bool {
-	switch gi.Reason {
-	case trace.BlockRecv, trace.BlockSelect, trace.BlockCond:
-	default:
-		return false
-	}
-	return gi.Orphan || gi.Wakes > 0
+	return trace.WorkerShaped(gi.Reason, gi.Orphan, gi.Wakes)
 }

@@ -1,0 +1,188 @@
+package kernelgen
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"goat/internal/detect"
+	"goat/internal/sim"
+	"goat/internal/trace"
+)
+
+// runService executes a service kernel with a generous budget.
+func runService(p *ServiceProg, seed int64, sinks ...trace.Sink) *sim.Result {
+	return sim.Run(sim.Options{
+		Seed:     seed,
+		MaxSteps: p.MinSteps(),
+		Sinks:    sinks,
+	}, p.Main())
+}
+
+// TestGenerateServiceIsPureAndTotal mirrors the pipeline generator's
+// contract: any byte string decodes deterministically to a runnable
+// service kernel whose settled state matches its oracle.
+func TestGenerateServiceIsPureAndTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 60; i++ {
+		dec := make([]byte, rng.Intn(24))
+		rng.Read(dec)
+		a, b := GenerateService(dec), GenerateService(dec)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("decision %x decoded to two different services", dec)
+		}
+		a.Requests = 48 // keep the sweep fast; the oracle recomputes
+		r := runService(a, int64(i))
+		if err := a.Check(r); err != nil {
+			t.Fatalf("service %s (decision %x): %v\n%s", a, dec, err, r)
+		}
+	}
+	if p := GenerateService(nil); p.LeakKind != LeakNone {
+		t.Fatalf("empty decision decoded to a leaky service: %s", p)
+	}
+}
+
+// TestServiceCleanTerminates: every shape's clean kernel settles OK on
+// every schedule probed, with nothing leaked.
+func TestServiceCleanTerminates(t *testing.T) {
+	for shape := ServiceShape(0); shape < numServiceShapes; shape++ {
+		p := &ServiceProg{Shape: shape, Requests: 64, Workers: 3, Pool: 2, Stages: 3, ChanCap: 1}
+		for seed := int64(0); seed < 4; seed++ {
+			r := runService(p, seed)
+			if r.Outcome != sim.OutcomeOK || len(r.Leaked) != 0 {
+				t.Fatalf("%s seed=%d: outcome %v, %d leaked\n%s", p, seed, r.Outcome, len(r.Leaked), r)
+			}
+		}
+	}
+}
+
+// TestServiceLeakOracle runs every leak template through every shape
+// and demands the settled census match the oracle exactly — the
+// "expected leaked-goroutine census as a function of request count"
+// contract.
+func TestServiceLeakOracle(t *testing.T) {
+	for kind := LeakDoubleLock; kind < numLeakKinds; kind++ {
+		for shape := ServiceShape(0); shape < numServiceShapes; shape++ {
+			p := &ServiceProg{
+				Shape: shape, Requests: 64, Workers: 2, Pool: 2, Stages: 2, ChanCap: 1,
+				LeakKind: kind, LeakEvery: 16,
+			}
+			if want := 4 * kind.Strands(); p.ExpectStrands() != want {
+				t.Fatalf("%s: ExpectStrands = %d, want %d", p, p.ExpectStrands(), want)
+			}
+			for seed := int64(0); seed < 3; seed++ {
+				r := runService(p, seed)
+				if err := p.Check(r); err != nil {
+					t.Fatalf("%s seed=%d: %v\n%s", p, seed, err, r)
+				}
+			}
+		}
+	}
+}
+
+// TestServiceGoldenLeakDetection is the end-to-end golden: a service
+// stranding one goroutine per thousand requests must raise LEAK-n
+// carrying the planted template's provenance signature, while the
+// clean twin and a sweep of safe generated services stay silent.
+func TestServiceGoldenLeakDetection(t *testing.T) {
+	leaky := &ServiceProg{
+		Shape: ShapeWorkerPool, Requests: 8000, Workers: 3, Pool: 2, Stages: 2, ChanCap: 2,
+		LeakKind: LeakSendNoRecv, LeakEvery: 1000,
+	}
+	det := detect.Leak{Window: 1024}
+	s := det.NewStream().(*detect.LeakStream)
+	r := runService(leaky, 1, s)
+	if err := leaky.Check(r); err != nil {
+		t.Fatalf("oracle: %v\n%s", err, r)
+	}
+	d := s.Finish(r)
+	if !d.Found || !strings.HasPrefix(d.Verdict, "LEAK-") {
+		t.Fatalf("leaky service verdict = %q (found=%v), want LEAK-n\ndetail: %s", d.Verdict, d.Found, d.Detail)
+	}
+	if !strings.Contains(d.Detail, "leak-send-no-recv") {
+		t.Errorf("detail does not name the planted template:\n%s", d.Detail)
+	}
+	strands := s.FinalStrands()
+	found := false
+	for _, sc := range strands {
+		if sc.Sig.Name == "leak-send-no-recv" {
+			found = true
+			if sc.N != leaky.ExpectStrands() {
+				t.Errorf("final census for planted signature = %d, want %d", sc.N, leaky.ExpectStrands())
+			}
+			if sc.Sig.Reason != trace.BlockSend {
+				t.Errorf("planted signature reason = %v, want chan-send", sc.Sig.Reason)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("planted signature missing from final census: %v", strands)
+	}
+
+	// The clean twin through the same detector: silence.
+	clean := leaky.Clean()
+	cs := det.NewStream().(*detect.LeakStream)
+	cr := runService(clean, 1, cs)
+	if cd := cs.Finish(cr); cd.Found || cd.Verdict != "OK" {
+		t.Fatalf("clean twin verdict = %q (found=%v), want OK\ndetail: %s", cd.Verdict, cd.Found, cd.Detail)
+	}
+
+	// 200 safe generated services: zero false positives.
+	rng := rand.New(rand.NewSource(3))
+	small := detect.Leak{Window: 256}
+	for i := 0; i < 200; i++ {
+		dec := make([]byte, DecisionLen)
+		rng.Read(dec)
+		p := GenerateService(dec).Clean()
+		p.Requests = 64
+		ss := small.NewStream().(*detect.LeakStream)
+		rr := runService(p, int64(i), ss)
+		if err := p.Check(rr); err != nil {
+			t.Fatalf("safe service %d (%s): %v", i, p, err)
+		}
+		if dd := ss.Finish(rr); dd.Found {
+			t.Fatalf("safe service %d (%s): false positive %q\ndetail: %s", i, p, dd.Verdict, dd.Detail)
+		}
+	}
+}
+
+// FuzzServiceKernelGen: every decision string must decode to a service
+// kernel that builds, runs deterministically, and satisfies its census
+// oracle — the service-generator counterpart of FuzzKernelGen.
+func FuzzServiceKernelGen(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte("service"))
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 4; i++ {
+		dec := make([]byte, 12)
+		rng.Read(dec)
+		f.Add(dec)
+	}
+	f.Fuzz(func(t *testing.T, dec []byte) {
+		p := GenerateService(dec)
+		if !reflect.DeepEqual(p, GenerateService(dec)) {
+			t.Fatal("GenerateService is not pure")
+		}
+		p.Requests = 32 // fuzz-sized; the oracle recomputes
+		ect1, ect2 := trace.New(0), trace.New(0)
+		r1 := sim.Run(sim.Options{Seed: 5, MaxSteps: p.MinSteps(), ECT: ect1}, p.Main())
+		sim.Run(sim.Options{Seed: 5, MaxSteps: p.MinSteps(), ECT: ect2}, p.Main())
+		if err := p.Check(r1); err != nil {
+			t.Fatalf("oracle (%s): %v\n%s", p, err, r1)
+		}
+		var b1, b2 bytes.Buffer
+		if err := ect1.Encode(&b1); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if err := ect2.Encode(&b2); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("service kernel %s is not deterministic: same seed, different ECT", p)
+		}
+	})
+}

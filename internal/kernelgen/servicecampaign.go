@@ -1,0 +1,178 @@
+// Service-mode campaigns: differential sweeps and soaks over generated
+// service kernels, cross-checking the windowed leak detector against
+// the planted per-template oracle. This is the service-shaped
+// counterpart of RunDiff — same contract (a Finding per disagreement,
+// exit-code-friendly report), different workload and detector.
+package kernelgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"goat/internal/detect"
+	"goat/internal/sim"
+	"goat/internal/trace"
+)
+
+// ServiceConfig configures a service differential campaign.
+type ServiceConfig struct {
+	N         int     // kernels to generate
+	Seed      int64   // campaign seed
+	LeakyFrac float64 // fraction with a planted slow leak
+	Requests  int     // per-kernel request count override (0 = generated)
+	Window    int     // leak-detector census window (0 = default)
+}
+
+// ServiceFinding is one oracle/detector disagreement in a service
+// campaign.
+type ServiceFinding struct {
+	Prog     *ServiceProg
+	Decision []byte
+	Seed     int64
+	Verdict  string
+	Detail   string
+}
+
+func (f *ServiceFinding) String() string {
+	return fmt.Sprintf("%s seed=%d decision=%x: %s\n  %s",
+		f.Prog, f.Seed, f.Decision, f.Verdict, f.Detail)
+}
+
+// ServiceReport summarizes a service campaign.
+type ServiceReport struct {
+	Kernels  int
+	Leaky    int
+	Requests int64 // total simulated requests
+	Elapsed  time.Duration
+	Findings []*ServiceFinding
+}
+
+func (r *ServiceReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "service campaign: %d kernels (%d leaky), %d requests in %v (%.0f runs/s)\n",
+		r.Kernels, r.Leaky, r.Requests, r.Elapsed.Round(time.Millisecond),
+		float64(r.Kernels)/r.Elapsed.Seconds())
+	if len(r.Findings) == 0 {
+		b.WriteString("no disagreements")
+	} else {
+		fmt.Fprintf(&b, "%d disagreement(s):", len(r.Findings))
+		for _, f := range r.Findings {
+			b.WriteString("\n  " + f.String())
+		}
+	}
+	return b.String()
+}
+
+// RunService runs the differential service campaign: generate N service
+// kernels (a LeakyFrac slice with planted slow leaks), run each through
+// the windowed leak detector on the sink path, and cross-check the
+// verdict against the per-template oracle: every planted leak must be
+// reported, every clean kernel must stay silent, and the settled census
+// must match ExpectStrands exactly.
+func RunService(cfg ServiceConfig) *ServiceReport {
+	rep := &ServiceReport{}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	det := detect.Leak{Window: cfg.Window}
+	start := time.Now()
+	for i := 0; i < cfg.N; i++ {
+		dec := make([]byte, DecisionLen)
+		rng.Read(dec)
+		p := GenerateService(dec)
+		if rng.Float64() >= cfg.LeakyFrac {
+			p = p.Clean()
+		}
+		if cfg.Requests > 0 {
+			p.Requests = cfg.Requests
+		}
+		if p.LeakKind != LeakNone {
+			rep.Leaky++
+		}
+		rep.Kernels++
+		rep.Requests += int64(p.Requests)
+
+		seed := rng.Int63()
+		s := det.NewStream().(*detect.LeakStream)
+		r := sim.Run(sim.Options{
+			Seed: seed, MaxSteps: p.MinSteps(), NoTrace: true,
+			Sinks: []trace.Sink{s},
+		}, p.Main())
+		fail := func(verdict, detail string) {
+			rep.Findings = append(rep.Findings, &ServiceFinding{
+				Prog: p, Decision: dec, Seed: seed, Verdict: verdict, Detail: detail,
+			})
+		}
+		if err := p.Check(r); err != nil {
+			fail("ORACLE", err.Error())
+			continue
+		}
+		d := s.Finish(r)
+		switch {
+		case p.LeakKind == LeakNone && d.Found:
+			fail("FALSE-POSITIVE", fmt.Sprintf("clean service flagged %s: %s", d.Verdict, d.Detail))
+		case p.LeakKind != LeakNone && !d.Found:
+			fail("MISSED-LEAK", fmt.Sprintf("%d planted strand(s) not reported: %s", p.ExpectStrands(), d.Detail))
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+// SoakReport is the outcome of one leaky/clean soak pair.
+type SoakReport struct {
+	Requests     int
+	LeakyVerdict detect.Detection
+	CleanVerdict detect.Detection
+	LeakyRun     *sim.Result
+	CleanRun     *sim.Result
+	LeakyRing    *trace.RingSink // last events of the leaky run, for forensics
+	CleanRing    *trace.RingSink
+	Elapsed      time.Duration
+}
+
+// OK reports whether the soak behaved: the leaky service raised a
+// windowed LEAK verdict naming a planted template and the clean twin
+// stayed silent.
+func (s *SoakReport) OK() error {
+	if !s.LeakyVerdict.Found || !strings.HasPrefix(s.LeakyVerdict.Verdict, "LEAK-") {
+		return fmt.Errorf("leaky soak verdict %q (want LEAK-n): %s",
+			s.LeakyVerdict.Verdict, s.LeakyVerdict.Detail)
+	}
+	if !strings.Contains(s.LeakyVerdict.Detail, "leak-") {
+		return fmt.Errorf("leaky soak verdict lacks planted provenance: %s", s.LeakyVerdict.Detail)
+	}
+	if s.CleanVerdict.Found {
+		return fmt.Errorf("clean soak flagged %q: %s", s.CleanVerdict.Verdict, s.CleanVerdict.Detail)
+	}
+	return nil
+}
+
+// RunServiceSoak runs the service soak pair: a worker-pool service
+// stranding one goroutine per thousand requests and its clean twin,
+// both at the given request count with tracing off and the leak
+// detector plus a flight-recorder ring on the sink path. At 100k
+// requests the leaky run crosses ~100 planting points — far beyond the
+// census trend threshold — while the clean twin must stay at a flat
+// baseline for the whole soak.
+func RunServiceSoak(requests int, seed int64) *SoakReport {
+	leaky := &ServiceProg{
+		Shape: ShapeWorkerPool, Requests: requests, Workers: 4, Pool: 2, Stages: 2, ChanCap: 4,
+		LeakKind: LeakSendNoRecv, LeakEvery: 1000,
+	}
+	rep := &SoakReport{Requests: requests}
+	start := time.Now()
+	run := func(p *ServiceProg) (detect.Detection, *sim.Result, *trace.RingSink) {
+		s := detect.Leak{}.NewStream().(*detect.LeakStream)
+		ring := trace.NewRingSink(4096)
+		r := sim.Run(sim.Options{
+			Seed: seed, MaxSteps: p.MinSteps(), NoTrace: true,
+			Sinks: []trace.Sink{s, ring},
+		}, p.Main())
+		return s.Finish(r), r, ring
+	}
+	rep.LeakyVerdict, rep.LeakyRun, rep.LeakyRing = run(leaky)
+	rep.CleanVerdict, rep.CleanRun, rep.CleanRing = run(leaky.Clean())
+	rep.Elapsed = time.Since(start)
+	return rep
+}

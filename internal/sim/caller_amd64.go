@@ -1,0 +1,11 @@
+//go:build amd64
+
+package sim
+
+// fpCaller selects the frame-pointer fast path for call-site capture on
+// architectures where the Go compiler always maintains frame pointers.
+const fpCaller = true
+
+// fpCallerPC returns the return PC `skip` physical frames above the
+// caller of Caller (implemented in caller_amd64.s).
+func fpCallerPC(skip int) uintptr

@@ -1,0 +1,26 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func fpCallerPC(skip int) uintptr
+//
+// Walks the frame-pointer chain instead of the runtime unwinder: Go on
+// amd64 always maintains BP as a frame pointer, with [BP] holding the
+// caller's saved BP and [BP+8] the return PC into the caller. Inside
+// this NOFRAME leaf, BP is still Caller's frame pointer, so after `skip`
+// hops the loaded slot is the return PC runtime.Callers(skip+2, ...)
+// would report — at two loads per frame instead of a pcvalue-decoding
+// unwind. See Caller for the no-inline contract this relies on.
+TEXT ·fpCallerPC(SB), NOSPLIT|NOFRAME, $0-16
+	MOVQ skip+0(FP), CX
+	MOVQ BP, AX
+walk:
+	TESTQ CX, CX
+	JZ   done
+	MOVQ 0(AX), AX
+	DECQ CX
+	JMP  walk
+done:
+	MOVQ 8(AX), AX
+	MOVQ AX, ret+8(FP)
+	RET

@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package sim
+
+// fpCaller: no frame-pointer fast path on this architecture; Caller uses
+// the portable runtime unwinder.
+const fpCaller = false
+
+func fpCallerPC(skip int) uintptr { return 0 }

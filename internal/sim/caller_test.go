@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// callerViaRuntime is the ground truth: the portable unwinder resolving
+// the same logical frame Caller(skip) reports.
+//
+//go:noinline
+func callerViaRuntime(skip int) (string, int) {
+	_, file, line, ok := runtime.Caller(skip + 1)
+	if !ok {
+		return "?", 0
+	}
+	return filepath.Base(file), line
+}
+
+// depth1 mimics a concurrency primitive: a non-inlinable function whose
+// caller's site must be attributed.
+//
+//go:noinline
+func depth1() (string, int, string, int) {
+	f1, l1 := Caller(1)
+	f2, l2 := callerViaRuntime(1)
+	return f1, l1, f2, l2
+}
+
+//go:noinline
+func depth2() (string, int, string, int) {
+	return depth1()
+}
+
+// TestCallerMatchesRuntime proves the frame-pointer fast path resolves
+// the same call sites as the runtime unwinder. If an architecture's
+// frame layout assumption in fpCallerPC were wrong, or inlining broke
+// the physical-frame contract, the sites would diverge here.
+func TestCallerMatchesRuntime(t *testing.T) {
+	// skip=0: the immediate caller (this function).
+	f1, l1 := Caller(0)
+	f2, l2 := callerViaRuntime(0)
+	// The two capture calls are on adjacent lines; compare files exactly
+	// and lines within the two-line span.
+	if f1 != f2 || l1 != l2-1 {
+		t.Errorf("Caller(0) = %s:%d, runtime says %s:%d (want same file, line-1)", f1, l1, f2, l2)
+	}
+
+	// skip=1 through a primitive-shaped frame: both captures inside
+	// depth1 must attribute to the same site in this function.
+	g1, m1, g2, m2 := depth1()
+	if g1 != g2 || m1 != m2 {
+		t.Errorf("Caller(1) via depth1 = %s:%d, runtime says %s:%d", g1, m1, g2, m2)
+	}
+
+	// One more physical frame: the sites must now be inside depth2.
+	h1, n1, h2, n2 := depth2()
+	if h1 != h2 || n1 != n2 {
+		t.Errorf("Caller(1) via depth2 = %s:%d, runtime says %s:%d", h1, n1, h2, n2)
+	}
+	if h1 != "caller_test.go" {
+		t.Errorf("Caller(1) via depth2 attributed to %s:%d, want caller_test.go", h1, n1)
+	}
+}

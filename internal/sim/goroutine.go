@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"runtime"
+	"sync"
 
 	"goat/internal/trace"
 )
@@ -84,14 +85,56 @@ func (g *G) State() State { return g.state }
 // BlockedOn returns the block reason while the goroutine is parked.
 func (g *G) BlockedOn() trace.BlockReason { return g.reason }
 
+// callerSite is a resolved program counter: the symbolization result
+// cached by Caller.
+type callerSite struct {
+	file string
+	line int
+}
+
+// callerCache maps return PCs to resolved (file, line) pairs. A PC's
+// symbolization never changes within a process, so the cache is
+// appendonly and shared across schedulers (campaigns run the same
+// kernels millions of times over a handful of distinct CU sites).
+var callerCache sync.Map // uintptr → callerSite
+
 // Caller returns the file (base name) and line of the caller's caller,
 // used by primitives to attribute events to their concurrency usage.
+// Only the raw PC is captured per call; the expensive line-table lookup
+// runs once per distinct call site and is served from a cache after that.
+//
+// On amd64 the PC capture walks the frame-pointer chain directly
+// (fpCallerPC) instead of invoking the runtime unwinder, which decodes
+// pcvalue tables on every call. That walk counts *physical* frames, so
+// it requires that neither Caller nor any function calling it is ever
+// inlined. Caller is pinned below; its callers need no annotation
+// because each contains at least two non-inlinable calls (Caller itself
+// plus the handler/emit using the result), which exceeds the inliner's
+// budget by construction. TestCallerMatchesRuntime guards the contract.
+//
+//go:noinline
 func Caller(skip int) (string, int) {
-	_, file, line, ok := runtime.Caller(skip + 1)
-	if !ok {
-		return "?", 0
+	if fpCaller {
+		return siteForPC(fpCallerPC(skip))
 	}
-	return filepath.Base(file), line
+	var pcs [1]uintptr
+	runtime.Callers(skip+2, pcs[:])
+	return siteForPC(pcs[0]) // pcs[0] is 0 on capture failure → "?", 0
+}
+
+func siteForPC(pc uintptr) (string, int) {
+	if v, ok := callerCache.Load(pc); ok {
+		cs := v.(callerSite)
+		return cs.file, cs.line
+	}
+	frames := runtime.CallersFrames([]uintptr{pc})
+	fr, _ := frames.Next()
+	cs := callerSite{file: "?", line: 0}
+	if fr.File != "" {
+		cs = callerSite{file: filepath.Base(fr.File), line: fr.Line}
+	}
+	callerCache.Store(pc, cs)
+	return cs.file, cs.line
 }
 
 // Info is a read-only snapshot of a goroutine's final state, reported in

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"goat/internal/trace"
+)
+
+// A host is a parked real goroutine that lends its stack to simulated
+// goroutines, one at a time. Launching a fresh runtime goroutine (and
+// growing its stack) for every simulated goroutine dominated
+// service-shaped workloads, where a single run creates hundreds of
+// thousands of short-lived handlers; pooling keeps grown stacks warm
+// across simulated lifetimes and across runs. A host serves exactly one
+// simulated goroutine at a time and hands the processor through the same
+// resume/handoff ping-pong as before, so the scheduling discipline and
+// every recorded schedule are untouched.
+type host struct {
+	resume chan struct{}
+	jobs   chan hostJob
+}
+
+type hostJob struct {
+	g  *G
+	fn func(*G)
+}
+
+// hostFree is the global pool of parked hosts. It is a plain mutex-held
+// list rather than a sync.Pool: dropping a host object would strand its
+// parked goroutine forever, so hosts must only leave the pool by being
+// handed a job or by an explicit exit when the pool is full.
+var hostFree struct {
+	sync.Mutex
+	list []*host
+}
+
+// hostFreeCap bounds the parked-host pool; a release beyond it lets the
+// host exit so idle processes do not pin stacks without bound.
+const hostFreeCap = 4096
+
+func getHost() *host {
+	hostFree.Lock()
+	if n := len(hostFree.list); n > 0 {
+		h := hostFree.list[n-1]
+		hostFree.list[n-1] = nil
+		hostFree.list = hostFree.list[:n-1]
+		hostFree.Unlock()
+		return h
+	}
+	hostFree.Unlock()
+	h := &host{resume: make(chan struct{}), jobs: make(chan hostJob, 1)}
+	go h.loop()
+	return h
+}
+
+func (h *host) loop() {
+	for job := range h.jobs {
+		job.run()
+		hostFree.Lock()
+		if len(hostFree.list) < hostFreeCap {
+			hostFree.list = append(hostFree.list, h)
+			hostFree.Unlock()
+			continue
+		}
+		hostFree.Unlock()
+		return
+	}
+}
+
+// run hosts one simulated goroutine from its first dispatch to its end.
+// The body is exactly the per-goroutine wrapper spawn used to launch; it
+// must not touch the job's G after the final handoff send, because the
+// scheduler may recycle the G (and this host may be reassigned) the
+// moment the send completes.
+func (j hostJob) run() {
+	g := j.g
+	s := g.s
+	<-g.resume
+	if s.stopping {
+		s.handoff <- struct{}{}
+		return
+	}
+	g.state = StateRunning
+	s.Emit(trace.Event{G: g.id, Type: trace.EvGoStart})
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isStop := r.(stopSignal); isStop {
+				s.handoff <- struct{}{}
+				return
+			}
+			g.state = StatePanicked
+			s.panicked = true
+			s.panicVal = r
+			s.panicG = g.id
+			s.Emit(trace.Event{G: g.id, Type: trace.EvGoPanic, Str: fmt.Sprint(r)})
+			s.handoff <- struct{}{}
+			return
+		}
+		g.state = StateDone
+		s.Emit(trace.Event{G: g.id, Type: trace.EvGoEnd})
+		s.handoff <- struct{}{}
+	}()
+	j.fn(g)
+}

@@ -90,6 +90,20 @@ type Options struct {
 	// NoTrace disables ECT capture (for pure detection-throughput runs).
 	NoTrace bool
 
+	// SinkBatch controls batched sink delivery: emitted events are
+	// buffered in fixed-size blocks and handed to the sinks when a block
+	// fills and at every early-stop poll (dispatch boundaries), instead
+	// of one interface call per event. Zero selects the default block
+	// size (256); a positive value overrides it; a negative value
+	// disables batching and restores per-event delivery. Every sink
+	// observes the identical event sequence either way, the buffered ECT
+	// is unaffected, early-stop decisions are made on the same event
+	// prefix at the same dispatch boundaries, and no scheduling decision
+	// depends on delivery granularity — so record/replay scripts and all
+	// analysis outputs are batching-invariant (the determinism sweep
+	// pins this).
+	SinkBatch int
+
 	// Record captures the execution's decision script into
 	// Result.Schedule — a portable artifact that replays the exact
 	// interleaving independent of PRNG internals.
@@ -168,7 +182,18 @@ const (
 	defaultPreemptProb = 0.02
 	defaultMaxSteps    = 200000
 	defaultDrainSteps  = 20000
+	defaultSinkBatch   = 256
 )
+
+func (o Options) sinkBatch() int {
+	if o.SinkBatch == 0 {
+		return defaultSinkBatch
+	}
+	if o.SinkBatch < 0 {
+		return 0
+	}
+	return o.SinkBatch
+}
 
 func (o Options) yieldProb() float64 {
 	if o.YieldProb == 0 {

@@ -2,7 +2,7 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
+	"sync"
 
 	"goat/internal/fault"
 	"goat/internal/telemetry"
@@ -20,11 +20,15 @@ type stopSignal struct{}
 // locks and every run is deterministic for a fixed seed.
 type Scheduler struct {
 	opts Options
-	rng  *rand.Rand
+	prng prng
 	dec  decider
 
-	gs      map[trace.GoID]*G
-	order   []trace.GoID // creation order, for deterministic iteration
+	// gs is the goroutine arena: index i holds the G with ID i+1 (IDs are
+	// dense, allocated from 1 in creation order). Only the first ng
+	// entries belong to the current run; the rest are recycled structs
+	// kept warm for the next one.
+	gs      []*G
+	ng      int
 	runq    []*G
 	current *G
 
@@ -41,22 +45,27 @@ type Scheduler struct {
 	timerSeq int64
 
 	ect      *trace.Trace
-	sinks    []trace.Sink
+	sinks    []trace.Sink  // all sinks (Close order)
+	live     []trace.Sink  // per-event delivery (batching off, or trace.Unbatched)
+	batched  []trace.Sink  // block delivery via the emission batch
+	batch    []trace.Event // pending sink delivery (NoTrace runs only; else the ECT tail is the block)
+	batchCap int           // block size; 0 disables batching
+	flushed  int           // events of s.ect already delivered to batched sinks
 	stoppers []trace.Stopper
 	stopArr  [4]trace.Stopper // inline backing for stoppers (alloc-free)
 	stopReq  bool             // a sink requested an early stop
 
-	nextGID trace.GoID
 	nextRes trace.ResID
 
+	budget    int // current step budget (maxSteps, or drain extension)
 	mainEnded bool
 	stopping  bool
 	panicked  bool
 	panicVal  any
 	panicG    trace.GoID
 
-	yieldAt map[int64]bool         // systematic mode: op indices that force a yield
-	wakeAt  map[int64]trace.GoID   // systematic mode: op indices with a targeted wake
+	yieldAt map[int64]bool       // systematic mode: op indices that force a yield
+	wakeAt  map[int64]trace.GoID // systematic mode: op indices with a targeted wake
 
 	opRunnable []int32        // per-op other-runnable counts (Options.RecordRunnable)
 	opActor    []trace.GoID   // per-op acting goroutine (Options.RecordEnabled)
@@ -68,17 +77,35 @@ type Scheduler struct {
 	cancels []func(*G)  // injected-cancellation targets (conc contexts)
 }
 
-// newScheduler builds a scheduler ready to run a main function.
+// schedPool recycles schedulers (and with them the goroutine arena, run
+// queue and emission batch) across runs. Campaigns execute the same
+// kernel millions of times; re-allocating this state per run was a
+// measurable slice of the cell cost.
+var schedPool sync.Pool
+
+// newScheduler builds (or recycles) a scheduler ready to run a main
+// function.
 func newScheduler(opts Options) *Scheduler {
-	s := &Scheduler{
-		opts:      opts,
-		rng:       rand.New(rand.NewSource(opts.Seed)),
-		gs:        map[trace.GoID]*G{},
-		handoff:   make(chan struct{}),
-		yieldLeft: opts.Delays,
-		nextGID:   1,
+	s, _ := schedPool.Get().(*Scheduler)
+	if s == nil {
+		s = &Scheduler{handoff: make(chan struct{})}
 	}
-	base := decider(&randDecider{rng: s.rng})
+	s.opts = opts
+	s.prng.seed(opts.Seed)
+	s.ng = 0
+	s.runq = s.runq[:0]
+	s.current = nil
+	s.clock, s.now = 0, 0
+	s.steps, s.ops, s.sliceOps = 0, 0, 0
+	s.yieldLeft = opts.Delays
+	s.timers = s.timers[:0]
+	s.timerSeq = 0
+	s.stopReq = false
+	s.nextRes = 0
+	s.mainEnded, s.stopping, s.panicked = false, false, false
+	s.panicVal, s.panicG = nil, 0
+
+	base := decider(&s.prng)
 	switch {
 	case opts.Replay != nil:
 		s.dec = &scriptDecider{script: opts.Replay, fallback: base}
@@ -113,6 +140,21 @@ func newScheduler(opts Options) *Scheduler {
 		s.ect.Source = trace.SimSource
 	}
 	s.sinks = opts.Sinks
+	s.batch = s.batch[:0]
+	s.flushed = 0
+	s.batchCap = opts.sinkBatch()
+	s.live = s.live[:0]
+	s.batched = s.batched[:0]
+	for _, snk := range s.sinks {
+		if _, ok := snk.(trace.Unbatched); ok || s.batchCap <= 0 {
+			s.live = append(s.live, snk)
+		} else {
+			s.batched = append(s.batched, snk)
+		}
+	}
+	if len(s.batched) == 0 {
+		s.batchCap = 0
+	}
 	s.stoppers = s.stopArr[:0]
 	for _, snk := range s.sinks {
 		if st, ok := snk.(trace.Stopper); ok {
@@ -120,7 +162,34 @@ func newScheduler(opts Options) *Scheduler {
 		}
 	}
 	s.faults = fault.NewPlan(opts.Seed, opts.Faults)
+	s.stalled = s.stalled[:0]
+	s.cancels = s.cancels[:0]
 	return s
+}
+
+// release returns the scheduler to the pool once the Result has been
+// built. Everything handed to the Result (trace buffer, recording
+// slices, schedule log) is detached first so reuse cannot alias it.
+func (s *Scheduler) release() {
+	for _, g := range s.gs[:s.ng] {
+		g.resume = nil
+		g.wakeNote = nil
+	}
+	s.ect = nil
+	s.sinks = nil
+	s.live = s.live[:0]
+	s.batched = s.batched[:0]
+	s.batch = s.batch[:0]
+	s.stopArr = [4]trace.Stopper{}
+	s.stoppers = nil
+	s.dec = nil
+	s.yieldAt, s.wakeAt = nil, nil
+	s.opRunnable, s.opActor, s.opEnabled, s.eventOps = nil, nil, nil, nil
+	s.faults = nil
+	s.stalled = s.stalled[:0]
+	s.cancels = s.cancels[:0]
+	s.panicVal = nil
+	schedPool.Put(s)
 }
 
 // Intn draws one scheduling decision in [0, n); primitives use it for
@@ -143,12 +212,14 @@ func (s *Scheduler) NewResID() trace.ResID {
 // Now returns the current virtual time in nanoseconds.
 func (s *Scheduler) Now() int64 { return s.now }
 
-// Emit stamps an event with the next logical timestamp and hands it to
-// the configured sink chain: the buffered ECT (unless tracing is
-// disabled) and every streaming sink, which all observe the identical
-// event sequence. After delivery any early-stop sinks are polled, so an
-// online detector halts the world at the next dispatch boundary once its
-// verdict is decided.
+// Emit stamps an event with the next logical timestamp and appends it to
+// the configured consumers: the buffered ECT immediately (unless tracing
+// is disabled), the streaming sinks in fixed-size blocks (unless
+// Options.SinkBatch disables batching). Blocks are flushed when full and
+// at every early-stop poll, so an online detector observes exactly the
+// event prefix it would have seen under per-event delivery at each
+// dispatch boundary — early-stop timing and record/replay are
+// batching-invariant.
 func (s *Scheduler) Emit(e trace.Event) {
 	if s.stopping {
 		// stopWorld unwinding: defers in user code still run (unlocks,
@@ -168,21 +239,74 @@ func (s *Scheduler) Emit(e trace.Event) {
 			// CU handler op (0 before its first op). Kept parallel to the
 			// buffered ECT, so indexing matches Trace.Events exactly.
 			var op int64
-			if eg := s.gs[e.G]; eg != nil {
-				op = eg.lastOp
+			if i := int(e.G); i >= 1 && i <= s.ng {
+				op = s.gs[i-1].lastOp
 			}
 			s.eventOps = append(s.eventOps, op)
 		}
 	}
-	for _, snk := range s.sinks {
+	for _, snk := range s.live {
 		snk.Event(e)
+	}
+	if s.batchCap > 0 {
+		if s.ect != nil {
+			// The ECT already holds the event; the pending block is the
+			// unflushed tail of its buffer — no second copy.
+			if len(s.ect.Events)-s.flushed >= s.batchCap {
+				s.flushSinks()
+			}
+		} else {
+			s.batch = append(s.batch, e)
+			if len(s.batch) >= s.batchCap {
+				s.flushSinks()
+			}
+		}
+	}
+}
+
+// flushSinks delivers the pending emission block to every sink, in
+// order. When a run buffers an ECT the block is a window into that
+// buffer (events are staged once, in Append); only NoTrace runs stage
+// into the side batch. Sinks implementing trace.BatchSink take the
+// whole block in one call; the backing array is the live ECT buffer or
+// a reused scratch slice, so batch consumers must not retain it.
+func (s *Scheduler) flushSinks() {
+	if len(s.batched) == 0 {
+		return
+	}
+	block := s.batch
+	if s.ect != nil {
+		block = s.ect.Events[s.flushed:]
+	}
+	if len(block) == 0 {
+		return
+	}
+	for _, snk := range s.batched {
+		if bs, ok := snk.(trace.BatchSink); ok {
+			bs.EventBatch(block)
+			continue
+		}
+		for i := range block {
+			snk.Event(block[i])
+		}
+	}
+	if s.ect != nil {
+		s.flushed = len(s.ect.Events)
+	} else {
+		s.batch = s.batch[:0]
 	}
 }
 
 // pollStoppers asks the early-stop sinks whether the world should halt.
 // It runs at dispatch boundaries, not per event: a goroutine's current
 // slice finishes undisturbed, and the stop lands before the next one.
+// Pending batched events are flushed first, so the decision is made on
+// the full prefix up to this boundary.
 func (s *Scheduler) pollStoppers() {
+	if len(s.stoppers) == 0 {
+		return
+	}
+	s.flushSinks()
 	for _, st := range s.stoppers {
 		if st.StopRequested() {
 			s.stopReq = true
@@ -192,55 +316,32 @@ func (s *Scheduler) pollStoppers() {
 }
 
 func (s *Scheduler) newG(name string, parent trace.GoID, system bool, file string, line int) *G {
-	g := &G{
-		s:          s,
-		id:         s.nextGID,
-		parent:     parent,
-		name:       name,
-		system:     system,
-		state:      StateRunnable,
-		resume:     make(chan struct{}),
-		createFile: file,
-		createLine: line,
+	var g *G
+	if s.ng < len(s.gs) {
+		g = s.gs[s.ng]
+		*g = G{s: s}
+	} else {
+		g = &G{s: s}
+		s.gs = append(s.gs, g)
 	}
-	s.nextGID++
-	s.gs[g.id] = g
-	s.order = append(s.order, g.id)
+	s.ng++
+	g.id = trace.GoID(s.ng)
+	g.parent = parent
+	g.name = name
+	g.system = system
+	g.state = StateRunnable
+	g.createFile = file
+	g.createLine = line
 	return g
 }
 
-// spawn launches the real goroutine hosting a simulated goroutine and puts
-// it on the run queue. The hosting goroutine waits for its first dispatch
-// before emitting GoStart and calling fn.
+// spawn hands a simulated goroutine to a pooled host goroutine and puts
+// it on the run queue. The host waits for the first dispatch before
+// emitting GoStart and calling fn (see host.go).
 func (s *Scheduler) spawn(g *G, fn func(*G)) {
-	go func() {
-		<-g.resume
-		if s.stopping {
-			s.handoff <- struct{}{}
-			return
-		}
-		g.state = StateRunning
-		s.Emit(trace.Event{G: g.id, Type: trace.EvGoStart})
-		defer func() {
-			if r := recover(); r != nil {
-				if _, isStop := r.(stopSignal); isStop {
-					s.handoff <- struct{}{}
-					return
-				}
-				g.state = StatePanicked
-				s.panicked = true
-				s.panicVal = r
-				s.panicG = g.id
-				s.Emit(trace.Event{G: g.id, Type: trace.EvGoPanic, Str: fmt.Sprint(r)})
-				s.handoff <- struct{}{}
-				return
-			}
-			g.state = StateDone
-			s.Emit(trace.Event{G: g.id, Type: trace.EvGoEnd})
-			s.handoff <- struct{}{}
-		}()
-		fn(g)
-	}()
+	h := getHost()
+	g.resume = h.resume
+	h.jobs <- hostJob{g: g, fn: fn}
 	s.runq = append(s.runq, g)
 }
 
@@ -325,8 +426,43 @@ func (g *G) Yield() {
 func (g *G) yield(ev trace.Type, file string, line int) {
 	g.state = StateRunnable
 	g.s.Emit(trace.Event{G: g.id, Type: ev, File: file, Line: line})
+	if g.s.fastRedispatch() {
+		// Nothing else is runnable: the scheduler loop would redispatch
+		// this goroutine immediately, so skip the two rendezvous and
+		// continue in place. fastRedispatch performed the loop's
+		// bookkeeping, so schedules, scripts and budgets are identical.
+		g.state = StateRunning
+		return
+	}
 	g.s.runq = append(g.s.runq, g)
 	g.leaveProcessor()
+}
+
+// fastRedispatch reports whether the calling (yielding) goroutine may
+// keep the processor because the scheduler loop, run to its next
+// dispatch, would inevitably pick it again. That is the case when the
+// run queue is empty (the yielder would be its only member), no stalled
+// goroutine could rejoin it, no early stop is requested once pending
+// events are delivered, and the step budget allows another dispatch.
+// When it returns true it has applied exactly the dispatch bookkeeping
+// (step count, slice reset) the loop would have; scheduling decisions
+// are untouched either way, because a single-entry run queue draws none.
+func (s *Scheduler) fastRedispatch() bool {
+	if len(s.runq) != 0 || len(s.stalled) != 0 || s.panicked || s.stopping {
+		return false
+	}
+	if s.steps >= s.budget || s.ops >= s.budget*64 {
+		return false
+	}
+	if len(s.stoppers) > 0 {
+		s.pollStoppers()
+		if s.stopReq {
+			return false
+		}
+	}
+	s.steps++
+	s.sliceOps = 0
+	return true
 }
 
 // wakeYield forces a yield at a targeted-wake op: the acting goroutine
@@ -467,7 +603,7 @@ func Run(opts Options, main func(*G)) *Result {
 	mainG := s.newG("main", 0, false, "", 0)
 	s.spawn(mainG, main)
 
-	budget := s.opts.maxSteps()
+	s.budget = s.opts.maxSteps()
 	outcome := OutcomeOK
 
 loop:
@@ -487,7 +623,7 @@ loop:
 			s.mainEnded = true
 			// Main returned: surviving goroutines get a bounded drain to
 			// finish naturally (the paper's watchdog grace period).
-			budget = s.steps + s.opts.drainSteps()
+			s.budget = s.steps + s.opts.drainSteps()
 		}
 		// Injected stalls whose hold expired rejoin the run queue first.
 		s.releaseStalled(false)
@@ -505,7 +641,7 @@ loop:
 		}
 		// The op budget (64 CUs per step on average) catches spin loops
 		// whose slices are long; the step budget catches everything else.
-		if s.steps >= budget || s.ops >= budget*64 {
+		if s.steps >= s.budget || s.ops >= s.budget*64 {
 			if s.mainEnded {
 				break // drain budget exhausted; classify leaks below
 			}
@@ -522,6 +658,7 @@ loop:
 		outcome = OutcomeCrash
 	}
 	s.stopWorld()
+	s.flushSinks()
 	for _, snk := range s.sinks {
 		snk.Close()
 	}
@@ -534,7 +671,9 @@ loop:
 		telemetry.SimYields.Add(int64(opts.Delays - s.yieldLeft))
 		telemetry.SimOpsPerRun.Observe(int64(s.ops))
 	}
-	return s.result(outcome, mainG)
+	r := s.result(outcome, mainG)
+	s.release()
+	return r
 }
 
 // classify inspects the settled world (nothing runnable, no timers or
@@ -545,8 +684,7 @@ func (s *Scheduler) classify(mainG *G) Outcome {
 		// blocked — the runtime's global-deadlock condition.
 		return OutcomeGlobalDeadlock
 	}
-	for _, id := range s.order {
-		g := s.gs[id]
+	for _, g := range s.gs[:s.ng] {
 		if !g.system && g.state != StateDone {
 			return OutcomeLeak
 		}
@@ -554,12 +692,12 @@ func (s *Scheduler) classify(mainG *G) Outcome {
 	return OutcomeOK
 }
 
-// stopWorld unwinds every goroutine still parked so no real goroutines
-// leak across simulations.
+// stopWorld unwinds every goroutine still parked so no simulated
+// goroutines stay live across simulations (their hosts re-park into the
+// pool).
 func (s *Scheduler) stopWorld() {
 	s.stopping = true
-	for _, id := range s.order {
-		g := s.gs[id]
+	for _, g := range s.gs[:s.ng] {
 		if g.state == StateDone || g.state == StatePanicked {
 			continue
 		}
@@ -586,8 +724,7 @@ func (s *Scheduler) result(outcome Outcome, mainG *G) *Result {
 		OpEnabled:    s.opEnabled,
 		EventOps:     s.eventOps,
 	}
-	for _, id := range s.order {
-		g := s.gs[id]
+	for _, g := range s.gs[:s.ng] {
 		info := g.info()
 		r.Goroutines = append(r.Goroutines, info)
 		if !g.system && g.state != StateDone && g.state != StatePanicked {

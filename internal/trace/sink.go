@@ -22,8 +22,33 @@ type Stopper interface {
 	StopRequested() bool
 }
 
+// BatchSink is the optional block-delivery side of a sink. A producer
+// that buffers emission (sim.Options.SinkBatch) hands whole event blocks
+// to sinks implementing it — one interface call per block instead of one
+// per event — and falls back to per-event Event calls otherwise. The
+// block slice is owned by the producer and reused after the call
+// returns; implementations must not retain it. EventBatch(evs) must be
+// observably identical to calling Event for each element in order.
+type BatchSink interface {
+	Sink
+	EventBatch(evs []Event)
+}
+
+// Unbatched marks a sink that must observe every event the moment it is
+// emitted, never a block boundary later. The flight recorder is the
+// canonical case: a watchdog snapshots it while a hung run is still in
+// flight, so events parked in an emission buffer would be invisible
+// exactly when they matter most. Producers deliver to Unbatched sinks
+// per event even when batching is on.
+type Unbatched interface {
+	Unbatched()
+}
+
 // Event implements Sink: a *Trace is the canonical buffering sink.
 func (t *Trace) Event(e Event) { t.Append(e) }
+
+// EventBatch implements BatchSink.
+func (t *Trace) EventBatch(evs []Event) { t.Events = append(t.Events, evs...) }
 
 // Close implements Sink.
 func (t *Trace) Close() {}
@@ -42,6 +67,20 @@ func NewMultiSink(sinks ...Sink) MultiSink { return MultiSink(sinks) }
 func (m MultiSink) Event(e Event) {
 	for _, s := range m {
 		s.Event(e)
+	}
+}
+
+// EventBatch implements BatchSink, forwarding the block to members that
+// take blocks and replaying it per-event to members that do not.
+func (m MultiSink) EventBatch(evs []Event) {
+	for _, s := range m {
+		if bs, ok := s.(BatchSink); ok {
+			bs.EventBatch(evs)
+			continue
+		}
+		for i := range evs {
+			s.Event(evs[i])
+		}
 	}
 }
 
@@ -151,6 +190,11 @@ func (r *RingSink) Event(e Event) {
 
 // Close implements Sink.
 func (r *RingSink) Close() {}
+
+// Unbatched implements the trace.Unbatched marker: the recorder's whole
+// purpose is observing runs that never finish, so its window must stay
+// current with emission, not with block flushes.
+func (r *RingSink) Unbatched() {}
 
 // Len returns how many events the recorder currently holds.
 func (r *RingSink) Len() int { return len(r.buf) }
