@@ -23,6 +23,7 @@ import (
 	"goat/internal/hb"
 	"goat/internal/ingest"
 	"goat/internal/kernelgen"
+	"goat/internal/profile"
 	"goat/internal/sim"
 	"goat/internal/systematic"
 	"goat/internal/telemetry"
@@ -524,4 +525,51 @@ func BenchmarkIngestParse(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N)*float64(len(data))/b.Elapsed().Seconds()/1e6, "MB/s")
+}
+
+// BenchmarkProfileBuild folds a detecting run's ECT into the full
+// profile set (block, mutex, goroutine) — the per-scrape cost of the
+// live /profile endpoints and the -profile command's hot loop.
+func BenchmarkProfileBuild(b *testing.B) {
+	k, _ := goker.ByID("moby_33293")
+	r := goker.Run(k, sim.Options{Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set := profile.Build(r.Trace, profile.Options{})
+		if len(set.Block.Samples) == 0 {
+			b.Fatal("empty block profile")
+		}
+	}
+}
+
+// BenchmarkServiceCellTimeline is BenchmarkServiceCell with the request
+// timeline and the latency sink on — the fully profiled service cell.
+// The bench guard holds the pair to the profiling plane's ≤2% overhead
+// budget.
+func BenchmarkServiceCellTimeline(b *testing.B) {
+	p := &kernelgen.ServiceProg{
+		Shape: kernelgen.ShapeWorkerPool, Requests: 1024,
+		Workers: 4, Pool: 2, Stages: 2, ChanCap: 4,
+		LeakKind: kernelgen.LeakSendNoRecv, LeakEvery: 128,
+		Timeline: true,
+	}
+	det := detect.Leak{Window: 1024}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := det.NewStream()
+		lat := profile.NewLatencySink()
+		r := sim.Run(sim.Options{
+			Seed: 1 + int64(i), MaxSteps: p.MinSteps(), NoTrace: true,
+			Sinks: []trace.Sink{s, lat},
+		}, p.Main())
+		if d := s.Finish(r); !d.Found {
+			b.Fatalf("planted leak not reported: %s", d.Detail)
+		}
+		if lat.Count() != p.Requests {
+			b.Fatalf("latency sink closed %d/%d requests", lat.Count(), p.Requests)
+		}
+	}
+	b.ReportMetric(float64(p.Requests)*float64(b.N)/b.Elapsed().Seconds(), "requests/s")
 }

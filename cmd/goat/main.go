@@ -28,6 +28,8 @@ import (
 	"goat/internal/goker"
 	"goat/internal/gtree"
 	"goat/internal/instrument"
+	"goat/internal/obs"
+	"goat/internal/profile"
 	"goat/internal/race"
 	"goat/internal/report"
 	"goat/internal/sim"
@@ -35,6 +37,10 @@ import (
 	"goat/internal/telemetry"
 	"goat/internal/trace"
 )
+
+// obsTrace, when -obs mounts the live endpoint, receives the detecting
+// run's ECT so /profile/* serves its block/mutex/goroutine profiles.
+var obsTrace *obs.LatestTrace
 
 func main() {
 	var (
@@ -57,8 +63,21 @@ func main() {
 		predict   = flag.Bool("predict", false, "with -bug: mine one passing execution for predicted blocking hazards")
 		prune     = flag.Bool("prune", false, "with -minimize: happens-before schedule pruning (skip equivalent yield placements)")
 		dpor      = flag.Bool("dpor", false, "with -minimize: dynamic partial-order reduction (backtrack only at racing Must-HB windows)")
+		obsAddr   = flag.String("obs", "", "mount the observability endpoint (/metrics, /profile/*, /healthz) on this address")
 	)
 	flag.Parse()
+
+	if *obsAddr != "" {
+		telemetry.Enable()
+		obsTrace = &obs.LatestTrace{}
+		srv := &obs.Server{Profiles: obsTrace.Set}
+		addr, err := srv.Start(*obsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "goat: observability endpoint on http://%s\n", addr)
+	}
 
 	faults, err := validateFlags(*bug, *tool, *minimize, *traceOut, *htmlOut, *timeline, *faultSpec, *predict, *prune, *dpor)
 	if err != nil {
@@ -245,6 +264,9 @@ func runBug(ctx context.Context, id, tool string, d, freq, parallel int, seed in
 	}
 	if f := rep.Found; f != nil {
 		r, det2 := f.Result, *f.Detection
+		if obsTrace != nil && r.Trace != nil {
+			obsTrace.Store(r.Trace, profile.Options{})
+		}
 		fmt.Printf("\nbug exposed on execution %d (seed %d, D=%d)\n\n", f.Index+1, r.Seed, d)
 		fmt.Println(report.Detection(r, det2))
 		if covFlag {

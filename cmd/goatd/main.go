@@ -30,6 +30,7 @@ import (
 	"goat/internal/fault"
 	"goat/internal/goker"
 	"goat/internal/harness"
+	"goat/internal/obs"
 	"goat/internal/report"
 	"goat/internal/telemetry"
 )
@@ -81,8 +82,20 @@ func serve(args []string) error {
 		leaseTTL   = fs.Duration("lease-ttl", 0, "work-unit lease duration (0 = derived from the cell budget)")
 		maxAssigns = fs.Int("max-assigns", 0, "lease expiries before a cell is quarantined as poison (0 = default 3)")
 		telem      = fs.Bool("telemetry", false, "live progress lines with a per-worker breakdown (stderr)")
+		obsAddr    = fs.String("obs", "", "mount the observability endpoint (/metrics, /healthz) on this address")
 	)
 	fs.Parse(args)
+
+	if *obsAddr != "" {
+		telemetry.Enable()
+		osrv := &obs.Server{}
+		oaddr, err := osrv.Start(*obsAddr)
+		if err != nil {
+			return err
+		}
+		defer osrv.Close()
+		fmt.Fprintf(os.Stderr, "goatd: observability endpoint on http://%s\n", oaddr)
+	}
 
 	faults, err := fault.ParseSpec(*faultSpec)
 	if err != nil {
@@ -196,8 +209,20 @@ func work(args []string) error {
 		name      = fs.String("name", "", "worker name in leases and shard summaries (default: host:pid)")
 		flightDir = fs.String("flightdir", "", "local scratch directory for flight-recorder dumps (default: a temp dir)")
 		telem     = fs.Bool("telemetry", false, "enable the metrics registry for this worker")
+		obsAddr   = fs.String("obs", "", "mount the observability endpoint (/metrics, /healthz) on this address")
 	)
 	fs.Parse(args)
+
+	if *obsAddr != "" {
+		telemetry.Enable()
+		osrv := &obs.Server{}
+		oaddr, err := osrv.Start(*obsAddr)
+		if err != nil {
+			return err
+		}
+		defer osrv.Close()
+		fmt.Fprintf(os.Stderr, "goatd: observability endpoint on http://%s\n", oaddr)
+	}
 
 	if *name == "" {
 		host, _ := os.Hostname()

@@ -28,8 +28,15 @@ import (
 	"path/filepath"
 
 	"goat/internal/kernelgen"
+	"goat/internal/obs"
+	"goat/internal/profile"
+	"goat/internal/telemetry"
 	"goat/internal/trace"
 )
+
+// obsTrace, when -obs mounts the live endpoint, receives the most
+// recent evidence trace so /profile/* folds something real.
+var obsTrace *obs.LatestTrace
 
 func main() {
 	var (
@@ -45,8 +52,21 @@ func main() {
 		soak     = flag.Int("soak", 0, "run one leaky/clean service soak pair at this request count")
 		requests = flag.Int("requests", 0, "service mode: per-kernel request count override")
 		dump     = flag.String("dump", "", "soak mode: directory for flight-recorder dumps on failure")
+		obsAddr  = flag.String("obs", "", "mount the observability endpoint (/metrics, /profile/*, /healthz) on this address")
 	)
 	flag.Parse()
+	if *obsAddr != "" {
+		telemetry.Enable()
+		obsTrace = &obs.LatestTrace{}
+		srv := &obs.Server{Profiles: obsTrace.Set}
+		addr, err := srv.Start(*obsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "goatfuzz: %v\n", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "goatfuzz: observability endpoint on http://%s\n", addr)
+	}
 	if *soak > 0 {
 		os.Exit(runSoak(*soak, *seed, *dump))
 	}
@@ -120,9 +140,16 @@ func emitFindings(dir string, findings []*kernelgen.Finding) error {
 // Chrome JSON under dumpDir for post-mortem.
 func runSoak(requests int, seed int64, dumpDir string) int {
 	rep := kernelgen.RunServiceSoak(requests, seed)
+	if obsTrace != nil && rep.LeakyRing != nil {
+		// Publish the leaky run's flight-recorder window: a scrape after
+		// the soak sees the strands' block profile.
+		obsTrace.Store(rep.LeakyRing.Snapshot(), profile.Options{})
+	}
 	fmt.Printf("soak: %d requests in %v\n", rep.Requests, rep.Elapsed)
 	fmt.Printf("leaky: %s (%s)\n", rep.LeakyVerdict.Verdict, rep.LeakyVerdict.Detail)
+	fmt.Printf("leaky latency: %s\n", rep.LeakyLatency)
 	fmt.Printf("clean: %s\n", rep.CleanVerdict.Verdict)
+	fmt.Printf("clean latency: %s\n", rep.CleanLatency)
 	err := rep.OK()
 	if err == nil {
 		return 0

@@ -1,0 +1,20 @@
+package main
+
+// The exit-code contract every goattrace subcommand follows. Analysis
+// commands (-ingest, -diff) distinguish "ran clean" from "ran and found
+// something", so CI gates on the exit status without parsing output;
+// operational failures never masquerade as findings.
+const (
+	exitClean    = 0 // the command ran and found nothing to flag
+	exitFindings = 1 // findings: stranded goroutines (-ingest), a regression (-diff)
+	exitUsage    = 2 // bad flags or arguments
+	exitError    = 2 // I/O errors, unreadable or corrupt traces
+)
+
+// exitForFindings maps an analysis outcome to its exit code.
+func exitForFindings(found bool) int {
+	if found {
+		return exitFindings
+	}
+	return exitClean
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func TestExitForFindings(t *testing.T) {
+	if exitForFindings(true) != exitFindings || exitForFindings(false) != exitClean {
+		t.Fatal("exitForFindings does not follow the contract")
+	}
+}
+
+// TestExitCodeContract runs the built binary against the checked-in
+// captures and pins the documented exit codes: 0 clean, 1 findings,
+// 2 usage errors.
+func TestExitCodeContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := filepath.Join(t.TempDir(), "goattrace")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	leaky := "../../internal/ingest/testdata/leakypool.trace"
+	clean := "../../internal/ingest/testdata/cleanpool.trace"
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"ingest-clean", []string{"-ingest", clean}, exitClean},
+		{"ingest-findings", []string{"-ingest", leaky}, exitFindings},
+		{"diff-clean", []string{"-diff", leaky, leaky}, exitClean},
+		{"diff-regressed", []string{"-diff", clean, leaky}, exitFindings},
+		{"diff-usage", []string{"-diff", leaky}, exitUsage},
+		{"missing-file", []string{"-ingest", "no-such.trace"}, exitError},
+		{"no-command", nil, exitUsage},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out, err := exec.Command(bin, c.args...).CombinedOutput()
+			code := 0
+			if ee, ok := err.(*exec.ExitError); ok {
+				code = ee.ExitCode()
+			} else if err != nil {
+				t.Fatalf("run: %v\n%s", err, out)
+			}
+			if code != c.want {
+				t.Fatalf("goattrace %v exited %d, want %d\n%s", c.args, code, c.want, out)
+			}
+		})
+	}
+}

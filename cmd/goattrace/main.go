@@ -15,6 +15,31 @@
 //
 //	goattrace -ingest app.trace             # window census + stranded report
 //	goattrace -diff old.trace new.trace     # CI gate: newly stranded signatures
+//
+// The -profile command additionally emits pprof-compatible profiles
+// (block, mutex contention, goroutine census — plus CPU when the
+// capture carries profiling-clock samples) and folded stacks for
+// flamegraph tooling:
+//
+//	goattrace -profile app.trace -pprof out/    # out/{block,mutex,goroutine,cpu}.pb.gz
+//	goattrace -profile app.trace -folded out/   # out/*.folded (flamegraph.pl input)
+//
+// -serve mounts the same profiles on the live observability endpoint —
+// the static-capture counterpart of the campaign CLIs' -obs flag, so
+// scrape-based tooling (Prometheus, continuous profilers, `go tool
+// pprof http://...`) reads a saved capture like a running process:
+//
+//	goattrace -serve :7799 app.trace       # /profile/{block,mutex,goroutine,cpu}, /metrics, /healthz
+//
+// # Exit codes
+//
+// Every subcommand follows one contract (see exitcode.go):
+//
+//	0  clean: the command ran and found nothing to flag
+//	1  findings: -ingest saw stranded goroutines, -diff saw a regression
+//	2  usage or I/O errors (bad flags, unreadable or corrupt traces)
+//
+// so both analysis commands slot directly into CI gates.
 package main
 
 import (
@@ -23,11 +48,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"goat/internal/cu"
 	"goat/internal/gtree"
 	"goat/internal/ingest"
+	prof "goat/internal/profile"
 	"goat/internal/trace"
 )
 
@@ -41,7 +68,10 @@ func main() {
 		outPath = flag.String("o", "", "with -chrome: output file (default stdout)")
 		visits  = flag.String("visits", "", "print a goatrt native visit log (GOAT_TRACE output)")
 		model   = flag.String("model", "", "with -visits: instrumented-source dir for executed-CU coverage")
-		ingestP = flag.String("ingest", "", "ingest a native runtime/trace capture: window census + stranded report")
+		pprofD  = flag.String("pprof", "", "with -profile: directory for pprof protobuf profiles")
+		foldedD = flag.String("folded", "", "with -profile: directory for folded-stack (flamegraph) text")
+		serveAt = flag.String("serve", "", "serve a capture's profiles on this address (observability endpoint; Ctrl-C stops)")
+		ingestP = flag.String("ingest", "", "ingest a native runtime/trace capture: window census + stranded report (exit 1 when goroutines are stranded)")
 		diffP   = flag.Bool("diff", false, "compare two captures (old new): exit 1 when new strands goroutines old did not")
 		workers = flag.Bool("workers", false, "with -ingest/-diff: report long-lived-worker-shaped goroutines too")
 		gFilter = flag.Int64("g", 0, "with -dump: restrict to one goroutine")
@@ -100,8 +130,26 @@ func main() {
 			return nil
 		})
 	case *profile != "":
-		withTrace(*profile, func(t *trace.Trace) error {
+		withCapture(*profile, func(t *trace.Trace, run *ingest.Run) error {
 			fmt.Print(trace.BuildProfile(t))
+			set := buildProfileSet(t, run)
+			fmt.Println()
+			fmt.Print(set.Block.Top(8))
+			fmt.Print(set.Mutex.Top(8))
+			fmt.Print(set.Goroutine.Top(8))
+			if set.CPU != nil {
+				fmt.Print(set.CPU.Top(8))
+			}
+			if *pprofD != "" {
+				if err := writeProfiles(*pprofD, set, ".pb.gz", (*prof.Profile).WritePprof); err != nil {
+					return err
+				}
+			}
+			if *foldedD != "" {
+				if err := writeProfiles(*foldedD, set, ".folded", (*prof.Profile).WriteFolded); err != nil {
+					return err
+				}
+			}
 			return nil
 		})
 	case *tree != "":
@@ -132,38 +180,92 @@ func main() {
 			}
 			return t.EncodeChrome(w, trace.ChromeOptions{})
 		})
+	case *serveAt != "":
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "goattrace: -serve needs one capture: goattrace -serve :7799 app.trace")
+			os.Exit(exitUsage)
+		}
+		withCapture(flag.Arg(0), func(t *trace.Trace, run *ingest.Run) error {
+			return serveCapture(*serveAt, t, run)
+		})
 	case *visits != "":
 		if err := showVisits(*visits, *model); err != nil {
 			fatal(err)
 		}
 	case *ingestP != "":
-		if err := showIngest(*ingestP, *workers); err != nil {
+		stranded, err := showIngest(*ingestP, *workers)
+		if err != nil {
 			fatal(err)
 		}
+		os.Exit(exitForFindings(stranded > 0))
 	case *diffP:
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "goattrace: -diff needs two captures: old.trace new.trace")
-			os.Exit(2)
+			os.Exit(exitUsage)
 		}
 		regressed, err := showDiff(flag.Arg(0), flag.Arg(1), *workers)
 		if err != nil {
 			fatal(err)
 		}
-		if regressed {
-			os.Exit(1) // the CI-gateable signal
-		}
+		os.Exit(exitForFindings(regressed))
 	default:
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 }
 
+// buildProfileSet folds a trace into its pprof profile set, wiring in
+// the wall-clock table and CPU samples when the source was a native
+// capture.
+func buildProfileSet(t *trace.Trace, run *ingest.Run) *prof.Set {
+	opts := prof.Options{}
+	if run != nil {
+		opts.Wall = run.Wall
+		for _, s := range run.CPUSamples {
+			cs := prof.CPUSample{G: s.G, Stack: make([]prof.Frame, len(s.Stack))}
+			for i, f := range s.Stack {
+				cs.Stack[i] = prof.Frame{Func: f.Func, File: f.File, Line: f.Line}
+			}
+			opts.CPUSamples = append(opts.CPUSamples, cs)
+		}
+	}
+	return prof.Build(t, opts)
+}
+
+// writeProfiles writes every profile of a set into dir using the given
+// encoder and filename extension.
+func writeProfiles(dir string, set *prof.Set, ext string, write func(*prof.Profile, io.Writer) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, p := range []*prof.Profile{set.Block, set.Mutex, set.Goroutine, set.CPU} {
+		if p == nil {
+			continue
+		}
+		path := filepath.Join(dir, string(p.Kind)+ext)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(p, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}
+
 // showIngest prints the window census and the stranded-goroutine report
-// of one native capture.
-func showIngest(path string, includeWorkers bool) error {
+// of one native capture, returning the stranded count (the exit-code
+// signal).
+func showIngest(path string, includeWorkers bool) (int, error) {
 	run, err := ingest.ParseFile(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	i := run.Info
 	fmt.Printf("source: %s (%d events)\n", run.Trace.SourceInfo().Name, run.Trace.Len())
@@ -172,16 +274,19 @@ func showIngest(path string, includeWorkers bool) error {
 	if i.DroppedWakes > 0 {
 		fmt.Printf("note: %d wake edge(s) had no attributable waker (timers/netpoll)\n", i.DroppedWakes)
 	}
+	if i.CPUSamples > 0 {
+		fmt.Printf("cpu samples: %d (profile with -profile %s -pprof DIR)\n", i.CPUSamples, path)
+	}
 	stranded := run.StrandedGoroutines(ingest.StrandedOpts{IncludeWorkers: includeWorkers})
 	if len(stranded) == 0 {
 		fmt.Println("\nstranded goroutines: none")
-		return nil
+		return 0, nil
 	}
 	fmt.Printf("\nstranded goroutines: %d\n", len(stranded))
 	for _, s := range stranded {
 		fmt.Printf("  %s\n", s)
 	}
-	return nil
+	return len(stranded), nil
 }
 
 // showDiff compares two captures signature-wise and reports whether the
@@ -232,6 +337,12 @@ func showVisits(path, modelDir string) error {
 // runtime/trace capture (sniffed by header) — so every inspection
 // command works on real-binary captures too.
 func withTrace(path string, fn func(*trace.Trace) error) {
+	withCapture(path, func(t *trace.Trace, _ *ingest.Run) error { return fn(t) })
+}
+
+// withCapture is withTrace for consumers that also want the native-side
+// artifacts (wall table, CPU samples); run is nil for GOATECT files.
+func withCapture(path string, fn func(*trace.Trace, *ingest.Run) error) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -243,9 +354,9 @@ func withTrace(path string, fn func(*trace.Trace) error) {
 		fatal(err)
 	}
 	var t *trace.Trace
+	var run *ingest.Run
 	if ingest.SniffNative(prefix) {
-		run, err := ingest.Parse(br)
-		if err != nil {
+		if run, err = ingest.Parse(br); err != nil {
 			fatal(err)
 		}
 		t = run.Trace
@@ -254,12 +365,12 @@ func withTrace(path string, fn func(*trace.Trace) error) {
 			fatal(err)
 		}
 	}
-	if err := fn(t); err != nil {
+	if err := fn(t, run); err != nil {
 		fatal(err)
 	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "goattrace:", err)
-	os.Exit(1)
+	os.Exit(exitError)
 }

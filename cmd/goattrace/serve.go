@@ -1,0 +1,36 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+
+	"goat/internal/ingest"
+	"goat/internal/obs"
+	prof "goat/internal/profile"
+	"goat/internal/trace"
+)
+
+// serveCapture mounts a saved capture's profile set on the live
+// observability endpoint until interrupted: the static counterpart of
+// the campaign CLIs' -obs flag. The set is folded once up front — a
+// capture is immutable, so every scrape serves the same profiles.
+func serveCapture(addr string, t *trace.Trace, run *ingest.Run) error {
+	set := buildProfileSet(t, run)
+	srv := &obs.Server{Profiles: func() *prof.Set { return set }}
+	bound, err := srv.Start(addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	kinds := "block, mutex, goroutine"
+	if set.CPU != nil {
+		kinds += ", cpu"
+	}
+	fmt.Fprintf(os.Stderr, "goattrace: serving %s profiles on http://%s (Ctrl-C to stop)\n", kinds, bound)
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	fmt.Fprintln(os.Stderr, "goattrace: interrupted, shutting down")
+	return nil
+}

@@ -41,6 +41,8 @@ func main() {
 		}
 		defer trace.Stop()
 	}
+	stopProf := startCPUProfile()
+	defer stopProf()
 
 	const workers = 3
 	const jobsPerBatch = 4
@@ -65,7 +67,9 @@ func main() {
 	}
 	fmt.Println("sum of results:", sum)
 
-	// Symmetric with the leaky pool's quiesce window: the capture ends
-	// with every worker already gone.
+	// Symmetric with the leaky pool's quiesce window: burn some CPU for
+	// profiling-clock samples, then let the capture end with every
+	// worker already gone.
+	burnCPU(150 * time.Millisecond)
 	time.Sleep(200 * time.Millisecond)
 }

@@ -1,0 +1,36 @@
+// CPU-profiling side of the fixture, symmetric with leakypool: running
+// the runtime CPU profiler while tracing makes the runtime forward
+// profiling-clock hits into the execution trace's CPU-sample batches
+// (EvCPUSample). The pprof stream itself is discarded — the trace is
+// the artifact. Kept in its own file so main.go's line numbers stay
+// put for fixture pins.
+package main
+
+import (
+	"io"
+	"runtime/pprof"
+	"time"
+)
+
+// startCPUProfile starts the runtime CPU profiler, discarding the pprof
+// stream; returns the stop function (a no-op when profiling could not
+// start).
+func startCPUProfile() func() {
+	if err := pprof.StartCPUProfile(io.Discard); err != nil {
+		return func() {}
+	}
+	return pprof.StopCPUProfile
+}
+
+// burnCPU spins for roughly d so the capture carries on-CPU samples.
+// The checksum defeats dead-code elimination.
+func burnCPU(d time.Duration) uint64 {
+	var sum uint64
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1<<14; i++ {
+			sum = sum*1099511628211 + uint64(i)
+		}
+	}
+	return sum
+}

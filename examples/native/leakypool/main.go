@@ -48,6 +48,8 @@ func main() {
 		}
 		defer trace.Stop()
 	}
+	stopProf := startCPUProfile()
+	defer stopProf()
 
 	const workers = 3
 	const jobsPerBatch = 4
@@ -68,7 +70,9 @@ func main() {
 	// Collect only one result: the rest of the senders leak.
 	fmt.Println("first result:", <-results)
 
-	// Let the stranded senders reach their parked state before the
-	// trace window closes, so the leak is visible in the capture.
+	// Burn some CPU so the capture carries profiling-clock samples,
+	// then let the stranded senders sit parked before the trace window
+	// closes, so both the leak and the cpu profile are visible.
+	burnCPU(150 * time.Millisecond)
 	time.Sleep(200 * time.Millisecond)
 }

@@ -1,0 +1,39 @@
+// CPU-profiling side of the fixture: running the runtime CPU profiler
+// while tracing makes the runtime forward every profiling-clock hit
+// into the execution trace's CPU-sample batches (EvCPUSample), which is
+// what `goattrace -profile ... -pprof` turns into a cpu profile. The
+// pprof output itself is discarded — the trace is the artifact.
+//
+// This lives in its own file so main.go's line numbers stay put: the
+// ingest fixtures pin the worker's create/block sites by line.
+package main
+
+import (
+	"io"
+	"runtime/pprof"
+	"time"
+)
+
+// startCPUProfile starts the runtime CPU profiler, discarding the pprof
+// stream; returns the stop function (a no-op when profiling could not
+// start, e.g. a second profiler is active).
+func startCPUProfile() func() {
+	if err := pprof.StartCPUProfile(io.Discard); err != nil {
+		return func() {}
+	}
+	return pprof.StopCPUProfile
+}
+
+// burnCPU spins for roughly d so the capture carries on-CPU samples
+// alongside the blocked goroutines. The checksum defeats dead-code
+// elimination.
+func burnCPU(d time.Duration) uint64 {
+	var sum uint64
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1<<14; i++ {
+			sum = sum*1099511628211 + uint64(i)
+		}
+	}
+	return sum
+}

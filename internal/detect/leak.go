@@ -198,7 +198,7 @@ func stranded(g *leakG) bool {
 		return false
 	}
 	switch g.reason {
-	case trace.BlockSleep, trace.BlockNone, trace.BlockNet:
+	case trace.BlockSleep, trace.BlockNone, trace.BlockNet, trace.BlockSyscall:
 		return false
 	}
 	return !trace.WorkerShaped(g.reason, g.orphan, g.wakes)

@@ -1,0 +1,74 @@
+package goker
+
+import (
+	"bytes"
+	"testing"
+
+	"goat/internal/profile"
+	"goat/internal/sim"
+)
+
+// Profile collection is pure observation: folding a run's ECT into the
+// profiling plane must leave the trace, the detector-relevant outcome,
+// and the recorded decision script byte-identical to a run that never
+// built profiles — and folding the same trace twice must produce
+// identical profiles. This is the profiling counterpart of the
+// telemetry equivalence sweep.
+func TestProfileEquivalence(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.ID, func(t *testing.T) {
+			opts := sim.Options{Seed: 3, Delays: 2, MaxSteps: 50000, Record: true}
+
+			plain := Run(k, opts)
+			profiled := Run(k, opts)
+
+			// Building the profile set must not mutate the trace.
+			before := encodeECT(t, profiled.Trace)
+			set := profile.Build(profiled.Trace, profile.Options{})
+			if set.Block == nil || set.Mutex == nil || set.Goroutine == nil {
+				t.Fatal("incomplete profile set")
+			}
+			after := encodeECT(t, profiled.Trace)
+			if !bytes.Equal(before, after) {
+				t.Fatal("profile build mutated the ECT")
+			}
+			if !bytes.Equal(before, encodeECT(t, plain.Trace)) {
+				t.Fatal("profiled run's ECT differs from the plain run")
+			}
+			if plain.Outcome != profiled.Outcome {
+				t.Fatalf("outcome diverged: plain=%v profiled=%v", plain.Outcome, profiled.Outcome)
+			}
+			for i := range plain.Schedule {
+				if plain.Schedule[i] != profiled.Schedule[i] {
+					t.Fatalf("recorded schedule diverged at decision %d", i)
+				}
+			}
+
+			// The fold is deterministic: same trace, same profiles.
+			again := profile.Build(profiled.Trace, profile.Options{})
+			for _, kind := range []profile.Kind{profile.KindBlock, profile.KindMutex, profile.KindGoroutine} {
+				var a, b bytes.Buffer
+				if err := set.ByKind(kind).WriteFolded(&a); err != nil {
+					t.Fatal(err)
+				}
+				if err := again.ByKind(kind).WriteFolded(&b); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(a.Bytes(), b.Bytes()) {
+					t.Fatalf("%s profile not deterministic across folds", kind)
+				}
+				var p1, p2 bytes.Buffer
+				if err := set.ByKind(kind).WritePprof(&p1); err != nil {
+					t.Fatal(err)
+				}
+				if err := again.ByKind(kind).WritePprof(&p2); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(p1.Bytes(), p2.Bytes()) {
+					t.Fatalf("%s pprof encoding not deterministic", kind)
+				}
+			}
+		})
+	}
+}

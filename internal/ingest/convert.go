@@ -68,6 +68,13 @@ type converter struct {
 	res map[string]trace.ResID  // canonical key → assigned ResID
 	out *trace.Trace
 
+	// ticks records, per emitted ECT event, the native ticks of the wire
+	// event that produced it. Logical timestamps stay 1..N (the ECT
+	// contract); the side table is what lets profile builders recover
+	// real blocked durations from a native window.
+	ticks    []uint64
+	curTicks uint64
+
 	minTs, maxTs uint64 // observed tick range
 	created      int    // creations observed in-window
 	orphans      int
@@ -97,9 +104,10 @@ func (c *converter) attribute() []rec {
 			curG[ev.m] = ev.args[0]
 			g = ev.args[0]
 		case wevGoStatus, wevGoStatusStack:
-			// [g, m, status, ...]: a Running status re-establishes the
-			// M binding at a generation boundary.
-			if goStatus(ev.args[2]) == statusRunning && ev.args[1] == ev.m {
+			// [g, m, status, ...]: a Running or Syscall status
+			// re-establishes the M binding at a generation boundary (a
+			// goroutine in a syscall still owns its M).
+			if s := goStatus(ev.args[2]); (s == statusRunning || s == statusSyscall) && ev.args[1] == ev.m {
 				curG[ev.m] = ev.args[0]
 			}
 			g = ev.args[0]
@@ -271,6 +279,7 @@ func userFrame(frames []frameInfo) (string, int) {
 		if strings.HasPrefix(f.fn, "runtime.") ||
 			strings.HasPrefix(f.fn, "runtime/") ||
 			strings.HasPrefix(f.fn, "sync.") ||
+			strings.HasPrefix(f.fn, "syscall.") ||
 			strings.HasPrefix(f.fn, "internal/") ||
 			strings.HasPrefix(f.fn, "time.Sleep") {
 			continue
@@ -431,10 +440,12 @@ func (c *converter) resOf(key string) trace.ResID {
 // ---------------------------------------------------------------------
 // Pass 3: emission.
 
-// emit appends an ECT event, stamping the next logical timestamp.
+// emit appends an ECT event, stamping the next logical timestamp and
+// recording the native ticks it was derived from.
 func (c *converter) emit(e trace.Event) {
 	e.Ts = int64(c.out.Len() + 1)
 	c.out.Append(e)
+	c.ticks = append(c.ticks, c.curTicks)
 }
 
 // introduce makes sure g exists in the ECT, synthesizing the orphan
@@ -479,6 +490,7 @@ func (c *converter) convert() {
 	c.correlate(recs)
 
 	for _, r := range recs {
+		c.curTicks = r.ts
 		switch r.typ {
 		case wevGoCreate, wevGoCreateBlocked:
 			child := r.args[0]
@@ -551,6 +563,36 @@ func (c *converter) convert() {
 			file, line := userFrame(frames)
 			c.park(r.g, st, reason, file, line, r.ts)
 
+		case wevGoSyscallBegin:
+			// [p_seq, stack]: the goroutine enters a system call. The ECT
+			// models it as a distinct park (BlockSyscall) so block
+			// profiles and census detectors never lump kernel-side waits
+			// into scheduler-parked reasons.
+			if r.g == 0 {
+				continue
+			}
+			st := c.gOf(r.g)
+			c.ensureRunning(r.g, st)
+			frames := c.w.resolveStack(r.gen, r.args[1])
+			file, line := userFrame(frames)
+			c.park(r.g, st, trace.BlockSyscall, file, line, r.ts)
+
+		case wevGoSyscallEnd, wevGoSyscallEndBl:
+			// The syscall returned. The runtime connects no waker to this
+			// edge (the kernel did the work), so the ECT records a
+			// self-unblock: it closes the BlockSyscall span without
+			// inventing a happens-before edge or a worker-shaped wake.
+			if r.g == 0 {
+				continue
+			}
+			st := c.gOf(r.g)
+			if !st.blocked || st.blockReason != trace.BlockSyscall {
+				continue // unmatched end at a window edge
+			}
+			st.blocked = false
+			c.emit(trace.Event{G: trace.GoID(r.g), Type: trace.EvGoUnblock,
+				Peer: trace.GoID(r.g), File: st.blockFile, Line: st.blockLine})
+
 		case wevGoUnblock:
 			target := r.args[0]
 			ts := c.gOf(target)
@@ -621,10 +663,16 @@ func (c *converter) convert() {
 			}
 			st.orphan = !st.introduced
 			c.introduce(id, st)
-			if goStatus(r.args[2]) == statusWaiting {
+			switch goStatus(r.args[2]) {
+			case statusWaiting:
 				reason := stackBlockReason(frames)
 				file, line := userFrame(frames)
 				c.park(id, st, reason, file, line, r.ts)
+			case statusSyscall:
+				// Announced mid-syscall at a generation boundary: parked
+				// kernel-side until its GoSyscallEnd arrives.
+				file, line := userFrame(frames)
+				c.park(id, st, trace.BlockSyscall, file, line, r.ts)
 			}
 
 		case wevUserLog:

@@ -48,11 +48,37 @@ type GInfo struct {
 	BlockedNs int64 // how long the final park had lasted at window end
 }
 
+// Frame is one resolved stack frame of a CPU sample.
+type Frame struct {
+	Func string
+	File string
+	Line int
+}
+
+// CPUSample is one profiling-clock hit from the capture's CPU-sample
+// batches (present when the traced program also ran the CPU profiler),
+// attributed to its goroutine with a resolved call stack, leaf first.
+type CPUSample struct {
+	G      trace.GoID
+	WallNs int64 // offset from window start
+	Stack  []Frame
+}
+
 // Run is one ingested native execution window.
 type Run struct {
 	Trace *trace.Trace
 	Info  RunInfo
 	Gs    map[trace.GoID]*GInfo
+
+	// Wall holds, aligned index-for-index with Trace.Events, each
+	// event's wall-clock offset from the window start in nanoseconds.
+	// Logical timestamps remain 1..N; this side table is what lets
+	// profile builders charge real durations to native block spans.
+	Wall []int64
+
+	// CPUSamples are the capture's profiling-clock hits (empty unless
+	// the traced program ran runtime/pprof CPU profiling concurrently).
+	CPUSamples []CPUSample
 }
 
 // RunInfo summarizes the window.
@@ -65,6 +91,7 @@ type RunInfo struct {
 	Orphans      int     // goroutines that pre-existed the window
 	MainEnded    bool    // g1 reached GoDestroy inside the window
 	DroppedWakes int     // unblock edges with no attributable waker
+	CPUSamples   int     // profiling-clock samples carried by the capture
 }
 
 // Source returns the SourceInfo stamped on ingested traces.
@@ -101,6 +128,27 @@ func Parse(r io.Reader) (*Run, error) {
 		Created:      c.created,
 		Orphans:      c.orphans,
 		DroppedWakes: c.droppedWakes,
+		CPUSamples:   len(w.cpuSamples),
+	}
+	run.Wall = make([]int64, len(c.ticks))
+	for i, t := range c.ticks {
+		if t > c.minTs {
+			run.Wall[i] = int64(float64(t-c.minTs) * nsPerTick)
+		}
+	}
+	for _, s := range w.cpuSamples {
+		frames := w.resolveStack(s.gen, s.stack)
+		if len(frames) == 0 {
+			continue
+		}
+		cs := CPUSample{G: trace.GoID(s.g), Stack: make([]Frame, len(frames))}
+		if s.ts > c.minTs {
+			cs.WallNs = int64(float64(s.ts-c.minTs) * nsPerTick)
+		}
+		for i, f := range frames {
+			cs.Stack[i] = Frame{Func: f.fn, File: f.file, Line: f.line}
+		}
+		run.CPUSamples = append(run.CPUSamples, cs)
 	}
 	for id, st := range c.gs {
 		if !st.introduced && !st.started {

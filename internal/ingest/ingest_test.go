@@ -92,6 +92,71 @@ func TestStrandedLeakyPool(t *testing.T) {
 	}
 }
 
+// TestCPUSamplesAndWallFixture pins the profiling-plane side of the
+// fixtures: both pools run the CPU profiler while tracing, so the
+// captures must carry CPU-sample batches, and every converted event
+// must have a wall-clock offset in the side table.
+func TestCPUSamplesAndWallFixture(t *testing.T) {
+	for _, path := range []string{leakyFixture, cleanFixture} {
+		r := parseFixture(t, path)
+		if r.Info.CPUSamples == 0 || len(r.CPUSamples) == 0 {
+			t.Errorf("%s: no CPU samples (info=%d, samples=%d); fixture captured without the profiler?",
+				path, r.Info.CPUSamples, len(r.CPUSamples))
+			continue
+		}
+		burn := 0
+		for _, s := range r.CPUSamples {
+			if s.WallNs < 0 || s.WallNs > r.Info.WallNs {
+				t.Errorf("%s: sample wall offset %d outside window [0,%d]", path, s.WallNs, r.Info.WallNs)
+			}
+			if len(s.Stack) == 0 {
+				t.Errorf("%s: sample with empty stack", path)
+				continue
+			}
+			for _, f := range s.Stack {
+				if f.Func == "main.burnCPU" {
+					burn++
+					break
+				}
+			}
+		}
+		if burn == 0 {
+			t.Errorf("%s: no sample lands in main.burnCPU out of %d", path, len(r.CPUSamples))
+		}
+		if len(r.Wall) != r.Trace.Len() {
+			t.Fatalf("%s: wall table has %d entries for %d events", path, len(r.Wall), r.Trace.Len())
+		}
+		for i, w := range r.Wall {
+			if w < 0 || w > r.Info.WallNs {
+				t.Errorf("%s: event %d wall offset %d outside window [0,%d]", path, i, w, r.Info.WallNs)
+			}
+		}
+	}
+}
+
+// TestSyscallClassification pins that syscall-blocked goroutines are
+// classified distinctly from scheduler parks: the profileWriter drains
+// the profile buffer through real file syscalls during the window, so
+// the leaky capture must contain BlockSyscall parks — and none of them
+// may surface as stranded.
+func TestSyscallClassification(t *testing.T) {
+	r := parseFixture(t, leakyFixture)
+	syscalls := 0
+	for _, e := range r.Trace.Events {
+		if e.Type == trace.EvGoBlock && e.BlockReason() == trace.BlockSyscall {
+			syscalls++
+		}
+	}
+	if syscalls == 0 {
+		t.Fatal("no BlockSyscall parks in the leaky fixture; syscall classification regressed")
+	}
+	for _, s := range r.StrandedGoroutines(StrandedOpts{}) {
+		if s.Reason == trace.BlockSyscall {
+			t.Errorf("g%d reported stranded in a syscall: %+v", s.G, s)
+		}
+	}
+}
+
 func TestStrandedCleanPool(t *testing.T) {
 	r := parseFixture(t, cleanFixture)
 	if stranded := r.StrandedGoroutines(StrandedOpts{}); len(stranded) != 0 {

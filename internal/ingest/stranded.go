@@ -75,7 +75,8 @@ type StrandedOpts struct {
 // rules, in order:
 //
 //   - system goroutines (runtime infrastructure) never count;
-//   - goroutines parked on sleep or with no reason are idle, not stuck;
+//   - goroutines parked on sleep, in a syscall, on network I/O, or with
+//     no reason are idle (or making kernel-side progress), not stuck;
 //   - worker-shaped goroutines — orphans or receive/select-parked
 //     goroutines that were woken during the window — are presumed to be
 //     long-lived pools waiting for more work (the classic native-trace
@@ -90,7 +91,7 @@ func (r *Run) StrandedGoroutines(opts StrandedOpts) []Stranded {
 			continue
 		}
 		if gi.Reason == trace.BlockSleep || gi.Reason == trace.BlockNone ||
-			gi.Reason == trace.BlockNet {
+			gi.Reason == trace.BlockNet || gi.Reason == trace.BlockSyscall {
 			continue
 		}
 		if opts.MinBlockedNs > 0 && gi.BlockedNs < opts.MinBlockedNs {

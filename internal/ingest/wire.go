@@ -163,13 +163,27 @@ type generation struct {
 	stacks  map[uint64][]wireFrame
 }
 
+// wireCPUSample is one profiling-clock sample as written into the
+// trace's CPU-sample batches: unlike regular events its timestamp is
+// absolute (not a batch-relative dt) and it names its goroutine
+// explicitly rather than relying on M attribution.
+type wireCPUSample struct {
+	gen   uint64
+	ts    uint64 // absolute ticks
+	m     uint64
+	p     uint64
+	g     uint64
+	stack uint64
+}
+
 // wireTrace is the parsed file: every timed event plus the
 // per-generation tables needed to resolve them.
 type wireTrace struct {
-	version int // 22 or 23 (the "go 1.N trace" header)
-	freq    float64
-	events  []wireEvent
-	gens    map[uint64]*generation
+	version    int // 22 or 23 (the "go 1.N trace" header)
+	freq       float64
+	events     []wireEvent
+	cpuSamples []wireCPUSample
+	gens       map[uint64]*generation
 }
 
 func (w *wireTrace) gen(id uint64) *generation {
@@ -240,6 +254,14 @@ func parseWire(r io.Reader) (*wireTrace, error) {
 				return nil, fmt.Errorf("ingest: string %d payload: %w", args[0], err)
 			}
 			w.gen(curGen).strings[args[0]] = string(data)
+		case wevCPUSample:
+			// [time, m, p, g, stack]: absolute timestamp, carried in a
+			// dedicated CPU-sample batch of the enclosing generation.
+			if len(w.cpuSamples) < maxWireEvents {
+				w.cpuSamples = append(w.cpuSamples, wireCPUSample{
+					gen: curGen, ts: args[0], m: args[1], p: args[2], g: args[3], stack: args[4],
+				})
+			}
 		case wevStack:
 			// [id, nframes] + nframes × {pc, funcID, fileID, line}.
 			n := int(args[1])
@@ -259,7 +281,7 @@ func parseWire(r io.Reader) (*wireTrace, error) {
 			w.gen(curGen).stacks[args[0]] = frames
 		default:
 			if !spec.timed {
-				break // section headers (Stacks/Strings/CPUSamples), CPU samples
+				break // section headers (Stacks/Strings/CPUSamples)
 			}
 			if !inBatch {
 				return nil, fmt.Errorf("ingest: timed event (type %d) outside any batch", typ)

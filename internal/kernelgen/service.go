@@ -25,7 +25,9 @@ import (
 	"fmt"
 
 	"goat/internal/conc"
+	"goat/internal/profile"
 	"goat/internal/sim"
+	"goat/internal/trace"
 )
 
 // ServiceShape selects the service skeleton.
@@ -141,6 +143,12 @@ type ServiceProg struct {
 
 	LeakKind  LeakKind
 	LeakEvery int // plant one leak group per LeakEvery requests (0 = never)
+
+	// Timeline emits one req:start/req:done EvUserLog marker pair per
+	// request (Aux carries the request id), the input of the profiling
+	// plane's latency percentiles (profile.LatencySink). Off by default:
+	// markers add events, which would shift every determinism golden.
+	Timeline bool
 }
 
 // GenerateService decodes a decision string into a service kernel. Like
@@ -236,6 +244,16 @@ func (p *ServiceProg) Main() func(*sim.G) {
 	}
 }
 
+// mark emits one request-timeline marker when timelines are on. The
+// marker travels the ordinary sink path, so latency derivation works
+// under NoTrace campaigns exactly like the leak detector does.
+func (p *ServiceProg) mark(g *sim.G, marker string, r int) {
+	if !p.Timeline {
+		return
+	}
+	g.Sched().Emit(trace.Event{G: g.ID(), Type: trace.EvUserLog, Str: marker, Aux: int64(r)})
+}
+
 // maybePlant strands one leak group when request r is a planting point.
 func (p *ServiceProg) maybePlant(g *sim.G, r int) {
 	if p.LeakKind == LeakNone || p.LeakEvery <= 0 || r%p.LeakEvery != p.LeakEvery-1 {
@@ -253,13 +271,15 @@ func (p *ServiceProg) handlerMain(g *sim.G) {
 	}
 	wg := conc.NewWaitGroup(g)
 	for r := 0; r < p.Requests; r++ {
-		sem.Send(g, 1) // acquire a concurrency slot; parks when saturated
+		p.mark(g, profile.ReqStartMarker, r) // arrival: latency includes queueing
+		sem.Send(g, 1)                       // acquire a concurrency slot; parks when saturated
 		wg.Add(g, 1)
 		g.Go("svc.handler", func(h *sim.G) {
 			c, _ := conns.Recv(h) // checkout
 			h.Yield()             // the request's work
 			conns.Send(h, c)      // checkin
 			sem.Recv(h)           // release the slot
+			p.mark(h, profile.ReqDoneMarker, r)
 			wg.Done(h)
 		})
 		p.maybePlant(g, r)
@@ -278,6 +298,7 @@ func (p *ServiceProg) workerPoolMain(g *sim.G) {
 		g.Go("svc.worker", func(c *sim.G) {
 			jobs.Range(c, func(j int) bool {
 				results.Send(c, j)
+				p.mark(c, profile.ReqDoneMarker, j) // done once the result is delivered
 				return true
 			})
 			wg.Done(c)
@@ -290,6 +311,7 @@ func (p *ServiceProg) workerPoolMain(g *sim.G) {
 		collected.Send(c, n)
 	})
 	for r := 0; r < p.Requests; r++ {
+		p.mark(g, profile.ReqStartMarker, r)
 		jobs.Send(g, r)
 		p.maybePlant(g, r)
 	}
@@ -330,12 +352,18 @@ func (p *ServiceProg) pipelineMain(g *sim.G) {
 	// moment the bounded stages back up.
 	g.Go("svc.source", func(c *sim.G) {
 		for r := 0; r < p.Requests; r++ {
+			p.mark(c, profile.ReqStartMarker, r)
 			chans[0].Send(c, r)
 			p.maybePlant(c, r)
 		}
 		chans[0].Close(c)
 	})
-	chans[p.Stages].Range(g, func(int) bool { return true })
+	// Each stage increments the value, so the drained value v belongs to
+	// request v-Stages.
+	chans[p.Stages].Range(g, func(v int) bool {
+		p.mark(g, profile.ReqDoneMarker, v-p.Stages)
+		return true
+	})
 }
 
 // plantServiceLeak strands one leak group: fresh dedicated resources,

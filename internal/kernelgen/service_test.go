@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"goat/internal/detect"
+	"goat/internal/profile"
 	"goat/internal/sim"
 	"goat/internal/trace"
 )
@@ -185,4 +186,50 @@ func FuzzServiceKernelGen(f *testing.F) {
 			t.Fatalf("service kernel %s is not deterministic: same seed, different ECT", p)
 		}
 	})
+}
+
+// TestServiceTimelineLatency pins the request-timeline contract on all
+// three shapes: with Timeline on, every request emits exactly one
+// start/done marker pair, the latency sink closes every request, and
+// the exact percentiles are ordered; with Timeline off (the default)
+// no marker reaches the sink path, so determinism goldens are safe.
+func TestServiceTimelineLatency(t *testing.T) {
+	for shape := ServiceShape(0); shape < numServiceShapes; shape++ {
+		p := &ServiceProg{
+			Shape: shape, Requests: 40, Workers: 3, Pool: 2, Stages: 2, ChanCap: 2,
+			Timeline: true,
+		}
+		lat := profile.NewLatencySink()
+		r := runService(p, 7, lat)
+		if r.Outcome != sim.OutcomeOK {
+			t.Fatalf("%s: outcome %v", shape, r.Outcome)
+		}
+		if lat.Count() != p.Requests || lat.Open() != 0 {
+			t.Fatalf("%s: %d/%d requests closed, %d in flight",
+				shape, lat.Count(), p.Requests, lat.Open())
+		}
+		p50, p95, p99 := lat.Percentiles()
+		if p50 <= 0 || p95 < p50 || p99 < p95 {
+			t.Errorf("%s: percentiles %d/%d/%d not ordered", shape, p50, p95, p99)
+		}
+
+		// The markers also land in the ECT itself when tracing is on.
+		markers := 0
+		for _, e := range r.Trace.Events {
+			if e.Type == trace.EvUserLog &&
+				(e.Str == profile.ReqStartMarker || e.Str == profile.ReqDoneMarker) {
+				markers++
+			}
+		}
+		if markers != 2*p.Requests {
+			t.Errorf("%s: %d markers in the ECT, want %d", shape, markers, 2*p.Requests)
+		}
+
+		off := *p
+		off.Timeline = false
+		latOff := profile.NewLatencySink()
+		if runService(&off, 7, latOff); latOff.Count() != 0 {
+			t.Errorf("%s: Timeline=false still emitted %d requests", shape, latOff.Count())
+		}
+	}
 }

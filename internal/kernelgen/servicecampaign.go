@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"goat/internal/detect"
+	"goat/internal/profile"
 	"goat/internal/sim"
 	"goat/internal/trace"
 )
@@ -128,6 +129,11 @@ type SoakReport struct {
 	CleanRun     *sim.Result
 	LeakyRing    *trace.RingSink // last events of the leaky run, for forensics
 	CleanRing    *trace.RingSink
+	// Per-request latency digests from the request-timeline markers
+	// (exact p50/p95/p99 in logical events): the soak's service-level
+	// health signal next to the leak verdicts.
+	LeakyLatency *profile.LatencySink
+	CleanLatency *profile.LatencySink
 	Elapsed      time.Duration
 }
 
@@ -159,20 +165,22 @@ func RunServiceSoak(requests int, seed int64) *SoakReport {
 	leaky := &ServiceProg{
 		Shape: ShapeWorkerPool, Requests: requests, Workers: 4, Pool: 2, Stages: 2, ChanCap: 4,
 		LeakKind: LeakSendNoRecv, LeakEvery: 1000,
+		Timeline: true, // per-request latency rides the same sink path
 	}
 	rep := &SoakReport{Requests: requests}
 	start := time.Now()
-	run := func(p *ServiceProg) (detect.Detection, *sim.Result, *trace.RingSink) {
+	run := func(p *ServiceProg) (detect.Detection, *sim.Result, *trace.RingSink, *profile.LatencySink) {
 		s := detect.Leak{}.NewStream().(*detect.LeakStream)
 		ring := trace.NewRingSink(4096)
+		lat := profile.NewLatencySink()
 		r := sim.Run(sim.Options{
 			Seed: seed, MaxSteps: p.MinSteps(), NoTrace: true,
-			Sinks: []trace.Sink{s, ring},
+			Sinks: []trace.Sink{s, ring, lat},
 		}, p.Main())
-		return s.Finish(r), r, ring
+		return s.Finish(r), r, ring, lat
 	}
-	rep.LeakyVerdict, rep.LeakyRun, rep.LeakyRing = run(leaky)
-	rep.CleanVerdict, rep.CleanRun, rep.CleanRing = run(leaky.Clean())
+	rep.LeakyVerdict, rep.LeakyRun, rep.LeakyRing, rep.LeakyLatency = run(leaky)
+	rep.CleanVerdict, rep.CleanRun, rep.CleanRing, rep.CleanLatency = run(leaky.Clean())
 	rep.Elapsed = time.Since(start)
 	return rep
 }

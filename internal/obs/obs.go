@@ -1,0 +1,212 @@
+// Package obs is the live side of the observability plane: an opt-in
+// HTTP endpoint any long-running GoAT process (campaign CLIs, the
+// fabric's coordinator and workers) mounts with -obs to expose
+//
+//   - /metrics    — the process telemetry registry in Prometheus text
+//     exposition format (counters, gauges, histograms with exact
+//     p50/p95/p99 summary series), scrapeable by any Prometheus;
+//   - /profile/{block,mutex,goroutine,cpu} — pprof-compatible profiles
+//     built on demand from the most recent evidence trace the process
+//     holds (?format=folded for flamegraph collapsed-stack text);
+//   - /healthz    — liveness.
+//
+// The plane is pull-based and allocation-free until scraped: mounting
+// it costs one goroutine and nothing per event, which is what keeps the
+// enabled-overhead budget intact.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"goat/internal/profile"
+	"goat/internal/telemetry"
+	"goat/internal/trace"
+)
+
+// Server is one process's observability endpoint.
+type Server struct {
+	// Registry supplies /metrics; nil means telemetry.Default.
+	Registry *telemetry.Registry
+
+	// Profiles supplies /profile/*; nil means the process holds no
+	// profileable trace (the endpoints answer 503).
+	Profiles func() *profile.Set
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// LatestTrace is the standard Profiles source for campaign processes:
+// whoever produces evidence traces stores the most recent one and the
+// endpoint folds it on demand. The zero value is ready to use.
+type LatestTrace struct {
+	cur atomic.Pointer[profile.Options]
+	tr  atomic.Pointer[trace.Trace]
+}
+
+// Store publishes a trace (with optional build options) as the current
+// profile source.
+func (l *LatestTrace) Store(t *trace.Trace, opts profile.Options) {
+	if t == nil {
+		return
+	}
+	l.cur.Store(&opts)
+	l.tr.Store(t)
+}
+
+// Set folds the current trace; nil when none has been stored yet.
+func (l *LatestTrace) Set() *profile.Set {
+	t := l.tr.Load()
+	if t == nil {
+		return nil
+	}
+	opts := l.cur.Load()
+	if opts == nil {
+		opts = &profile.Options{}
+	}
+	return profile.Build(t, *opts)
+}
+
+// Handler returns the endpoint's routing table (exported for tests and
+// for embedding into an existing mux).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		reg := s.Registry
+		if reg == nil {
+			reg = telemetry.Default
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteMetrics(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/profile/", func(w http.ResponseWriter, r *http.Request) {
+		if s.Profiles == nil {
+			http.Error(w, "no profile source mounted", http.StatusServiceUnavailable)
+			return
+		}
+		set := s.Profiles()
+		if set == nil {
+			http.Error(w, "no trace captured yet", http.StatusServiceUnavailable)
+			return
+		}
+		kind := profile.Kind(strings.TrimPrefix(r.URL.Path, "/profile/"))
+		p := set.ByKind(kind)
+		if p == nil {
+			http.Error(w, fmt.Sprintf("unknown or absent profile %q (have block, mutex, goroutine%s)",
+				kind, map[bool]string{true: ", cpu"}[set.CPU != nil]), http.StatusNotFound)
+			return
+		}
+		if r.URL.Query().Get("format") == "folded" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = p.WriteFolded(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf(`attachment; filename=%q`, string(kind)+".pb.gz"))
+		_ = p.WritePprof(w)
+	})
+	return mux
+}
+
+// Start binds addr (":0" picks a free port) and serves in the
+// background; it returns the bound address for logs and scrapers.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the endpoint.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// promName maps a dotted metric name to the Prometheus grammar
+// ([a-zA-Z_:][a-zA-Z0-9_:]*), prefixed goat_.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("goat_")
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteMetrics renders a telemetry snapshot in Prometheus text
+// exposition format, deterministically ordered. Histograms emit the
+// classic _bucket/_sum/_count series plus p50/p95/p99 summary gauges
+// (suffix _p50 …), so dashboards get quantiles without server-side
+// histogram_quantile.
+func WriteMetrics(w io.Writer, snap telemetry.Snapshot) {
+	names := make([]string, 0, len(snap.Counters))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, snap.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, snap.Gauges[n])
+	}
+
+	names = names[:0]
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Histograms[n]
+		pn := promName(n)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, bound, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(w, "%s_sum %d\n", pn, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
+		for _, q := range []struct {
+			suffix string
+			v      int64
+		}{{"p50", h.P50}, {"p95", h.P95}, {"p99", h.P99}} {
+			fmt.Fprintf(w, "# TYPE %s_%s gauge\n%s_%s %d\n", pn, q.suffix, pn, q.suffix, q.v)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"goat/internal/profile"
+	"goat/internal/telemetry"
+	"goat/internal/trace"
+)
+
+func testRegistry() *telemetry.Registry {
+	r := telemetry.New()
+	r.Enable()
+	r.Counter("runs.total").Add(7)
+	r.Gauge("workers.active").Set(3)
+	h := r.Histogram("run.latency", []int64{10, 100})
+	for _, v := range []int64{5, 50, 500} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func testTrace() *trace.Trace {
+	t := trace.New(8)
+	ts := int64(0)
+	add := func(e trace.Event) {
+		ts++
+		e.Ts = ts
+		t.Append(e)
+	}
+	add(trace.Event{G: 1, Type: trace.EvGoStart})
+	add(trace.Event{G: 1, Type: trace.EvGoCreate, Peer: 2, Str: "worker", File: "k.go", Line: 5})
+	add(trace.Event{G: 2, Type: trace.EvGoStart})
+	add(trace.Event{G: 2, Type: trace.EvGoBlock, Res: 1, Aux: int64(trace.BlockSend), File: "k.go", Line: 9})
+	add(trace.Event{G: 1, Type: trace.EvGoEnd})
+	return t
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	b, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, string(b)
+}
+
+func TestHealthz(t *testing.T) {
+	s := &Server{Registry: testRegistry()}
+	code, body := get(t, s.Handler(), "/healthz")
+	if code != 200 || body != "ok\n" {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+}
+
+func TestMetricsPrometheusText(t *testing.T) {
+	s := &Server{Registry: testRegistry()}
+	code, body := get(t, s.Handler(), "/metrics")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE goat_runs_total counter\ngoat_runs_total 7\n",
+		"# TYPE goat_workers_active gauge\ngoat_workers_active 3\n",
+		"# TYPE goat_run_latency histogram\n",
+		`goat_run_latency_bucket{le="10"} 1`,
+		`goat_run_latency_bucket{le="100"} 2`,
+		`goat_run_latency_bucket{le="+Inf"} 3`,
+		"goat_run_latency_sum 555\n",
+		"goat_run_latency_count 3\n",
+		"goat_run_latency_p50 100\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output lacks %q:\n%s", want, body)
+		}
+	}
+	// Prometheus text grammar: every non-comment line is "name{labels} value".
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if parts := strings.Fields(line); len(parts) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestProfileEndpoints(t *testing.T) {
+	lt := &LatestTrace{}
+	s := &Server{Registry: testRegistry(), Profiles: lt.Set}
+	h := s.Handler()
+
+	// Before any trace exists the endpoint says so instead of 500ing.
+	if code, _ := get(t, h, "/profile/block"); code != http.StatusServiceUnavailable {
+		t.Fatalf("pre-store block profile = %d, want 503", code)
+	}
+
+	lt.Store(testTrace(), profile.Options{})
+	code, body := get(t, h, "/profile/block")
+	if code != 200 {
+		t.Fatalf("block profile = %d", code)
+	}
+	if body[0] != 0x1f || body[1] != 0x8b {
+		t.Error("profile body is not gzip (pprof wire format)")
+	}
+
+	code, body = get(t, h, "/profile/goroutine?format=folded")
+	if code != 200 || !strings.Contains(body, "worker [chan-send]") {
+		t.Fatalf("folded census = %d %q", code, body)
+	}
+
+	if code, _ = get(t, h, "/profile/cpu"); code != http.StatusNotFound {
+		t.Errorf("absent cpu profile = %d, want 404", code)
+	}
+	if code, _ = get(t, h, "/profile/bogus"); code != http.StatusNotFound {
+		t.Errorf("bogus profile = %d, want 404", code)
+	}
+}
+
+func TestNoProfileSource(t *testing.T) {
+	s := &Server{Registry: testRegistry()}
+	if code, _ := get(t, s.Handler(), "/profile/block"); code != http.StatusServiceUnavailable {
+		t.Fatalf("no-source profile = %d, want 503", code)
+	}
+}
+
+// TestStartServesRealSocket exercises the background listener end to
+// end on a kernel-assigned port.
+func TestStartServesRealSocket(t *testing.T) {
+	s := &Server{Registry: testRegistry()}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || !strings.Contains(string(b), "goat_runs_total 7") {
+		t.Fatalf("scrape = %d %q", resp.StatusCode, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"runs.total":      "goat_runs_total",
+		"shard-42/leaks":  "goat_shard_42_leaks",
+		"ok_name":         "goat_ok_name",
+		"with space":      "goat_with_space",
+		"campaign.p99.ns": "goat_campaign_p99_ns",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package profile
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"goat/internal/ingest"
+)
+
+// buildFromFixture runs the exact wiring cmd/goattrace uses: parse the
+// native capture, feed the wall table and CPU samples into the build.
+func buildFromFixture(t *testing.T, path string) *Set {
+	t.Helper()
+	r, err := ingest.ParseFile(path)
+	if err != nil {
+		t.Fatalf("ParseFile(%s): %v", path, err)
+	}
+	opts := Options{Wall: r.Wall}
+	for _, s := range r.CPUSamples {
+		cs := CPUSample{G: s.G}
+		for _, f := range s.Stack {
+			cs.Stack = append(cs.Stack, Frame{Func: f.Func, File: f.File, Line: f.Line})
+		}
+		opts.CPUSamples = append(opts.CPUSamples, cs)
+	}
+	return Build(r.Trace, opts)
+}
+
+// TestLeakypoolFixtureProfiles is the acceptance check on the checked-in
+// native capture: the three planted stranded senders must be the top
+// block entry, the mutex profile must key the WaitGroup resource, the
+// census must count the strands, and the cpu profile must land in the
+// burn loop.
+func TestLeakypoolFixtureProfiles(t *testing.T) {
+	set := buildFromFixture(t, "../ingest/testdata/leakypool.trace")
+
+	top := set.Block.Samples[0]
+	if top.Stack[0].Func != "main.worker.func1 [chan-send]" {
+		t.Fatalf("top block entry = %q, want the planted senders:\n%s",
+			top.Stack[0].Func, set.Block.Top(5))
+	}
+	if top.Count != 4 {
+		// 3 stranded sends plus the one that completed.
+		t.Errorf("top block count = %d, want 4 sends", top.Count)
+	}
+	if !strings.HasSuffix(top.Stack[0].File, "leakypool/main.go") || top.Stack[0].Line != 30 {
+		t.Errorf("top block site = %s:%d, want .../leakypool/main.go:30",
+			top.Stack[0].File, top.Stack[0].Line)
+	}
+	if top.Value < 3*100e6 {
+		t.Errorf("top block value = %dns, want >= 300ms (three strands charged their tails)", top.Value)
+	}
+	if len(top.Stack) < 2 || !strings.HasPrefix(top.Stack[1].Func, "created by main.worker") {
+		t.Errorf("top block parent = %v, want created by main.worker", top.Stack)
+	}
+
+	if len(set.Mutex.Samples) == 0 {
+		t.Error("mutex profile empty; wg.Wait contention must be keyed by resource")
+	} else if !strings.HasPrefix(set.Mutex.Samples[0].Stack[0].Func, "wg#") {
+		t.Errorf("mutex leaf = %q, want a wg#N resource identity", set.Mutex.Samples[0].Stack[0].Func)
+	}
+
+	strands := int64(0)
+	for _, s := range set.Goroutine.Samples {
+		if s.Stack[0].Func == "main.worker.func1 [chan-send]" {
+			strands = s.Count
+		}
+	}
+	if strands != 3 {
+		t.Errorf("census counts %d stranded senders, want 3:\n%s", strands, set.Goroutine.Top(0))
+	}
+
+	if set.CPU == nil {
+		t.Fatal("no cpu profile; the fixture is captured with the profiler running")
+	}
+	if !strings.Contains(set.CPU.Samples[0].Stack[0].Func, "burnCPU") {
+		t.Errorf("hottest cpu stack = %v, want main.burnCPU", set.CPU.Samples[0].Stack)
+	}
+}
+
+// TestFixturePprofRoundTrip shells out to `go tool pprof -top` on every
+// profile built from the fixture — the full acceptance path.
+func TestFixturePprofRoundTrip(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	set := buildFromFixture(t, "../ingest/testdata/leakypool.trace")
+	dir := t.TempDir()
+	for _, p := range []*Profile{set.Block, set.Mutex, set.Goroutine, set.CPU} {
+		path := dir + "/" + string(p.Kind) + ".pb.gz"
+		var buf bytes.Buffer
+		if err := p.WritePprof(&buf); err != nil {
+			t.Fatalf("%s: WritePprof: %v", p.Kind, err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, err := exec.Command("go", "tool", "pprof", "-top", path).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s: go tool pprof -top: %v\n%s", p.Kind, err, out)
+		}
+		switch p.Kind {
+		case KindBlock:
+			// The planted senders must be the first ranked row.
+			lines := strings.Split(string(out), "\n")
+			first := ""
+			for i, l := range lines {
+				if strings.Contains(l, "flat%") && i+1 < len(lines) {
+					first = lines[i+1]
+					break
+				}
+			}
+			if !strings.Contains(first, "main.worker.func1 [chan-send]") {
+				t.Errorf("block -top first row = %q, want the planted senders\n%s", first, out)
+			}
+		case KindCPU:
+			if !strings.Contains(string(out), "main.burnCPU") {
+				t.Errorf("cpu -top output lacks main.burnCPU:\n%s", out)
+			}
+		}
+	}
+}
+
+// TestFixtureFoldedNonEmpty keeps the folded encoding working on real
+// captures: every line is "frames value" with root-first stacks.
+func TestFixtureFoldedNonEmpty(t *testing.T) {
+	set := buildFromFixture(t, "../ingest/testdata/leakypool.trace")
+	var buf bytes.Buffer
+	if err := set.Block.WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if line == "" {
+			t.Fatal("blank line in folded output")
+		}
+		if strings.HasPrefix(line, "created by main.worker") &&
+			strings.Contains(line, "main.worker.func1 [chan-send]") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("folded output lacks the root-first stranded-send stack:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,42 @@
+package profile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteFolded writes the profile in collapsed-stack format — one line
+// per stack, root-first frames joined by semicolons, the value last —
+// the input flamegraph.pl and every flamegraph UI accept. The value is
+// nanoseconds for timed profiles and a goroutine count for the census.
+// Lines are ordered lexicographically so the output is golden-testable.
+func (p *Profile) WriteFolded(w io.Writer) error {
+	lines := make([]string, 0, len(p.Samples))
+	for i := range p.Samples {
+		s := &p.Samples[i]
+		parts := make([]string, len(s.Stack))
+		for j, f := range s.Stack {
+			// Root-first for folded output (samples store leaf-first).
+			parts[len(s.Stack)-1-j] = f.String()
+		}
+		v := s.Value
+		if p.Kind == KindGoroutine {
+			v = s.Count
+		}
+		lines = append(lines, fmt.Sprintf("%s %d", strings.Join(parts, ";"), v))
+	}
+	sort.Strings(lines)
+	bw := bufio.NewWriter(w)
+	for _, l := range lines {
+		if _, err := bw.WriteString(l); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

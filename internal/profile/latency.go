@@ -1,0 +1,91 @@
+package profile
+
+import (
+	"fmt"
+
+	"goat/internal/telemetry"
+	"goat/internal/trace"
+)
+
+// Request timeline markers. Service kernels with timelines enabled emit
+// one EvUserLog pair per request (Aux carries the request id); the
+// latency sink turns the pairs into per-request latency samples. The
+// unit is logical events — the only clock a deterministic simulation
+// has — which makes the percentiles replay-stable.
+const (
+	ReqStartMarker = "req:start"
+	ReqDoneMarker  = "req:done"
+)
+
+// LatencySink derives per-request latency percentiles from request
+// timeline markers on the sink path. It works under NoTrace campaigns
+// (nothing is buffered beyond open requests) and keeps every sample, so
+// the reported percentiles are exact (telemetry.QuantileExact), with a
+// bucketed telemetry histogram fed alongside when one is attached.
+type LatencySink struct {
+	// Hist, when set, additionally receives every sample (the shared
+	// telemetry pipeline: Prometheus export, JSON dumps).
+	Hist *telemetry.Histogram
+
+	open    map[int64]int64 // request id → start Ts
+	samples []int64
+	dropped int // done markers with no matching start
+}
+
+// NewLatencySink returns an empty sink.
+func NewLatencySink() *LatencySink {
+	return &LatencySink{open: map[int64]int64{}}
+}
+
+// Event implements trace.Sink.
+func (l *LatencySink) Event(e trace.Event) {
+	if e.Type != trace.EvUserLog {
+		return
+	}
+	switch e.Str {
+	case ReqStartMarker:
+		l.open[e.Aux] = e.Ts
+	case ReqDoneMarker:
+		start, ok := l.open[e.Aux]
+		if !ok {
+			l.dropped++
+			return
+		}
+		delete(l.open, e.Aux)
+		d := e.Ts - start
+		l.samples = append(l.samples, d)
+		l.Hist.Observe(d)
+	}
+}
+
+// EventBatch implements trace.BatchSink.
+func (l *LatencySink) EventBatch(evs []trace.Event) {
+	for i := range evs {
+		l.Event(evs[i])
+	}
+}
+
+// Close implements trace.Sink.
+func (l *LatencySink) Close() {}
+
+// Count returns the number of completed requests observed.
+func (l *LatencySink) Count() int { return len(l.samples) }
+
+// Open returns the number of requests still in flight (started, never
+// finished — on a leaky service this tracks the strand census).
+func (l *LatencySink) Open() int { return len(l.open) }
+
+// Percentiles returns the exact p50/p95/p99 of the completed-request
+// latencies, in logical events.
+func (l *LatencySink) Percentiles() (p50, p95, p99 int64) {
+	return telemetry.QuantileExact(l.samples, 0.50),
+		telemetry.QuantileExact(l.samples, 0.95),
+		telemetry.QuantileExact(l.samples, 0.99)
+}
+
+// String summarizes the digest.
+func (l *LatencySink) String() string {
+	p50, p95, p99 := l.Percentiles()
+	return fmt.Sprintf("%d requests (%d in flight): p50=%d p95=%d p99=%d events",
+		l.Count(), l.Open(), p50, p95, p99)
+}

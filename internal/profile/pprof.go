@@ -1,0 +1,230 @@
+// pprof protobuf encoding.
+//
+// The profile.proto schema is small and stable, so the encoder is
+// hand-rolled: a varint writer and the handful of message fields the
+// pprof toolchain reads (sample/location/function/string tables, sample
+// and period types, duration). Repeated scalar fields are written
+// unpacked — every conforming proto3 reader, including go tool pprof's
+// vendored decoder, accepts both forms. Output is gzip-compressed like
+// the runtime's own profile writers, and byte-deterministic for a given
+// profile (no wall-clock stamp), so equivalence sweeps can compare
+// encodings directly.
+package profile
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// profile.proto field numbers.
+const (
+	fldSampleType    = 1 // repeated ValueType
+	fldSample        = 2 // repeated Sample
+	fldLocation      = 4 // repeated Location
+	fldFunction      = 5 // repeated Function
+	fldStringTable   = 6 // repeated string
+	fldDurationNanos = 10
+	fldPeriodType    = 11 // ValueType
+	fldPeriod        = 12
+
+	fldVTType = 1 // ValueType.type (string index)
+	fldVTUnit = 2 // ValueType.unit
+
+	fldSampleLocationID = 1 // repeated uint64
+	fldSampleValue      = 2 // repeated int64
+
+	fldLocID   = 1
+	fldLocLine = 4 // repeated Line
+
+	fldLineFunctionID = 1
+	fldLineLine       = 2
+
+	fldFnID         = 1
+	fldFnName       = 2
+	fldFnSystemName = 3
+	fldFnFilename   = 4
+)
+
+// pbuf is a minimal protobuf writer.
+type pbuf struct{ b []byte }
+
+func (p *pbuf) uvarint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// varintField writes a varint-typed field; zero values are omitted
+// (proto3 default semantics).
+func (p *pbuf) varintField(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.uvarint(uint64(field)<<3 | 0)
+	p.uvarint(v)
+}
+
+func (p *pbuf) bytesField(field int, b []byte) {
+	p.uvarint(uint64(field)<<3 | 2)
+	p.uvarint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *pbuf) msgField(field int, m *pbuf) { p.bytesField(field, m.b) }
+
+// strTab interns strings; index 0 is "" per the schema.
+type strTab struct {
+	idx  map[string]int64
+	list []string
+}
+
+func newStrTab() *strTab {
+	return &strTab{idx: map[string]int64{"": 0}, list: []string{""}}
+}
+
+func (t *strTab) of(s string) int64 {
+	if i, ok := t.idx[s]; ok {
+		return i
+	}
+	i := int64(len(t.list))
+	t.idx[s] = i
+	t.list = append(t.list, s)
+	return i
+}
+
+// sampleTypes returns the pprof sample-type vocabulary of a profile
+// kind, matching the names the Go runtime uses so pprof UIs apply their
+// standard handling (delay units, default views).
+func (p *Profile) sampleTypes() (types [][2]string, period [2]string, periodVal int64) {
+	switch p.Kind {
+	case KindMutex:
+		return [][2]string{{"contentions", "count"}, {"delay", "nanoseconds"}},
+			[2]string{"contentions", "count"}, 1
+	case KindGoroutine:
+		return [][2]string{{"goroutine", "count"}},
+			[2]string{"goroutine", "count"}, 1
+	case KindCPU:
+		pv := p.PeriodNs
+		if pv <= 0 {
+			pv = DefaultCPUPeriodNs
+		}
+		return [][2]string{{"samples", "count"}, {"cpu", "nanoseconds"}},
+			[2]string{"cpu", "nanoseconds"}, pv
+	default: // KindBlock
+		return [][2]string{{"contentions", "count"}, {"delay", "nanoseconds"}},
+			[2]string{"contentions", "count"}, 1
+	}
+}
+
+// values returns one sample's value vector in sample-type order.
+func (p *Profile) values(s *Sample) []int64 {
+	switch p.Kind {
+	case KindGoroutine:
+		return []int64{s.Count}
+	default:
+		return []int64{s.Count, s.Value}
+	}
+}
+
+// WritePprof writes the gzip-compressed protobuf encoding.
+func (p *Profile) WritePprof(w io.Writer) error {
+	strs := newStrTab()
+
+	// Interned functions and locations: a function is (name, file), a
+	// location is (function, line).
+	type fnKey struct {
+		name, file string
+	}
+	type locKey struct {
+		fn   uint64
+		line int
+	}
+	fns := map[fnKey]uint64{}
+	var fnList []fnKey
+	locs := map[locKey]uint64{}
+	var locList []locKey
+
+	locOf := func(f Frame) uint64 {
+		fk := fnKey{name: f.Func, file: f.File}
+		fid, ok := fns[fk]
+		if !ok {
+			fid = uint64(len(fnList) + 1)
+			fns[fk] = fid
+			fnList = append(fnList, fk)
+		}
+		lk := locKey{fn: fid, line: f.Line}
+		lid, ok := locs[lk]
+		if !ok {
+			lid = uint64(len(locList) + 1)
+			locs[lk] = lid
+			locList = append(locList, lk)
+		}
+		return lid
+	}
+
+	var body pbuf
+	types, period, periodVal := p.sampleTypes()
+	for _, st := range types {
+		var vt pbuf
+		vt.varintField(fldVTType, uint64(strs.of(st[0])))
+		vt.varintField(fldVTUnit, uint64(strs.of(st[1])))
+		body.msgField(fldSampleType, &vt)
+	}
+	for i := range p.Samples {
+		s := &p.Samples[i]
+		var sm pbuf
+		for _, f := range s.Stack {
+			sm.varintField(fldSampleLocationID, locOf(f))
+		}
+		for _, v := range s.Values(p) {
+			// Values are written positionally; zeros must not be elided
+			// or the vector would shift, so encode them explicitly.
+			sm.uvarint(uint64(fldSampleValue)<<3 | 0)
+			sm.uvarint(uint64(v))
+		}
+		body.msgField(fldSample, &sm)
+	}
+	for i, lk := range locList {
+		var lm pbuf
+		lm.varintField(fldLocID, uint64(i+1))
+		var ln pbuf
+		ln.varintField(fldLineFunctionID, lk.fn)
+		ln.varintField(fldLineLine, uint64(lk.line))
+		lm.msgField(fldLocLine, &ln)
+		body.msgField(fldLocation, &lm)
+	}
+	for i, fk := range fnList {
+		var fm pbuf
+		fm.varintField(fldFnID, uint64(i+1))
+		name := uint64(strs.of(fk.name))
+		fm.varintField(fldFnName, name)
+		fm.varintField(fldFnSystemName, name)
+		fm.varintField(fldFnFilename, uint64(strs.of(fk.file)))
+		body.msgField(fldFunction, &fm)
+	}
+	for _, s := range strs.list {
+		body.bytesField(fldStringTable, []byte(s))
+	}
+	body.varintField(fldDurationNanos, uint64(p.SpanNs))
+	var pt pbuf
+	pt.varintField(fldVTType, uint64(strs.of(period[0])))
+	pt.varintField(fldVTUnit, uint64(strs.of(period[1])))
+	body.msgField(fldPeriodType, &pt)
+	body.varintField(fldPeriod, uint64(periodVal))
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(body.b); err != nil {
+		return fmt.Errorf("profile: writing pprof body: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		return fmt.Errorf("profile: closing gzip stream: %w", err)
+	}
+	return nil
+}
+
+// Values returns the sample's pprof value vector (exported for the
+// encoder and tests).
+func (s *Sample) Values(p *Profile) []int64 { return p.values(s) }

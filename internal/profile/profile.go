@@ -1,0 +1,423 @@
+// Package profile is the contention profiling plane: it folds any ECT —
+// sim-produced or natively ingested — into pprof-compatible profiles,
+// giving every layer of the stack (campaign CLIs, the fabric, the
+// ingest pipeline) one shared profile vocabulary.
+//
+// Three profiles derive from the event stream alone:
+//
+//   - block: cumulative blocked time by (goroutine root, block site,
+//     reason). A park opens a span; the goroutine's next own event, an
+//     unblock edge naming it, or the end of the trace closes it. On
+//     native windows real durations come from the ingest wall table;
+//     sim traces charge logical ticks (reported as nanoseconds, so the
+//     relative magnitudes — which is all a virtual clock has — survive
+//     the pprof toolchain unchanged).
+//   - mutex: the sync-family subset of block spans, re-keyed by the
+//     contended resource identity (the correlated ResID from
+//     internal/ingest, exact IDs from the virtual runtime). The leaf
+//     frame is the resource, so `pprof -top` ranks lock objects, not
+//     call sites — contention pinpointing in the BinGo sense.
+//   - goroutine: a census of goroutines live at the end of the trace,
+//     grouped by identical pseudo-stacks.
+//
+// A fourth, cpu, is built from the capture's profiling-clock samples
+// (ingest.CPUSample) when the traced program ran the CPU profiler
+// alongside runtime/trace — those carry real call stacks.
+//
+// ECT events carry one source location, not a call stack, so profile
+// stacks are pseudo-stacks assembled from provenance: the leaf names
+// the goroutine root and block reason at the block site, its parent
+// names the creating goroutine at the go-statement site. The encoding
+// (pprof.go) writes the standard protobuf profile, so `go tool pprof`,
+// flamegraph tooling and continuous-profiling UIs consume GoAT output
+// directly.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"goat/internal/trace"
+)
+
+// Frame is one frame of a profile stack, leaf first in a Sample.
+type Frame struct {
+	Func string
+	File string
+	Line int
+}
+
+// String renders the frame for folded output.
+func (f Frame) String() string {
+	if f.File == "" {
+		return f.Func
+	}
+	return fmt.Sprintf("%s %s:%d", f.Func, trace.TrimPath(f.File), f.Line)
+}
+
+// Sample is one aggregated profile row: a stack with the number of
+// events folded into it and their cumulative value.
+type Sample struct {
+	Stack []Frame // leaf first
+	Count int64   // events aggregated (contentions, goroutines, hits)
+	Value int64   // cumulative nanoseconds (0 for pure-count profiles)
+}
+
+// Kind names a profile flavor; it selects the pprof sample/period types.
+type Kind string
+
+const (
+	KindBlock     Kind = "block"
+	KindMutex     Kind = "mutex"
+	KindGoroutine Kind = "goroutine"
+	KindCPU       Kind = "cpu"
+)
+
+// Profile is one finished profile: deterministic sample order (value
+// descending, then stack), ready for pprof or folded encoding.
+type Profile struct {
+	Kind     Kind
+	Samples  []Sample
+	PeriodNs int64 // cpu only: sampling period
+	SpanNs   int64 // observed span (duration_nanos of the encoding)
+}
+
+// Set is every profile built from one trace.
+type Set struct {
+	Block     *Profile
+	Mutex     *Profile
+	Goroutine *Profile
+	CPU       *Profile // nil unless the source carried CPU samples
+}
+
+// CPUSample is one profiling-clock hit, the shape ingest.CPUSample maps
+// to (the package stays source-agnostic: any producer with real stacks
+// can feed it).
+type CPUSample struct {
+	G     trace.GoID
+	Stack []Frame // leaf first
+}
+
+// DefaultCPUPeriodNs is the runtime CPU profiler's default sampling
+// period (100 Hz), assumed when the capture does not say otherwise.
+const DefaultCPUPeriodNs = 10_000_000
+
+// Options configures a build.
+type Options struct {
+	// Wall aligns index-for-index with the trace's events and holds each
+	// event's wall-clock offset in nanoseconds (ingest.Run.Wall). When
+	// nil, logical timestamps are charged instead.
+	Wall []int64
+
+	// CPUSamples are the capture's profiling-clock hits, if any.
+	CPUSamples []CPUSample
+
+	// CPUPeriodNs overrides the assumed CPU sampling period.
+	CPUPeriodNs int64
+
+	// IncludeSystem keeps runtime-internal goroutines in the block,
+	// mutex and goroutine profiles (they are suppressed by default, like
+	// everywhere else in the stack).
+	IncludeSystem bool
+}
+
+// gProf tracks one goroutine through the fold.
+type gProf struct {
+	name       string
+	creator    string
+	createFile string
+	createLine int
+	system     bool
+	ended      bool
+
+	blocked   bool
+	reason    trace.BlockReason
+	blockFile string
+	blockLine int
+	blockRes  trace.ResID
+	blockAt   int64 // ns at park
+}
+
+// builder aggregates samples by folded stack key.
+type builder struct {
+	samples map[string]*Sample
+}
+
+func newBuilder() *builder { return &builder{samples: map[string]*Sample{}} }
+
+func (b *builder) add(stack []Frame, count, value int64) {
+	parts := make([]string, len(stack))
+	for i, f := range stack {
+		parts[i] = f.String()
+	}
+	key := strings.Join(parts, ";")
+	s, ok := b.samples[key]
+	if !ok {
+		s = &Sample{Stack: stack}
+		b.samples[key] = s
+	}
+	s.Count += count
+	s.Value += value
+}
+
+// finish produces the deterministic sample order: cumulative value
+// descending, count descending, then the rendered stack ascending.
+func (b *builder) finish(kind Kind, spanNs int64) *Profile {
+	p := &Profile{Kind: kind, SpanNs: spanNs}
+	keys := make([]string, 0, len(b.samples))
+	for k := range b.samples {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		si, sj := b.samples[keys[i]], b.samples[keys[j]]
+		if si.Value != sj.Value {
+			return si.Value > sj.Value
+		}
+		if si.Count != sj.Count {
+			return si.Count > sj.Count
+		}
+		return keys[i] < keys[j]
+	})
+	for _, k := range keys {
+		p.Samples = append(p.Samples, *b.samples[k])
+	}
+	return p
+}
+
+// mutexFamily labels the contended-resource leaf of the mutex profile;
+// "" excludes the reason from it.
+func mutexFamily(r trace.BlockReason) string {
+	switch r {
+	case trace.BlockMutex, trace.BlockRMutex:
+		return "lock"
+	case trace.BlockWaitGroup:
+		return "wg"
+	case trace.BlockCond:
+		return "cond"
+	case trace.BlockSync:
+		return "sync"
+	}
+	return ""
+}
+
+// Build folds a trace into its profile set.
+func Build(t *trace.Trace, opts Options) *Set {
+	gs := map[trace.GoID]*gProf{}
+	gOf := func(id trace.GoID) *gProf {
+		g, ok := gs[id]
+		if !ok {
+			g = &gProf{}
+			if id == 1 {
+				g.name = "main"
+			}
+			gs[id] = g
+		}
+		return g
+	}
+
+	var events []trace.Event
+	if t != nil {
+		events = t.Events
+	}
+	ns := func(i int) int64 {
+		if i < 0 || i >= len(events) {
+			return 0
+		}
+		if opts.Wall != nil && i < len(opts.Wall) {
+			return opts.Wall[i]
+		}
+		return events[i].Ts
+	}
+	endNs := ns(len(events) - 1)
+
+	block := newBuilder()
+	mutex := newBuilder()
+
+	// endSpan charges a finished park to the block profile and, for
+	// sync-family parks with a resource identity, to the mutex profile.
+	endSpan := func(g *gProf, now int64) {
+		g.blocked = false
+		d := now - g.blockAt
+		if d < 0 {
+			d = 0
+		}
+		if g.system && !opts.IncludeSystem {
+			return
+		}
+		site := Frame{
+			Func: fmt.Sprintf("%s [%s]", g.name, g.reason),
+			File: g.blockFile, Line: g.blockLine,
+		}
+		stack := []Frame{site}
+		if g.createFile != "" || g.creator != "" {
+			stack = append(stack, Frame{
+				Func: "created by " + orUnknown(g.creator),
+				File: g.createFile, Line: g.createLine,
+			})
+		}
+		block.add(stack, 1, d)
+		if fam := mutexFamily(g.reason); fam != "" && g.blockRes != 0 {
+			res := Frame{Func: fmt.Sprintf("%s#%d", fam, g.blockRes)}
+			mutex.add(append([]Frame{res}, stack...), 1, d)
+		}
+	}
+
+	for i := range events {
+		e := &events[i]
+		switch e.Type {
+		case trace.EvGoCreate:
+			p := gOf(e.G)
+			c := gOf(e.Peer)
+			c.name = e.Str
+			c.creator = orUnknown(p.name)
+			c.createFile, c.createLine = e.File, e.Line
+			c.system = e.Aux == 1 || p.system
+		case trace.EvGoStart:
+			g := gOf(e.G)
+			if g.name == "" {
+				g.name = e.Str
+			}
+			if g.createFile == "" && g.creator == "" {
+				// Self-introduction (window contract): provenance is the
+				// start record itself.
+				g.createFile, g.createLine = e.File, e.Line
+			}
+			if e.Aux == 1 {
+				g.system = true
+			}
+			if g.blocked {
+				endSpan(g, ns(i))
+			}
+		case trace.EvGoBlock:
+			g := gOf(e.G)
+			if g.blocked {
+				endSpan(g, ns(i))
+			}
+			g.blocked = true
+			g.reason = e.BlockReason()
+			g.blockFile, g.blockLine = e.File, e.Line
+			g.blockRes = e.Res
+			g.blockAt = ns(i)
+		case trace.EvGoUnblock:
+			// The wake ends the peer's park — Go's block profile charges
+			// until the wakeup, not until the reschedule.
+			if tg, ok := gs[e.Peer]; ok && tg.blocked {
+				endSpan(tg, ns(i))
+			}
+			if g := gOf(e.G); g.blocked {
+				endSpan(g, ns(i))
+			}
+		case trace.EvGoEnd, trace.EvGoPanic:
+			g := gOf(e.G)
+			if g.blocked {
+				endSpan(g, ns(i))
+			}
+			g.ended = true
+		default:
+			// Any action by a nominally-blocked goroutine proves it
+			// resumed (native windows drop some wake edges).
+			if g := gOf(e.G); g.blocked {
+				endSpan(g, ns(i))
+			}
+		}
+	}
+
+	// Still-parked goroutines are charged to the end of the window: a
+	// stranded sender owns its whole tail, which is exactly what puts
+	// planted leaks at the top of the block profile.
+	ids := make([]trace.GoID, 0, len(gs))
+	for id := range gs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	census := newBuilder()
+	for _, id := range ids {
+		g := gs[id]
+		if g.blocked {
+			endSpan(g, endNs)
+			g.blocked = true // remains parked for the census below
+		}
+		if g.ended || (g.system && !opts.IncludeSystem) {
+			continue
+		}
+		leaf := Frame{Func: g.name, File: g.createFile, Line: g.createLine}
+		if g.blocked {
+			leaf = Frame{
+				Func: fmt.Sprintf("%s [%s]", g.name, g.reason),
+				File: g.blockFile, Line: g.blockLine,
+			}
+		}
+		stack := []Frame{leaf}
+		if g.createFile != "" || g.creator != "" {
+			stack = append(stack, Frame{
+				Func: "created by " + orUnknown(g.creator),
+				File: g.createFile, Line: g.createLine,
+			})
+		}
+		census.add(stack, 1, 0)
+	}
+
+	set := &Set{
+		Block:     block.finish(KindBlock, endNs),
+		Mutex:     mutex.finish(KindMutex, endNs),
+		Goroutine: census.finish(KindGoroutine, endNs),
+	}
+	if len(opts.CPUSamples) > 0 {
+		period := opts.CPUPeriodNs
+		if period <= 0 {
+			period = DefaultCPUPeriodNs
+		}
+		cpu := newBuilder()
+		for _, s := range opts.CPUSamples {
+			if len(s.Stack) == 0 {
+				continue
+			}
+			cpu.add(s.Stack, 1, period)
+		}
+		set.CPU = cpu.finish(KindCPU, endNs)
+		set.CPU.PeriodNs = period
+	}
+	return set
+}
+
+// ByKind returns the requested profile (nil when absent).
+func (s *Set) ByKind(k Kind) *Profile {
+	switch k {
+	case KindBlock:
+		return s.Block
+	case KindMutex:
+		return s.Mutex
+	case KindGoroutine:
+		return s.Goroutine
+	case KindCPU:
+		return s.CPU
+	}
+	return nil
+}
+
+func orUnknown(name string) string {
+	if name == "" {
+		return "unknown"
+	}
+	return name
+}
+
+// Top renders the first n samples as a one-line-per-entry summary, the
+// human-readable companion of the binary encodings.
+func (p *Profile) Top(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s profile: %d stack(s)\n", p.Kind, len(p.Samples))
+	for i, s := range p.Samples {
+		if n > 0 && i >= n {
+			fmt.Fprintf(&b, "  ... %d more\n", len(p.Samples)-n)
+			break
+		}
+		if p.Kind == KindGoroutine {
+			fmt.Fprintf(&b, "  %6d  %s\n", s.Count, s.Stack[0])
+		} else {
+			fmt.Fprintf(&b, "  %12.3fms x%-5d %s\n", float64(s.Value)/1e6, s.Count, s.Stack[0])
+		}
+	}
+	return b.String()
+}

@@ -114,7 +114,10 @@ func (h *Histogram) Observe(v int64) {
 	}
 }
 
-// HistSnapshot is a point-in-time copy of a histogram.
+// HistSnapshot is a point-in-time copy of a histogram. P50/P95/P99 are
+// the bucket-resolution quantile summaries (see Quantile) every
+// exporter shares — the JSON dump, the Prometheus text endpoint, and
+// the latency oracles all report the same numbers.
 type HistSnapshot struct {
 	Bounds []int64 `json:"bounds"`
 	Counts []int64 `json:"counts"` // len(Bounds)+1; last is overflow
@@ -122,6 +125,9 @@ type HistSnapshot struct {
 	Sum    int64   `json:"sum"`
 	Min    int64   `json:"min"`
 	Max    int64   `json:"max"`
+	P50    int64   `json:"p50"`
+	P95    int64   `json:"p95"`
+	P99    int64   `json:"p99"`
 }
 
 // Snapshot copies the histogram's current state.
@@ -138,8 +144,32 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	if s.Count > 0 {
 		s.Min = h.min.Load()
 		s.Max = h.max.Load()
+		s.P50 = s.Quantile(0.50)
+		s.P95 = s.Quantile(0.95)
+		s.P99 = s.Quantile(0.99)
 	}
 	return s
+}
+
+// QuantileExact returns the exact nearest-rank q-quantile (0 < q <= 1)
+// of raw samples: the smallest value whose rank is >= ceil(q*n). The
+// slice is sorted in place. This is the reference the bucketed
+// HistSnapshot.Quantile approximates, and what the latency oracles use
+// when they hold every sample.
+func QuantileExact(samples []int64, q float64) int64 {
+	n := len(samples)
+	if n == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	rank := int(q*float64(n) + 0.999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return samples[rank-1]
 }
 
 // Mean returns the arithmetic mean of the observed values (0 when empty).

@@ -94,6 +94,38 @@ func TestHistogramSnapshotAndQuantiles(t *testing.T) {
 	if (HistSnapshot{}).Quantile(0.5) != 0 {
 		t.Fatal("empty histogram quantile must be 0")
 	}
+	// The summary fields are the same bucket-resolution quantiles, filled
+	// at snapshot time so every exporter reports identical numbers.
+	if s.P50 != s.Quantile(0.50) || s.P95 != s.Quantile(0.95) || s.P99 != s.Quantile(0.99) {
+		t.Fatalf("summary fields %d/%d/%d disagree with Quantile %d/%d/%d",
+			s.P50, s.P95, s.P99, s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99))
+	}
+}
+
+func TestQuantileExact(t *testing.T) {
+	// Nearest rank over 1..100: p-th percentile is exactly p.
+	samples := make([]int64, 0, 100)
+	for v := int64(100); v >= 1; v-- { // reversed: the sort is part of the contract
+		samples = append(samples, v)
+	}
+	for _, c := range []struct {
+		q    float64
+		want int64
+	}{{0.50, 50}, {0.95, 95}, {0.99, 99}, {1.0, 100}, {0.001, 1}} {
+		if got := QuantileExact(samples, c.q); got != c.want {
+			t.Errorf("QuantileExact(1..100, %v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	if got := QuantileExact(nil, 0.5); got != 0 {
+		t.Errorf("QuantileExact(nil) = %d, want 0", got)
+	}
+	if got := QuantileExact([]int64{7}, 0.99); got != 7 {
+		t.Errorf("single-sample p99 = %d, want 7", got)
+	}
+	// ceil semantics: with 4 samples, p50 is the 2nd order statistic.
+	if got := QuantileExact([]int64{40, 10, 30, 20}, 0.5); got != 20 {
+		t.Errorf("p50 of {10,20,30,40} = %d, want 20 (nearest rank)", got)
+	}
 }
 
 func TestRegistryResetKeepsHandles(t *testing.T) {

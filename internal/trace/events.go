@@ -115,6 +115,7 @@ const (
 	BlockGoatDone              // blocked in the goat watchdog handshake
 	BlockFault                 // held unrunnable by an injected stall fault
 	BlockNet                   // blocked on network I/O (native traces only)
+	BlockSyscall               // blocked in a system call (native traces only)
 )
 
 var blockReasonNames = map[BlockReason]string{
@@ -131,6 +132,7 @@ var blockReasonNames = map[BlockReason]string{
 	BlockGoatDone:  "goat-done",
 	BlockFault:     "fault-stall",
 	BlockNet:       "net",
+	BlockSyscall:   "syscall",
 }
 
 // String returns the human-readable block reason.

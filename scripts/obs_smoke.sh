@@ -1,0 +1,102 @@
+#!/bin/sh
+# Observability-plane smoke: exercise the live endpoint end to end.
+#
+# Part 1 serves the checked-in leakypool capture via `goattrace -serve`
+# and validates every surface: /healthz, /metrics (Prometheus text
+# lint), /profile/block + /profile/cpu through `go tool pprof -top`
+# (the three planted stranded senders must rank first), and the folded
+# flamegraph format. Part 2 runs a live differential campaign with
+# -obs and scrapes /metrics mid-flight to prove the endpoint serves
+# real counters while a campaign is running.
+#
+#   scripts/obs_smoke.sh            # OUT defaults to a temp dir
+#   OBS_SMOKE_OUT=results scripts/obs_smoke.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${OBS_SMOKE_OUT:-$(mktemp -d)}"
+mkdir -p "$OUT"
+SERVE_ADDR=127.0.0.1:7791
+CAMP_ADDR=127.0.0.1:7792
+echo "obs smoke: artifacts in $OUT"
+
+go build -o "$OUT/goattrace" ./cmd/goattrace
+go build -o "$OUT/goatfuzz" ./cmd/goatfuzz
+
+# Every non-comment /metrics line must be `name value` with a numeric
+# value, names must carry the goat_ prefix, and each histogram's +Inf
+# bucket must equal its _count series.
+prom_lint() {
+    awk '
+        /^#/ { next }
+        NF != 2 { print "bad line: " $0; bad = 1; next }
+        $1 !~ /^goat_[a-zA-Z0-9_:]*(\{[^}]*\})?$/ { print "bad name: " $0; bad = 1 }
+        $2 !~ /^-?[0-9]+(\.[0-9]+)?$/ { print "bad value: " $0; bad = 1 }
+        /^[a-zA-Z0-9_:]*_bucket\{le="\+Inf"\}/ { sub(/_bucket.*/, "", $1); inf[$1] = $2 }
+        /^[a-zA-Z0-9_:]*_count / { sub(/_count$/, "", $1); cnt[$1] = $2 }
+        END {
+            for (h in inf) if (inf[h] != cnt[h]) { print "bucket/count mismatch: " h; bad = 1 }
+            exit bad
+        }' "$1"
+}
+
+# --- Part 1: static capture served by goattrace -serve -----------------
+
+"$OUT/goattrace" -serve "$SERVE_ADDR" internal/ingest/testdata/leakypool.trace \
+    2> "$OUT/serve.log" &
+SERVE=$!
+i=0
+until grep -q 'goattrace: serving' "$OUT/serve.log" 2>/dev/null || [ $i -ge 50 ]; do
+    i=$((i + 1)); sleep 0.1
+done
+
+curl -fsS "http://$SERVE_ADDR/healthz" | grep -q '^ok$'
+curl -fsS "http://$SERVE_ADDR/metrics" > "$OUT/metrics_static.txt"
+prom_lint "$OUT/metrics_static.txt"
+curl -fsS "http://$SERVE_ADDR/profile/block" -o "$OUT/block.pb.gz"
+curl -fsS "http://$SERVE_ADDR/profile/cpu" -o "$OUT/cpu.pb.gz"
+curl -fsS "http://$SERVE_ADDR/profile/goroutine?format=folded" -o "$OUT/goroutine.folded"
+
+kill -INT "$SERVE"
+wait "$SERVE" 2>/dev/null || true
+
+# The block profile must parse as pprof and rank the planted stranded
+# senders first; the CPU profile must attribute the spin loop.
+go tool pprof -top -unit ms "$OUT/block.pb.gz" > "$OUT/block_top.txt"
+awk '/flat%/ { getline; print; exit }' "$OUT/block_top.txt" \
+    | grep -q 'main\.worker\.func1 \[chan-send\]' || {
+    echo "obs smoke: FAIL — planted senders not first in block profile:" >&2
+    cat "$OUT/block_top.txt" >&2
+    exit 1
+}
+go tool pprof -top "$OUT/cpu.pb.gz" > "$OUT/cpu_top.txt"
+grep -q 'main\.burnCPU' "$OUT/cpu_top.txt" || {
+    echo "obs smoke: FAIL — CPU spin loop missing from cpu profile" >&2
+    exit 1
+}
+grep -q 'chan-send' "$OUT/goroutine.folded" || {
+    echo "obs smoke: FAIL — stranded senders missing from folded census" >&2
+    exit 1
+}
+
+# --- Part 2: live campaign scraped mid-flight --------------------------
+
+"$OUT/goatfuzz" -n 10000 -seed 1 -obs "$CAMP_ADDR" \
+    > "$OUT/campaign.txt" 2> "$OUT/campaign.log" &
+CAMP=$!
+i=0
+until curl -fsS "http://$CAMP_ADDR/metrics" > "$OUT/metrics_live.txt" 2>/dev/null \
+        && grep -q '^goat_sim_runs ' "$OUT/metrics_live.txt"; do
+    i=$((i + 1))
+    if [ $i -ge 100 ]; then
+        echo "obs smoke: FAIL — never scraped live campaign metrics" >&2
+        kill "$CAMP" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+prom_lint "$OUT/metrics_live.txt"
+curl -fsS "http://$CAMP_ADDR/healthz" | grep -q '^ok$'
+wait "$CAMP"
+
+echo "obs smoke: PASS — static profiles pprof-clean, live campaign scraped mid-flight"
